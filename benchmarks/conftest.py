@@ -1,0 +1,36 @@
+"""Shared state for the benchmark harness.
+
+Each ``benchmarks/test_*`` module regenerates one paper artifact (a table
+or figure) under ``pytest-benchmark`` timing, checks its shape targets, and
+writes the rendered report to ``artifacts/<id>.txt``.  A session-scoped
+:class:`~repro.experiments.runner.ExperimentContext` shares the default
+configuration simulations across artifacts, exactly as the experiment CLI
+does.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+ARTIFACTS = Path(__file__).resolve().parent.parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def save_report(artifacts_dir: Path, report) -> None:
+    (artifacts_dir / f"{report.experiment_id}.txt").write_text(
+        report.render() + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,23 @@
+"""Bench: the Eq. (1) pre-activation ablation (beyond the paper's figures).
+
+Quantifies the paper's §3 claim that without pre-activation 'we incur the
+associated spin-up delay fully': lazy wake-up must blow execution time up
+while pre-activation keeps it at Base speed."""
+
+from conftest import save_report
+
+from repro.experiments.ablations import preactivation_ablation
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def test_ablation_preactivation(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(
+        lambda: preactivation_ablation(ctx), rounds=1, iterations=1
+    )
+    for name in WORKLOAD_NAMES:
+        assert rep.value(name, "T_preact") <= 1.005, name
+        assert rep.value(name, "T_lazy") > 1.2, name
+        assert rep.value(name, "E_lazy") > rep.value(name, "E_preact"), name
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

@@ -1,0 +1,41 @@
+"""Bench: estimation-error and transition-speed ablations (beyond the
+paper's figures) — the two modeling knobs DESIGN.md calls out."""
+
+from conftest import save_report
+
+from repro.experiments.ablations import (
+    estimation_error_sweep,
+    transition_speed_ablation,
+)
+
+
+def test_ablation_estimation_error(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(
+        lambda: estimation_error_sweep(ctx, benchmark="swim"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = list(rep.rows)
+    # Savings at oracle-grade estimates are at least as good as at +-40 %.
+    assert rep.value(rows[0], "energy") <= rep.value(rows[-1], "energy") + 0.02
+    for row in rows:
+        assert rep.value(row, "time") < 1.05
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())
+
+
+def test_ablation_transition_speed(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(
+        lambda: transition_speed_ablation(ctx, benchmark="swim"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = list(rep.rows)
+    cm = [rep.value(r, "CMDRPM") for r in rows]
+    assert cm == sorted(cm), "savings must shrink monotonically as steps slow"
+    for row in rows:
+        assert rep.value(row, "IDRPM") <= rep.value(row, "CMDRPM") + 0.03
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

@@ -1,0 +1,19 @@
+"""Bench: the multi-nest tiling extension (the paper's §6.1 future work)."""
+
+from conftest import save_report
+
+from repro.experiments.extensions import multi_nest_tiling
+
+
+def test_ext_multitiling(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(
+        lambda: multi_nest_tiling(ctx), rounds=1, iterations=1
+    )
+    for name in ("wupwise", "applu", "mesa"):
+        single = rep.value(name, "TL+DL/CMDRPM")
+        multi = rep.value(name, "TL*+DL/CMDRPM")
+        assert multi < single, f"{name}: multi-nest tiling should extend savings"
+        assert multi < rep.value(name, "orig/CMDRPM")
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

@@ -1,0 +1,23 @@
+"""Bench: the PDC baseline (related work [16]) held against the paper's
+compiler-directed scheme, plus the fixed-vs-adaptive TPM thrash contrast."""
+
+from conftest import save_report
+
+from repro.experiments.pdc_experiment import run as run_pdc
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def test_ext_pdc(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(lambda: run_pdc(ctx), rounds=1, iterations=1)
+    for name in WORKLOAD_NAMES:
+        # Concentration + foresight composes: PDC/CMDRPM beats plain CMDRPM.
+        assert rep.value(name, "PDC/CMDRPM") < rep.value(name, "CMDRPM"), name
+        # The adaptive threshold bounds the thrash the fixed threshold can
+        # fall into (fixed blows up >100x on some benchmarks).
+        assert rep.value(name, "PDC/ATPM") < 10.0, name
+    assert any(rep.value(n, "PDC/TPM") > 10.0 for n in WORKLOAD_NAMES), (
+        "the fixed-threshold thrash pathology should be visible"
+    )
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

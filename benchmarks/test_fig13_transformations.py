@@ -1,0 +1,52 @@
+"""Bench: regenerate Figure 13 (normalized energy with LF/TL/LF+DL/TL+DL).
+
+Shape targets from paper §6.2:
+* LF and TL alone do not help;
+* LF+DL helps swim, mgrid, applu, mesa;
+* TL+DL helps wupwise, applu, mesa;
+* galgel gains from neither;
+* the transformations make TPM viable (paper: CMTPM averages 31 % savings
+  where it previously saved nothing).
+"""
+
+from conftest import save_report
+
+from repro.experiments import fig13
+
+
+def test_fig13_transformations(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(lambda: fig13.run(ctx), rounds=1, iterations=1)
+
+    def v(row, col):
+        return rep.value(row, col)
+
+    # LF / TL alone: within noise of the original results.
+    for name in ("wupwise", "swim", "mgrid", "applu", "mesa", "galgel"):
+        assert abs(v(name, "LF/CMDRPM") - v(name, "orig/CMDRPM")) < 0.08
+        assert abs(v(name, "TL/CMDRPM") - v(name, "orig/CMDRPM")) < 0.08
+        assert v(name, "LF/CMTPM") > 0.90
+        assert v(name, "TL/CMTPM") > 0.90
+
+    # LF+DL beneficiaries: CMTPM becomes viable (was 1.0).
+    lfdl_cmtpm = []
+    for name in ("swim", "mgrid", "applu", "mesa"):
+        assert v(name, "orig/CMTPM") > 0.99
+        assert v(name, "LF+DL/CMTPM") < 0.85, name
+        assert v(name, "LF+DL/CMDRPM") < v(name, "orig/CMDRPM"), name
+        lfdl_cmtpm.append(v(name, "LF+DL/CMTPM"))
+
+    # TL+DL beneficiaries.
+    for name in ("wupwise", "applu", "mesa"):
+        assert v(name, "TL+DL/CMDRPM") < v(name, "orig/CMDRPM") - 0.01, name
+
+    # galgel: the negative control.
+    for col in ("LF/CMDRPM", "TL/CMDRPM", "LF+DL/CMDRPM", "TL+DL/CMDRPM"):
+        assert v("galgel", col) == v("galgel", "orig/CMDRPM")
+
+    # Transformed-CMTPM average lands near the paper's 31 % savings.
+    avg = sum(lfdl_cmtpm) / len(lfdl_cmtpm)
+    assert 0.50 < avg < 0.80  # paper: 0.69
+
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 3 (normalized energy, 7 schemes x 6 benchmarks).
+
+Shape targets from paper §5.1: TPM family flat at 1.0; reactive DRPM ~26 %
+savings; IDRPM ~51 %; CMDRPM ~46 %, close to the oracle.
+"""
+
+from conftest import save_report
+
+from repro.experiments import fig3
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def test_fig3_energy(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(lambda: fig3.run(ctx), rounds=1, iterations=1)
+    rows = list(WORKLOAD_NAMES)
+    for scheme in ("TPM", "ITPM", "CMTPM"):
+        assert abs(rep.column_mean(scheme, rows) - 1.0) < 0.01
+    drpm = rep.column_mean("DRPM", rows)
+    idrpm = rep.column_mean("IDRPM", rows)
+    cmdrpm = rep.column_mean("CMDRPM", rows)
+    assert 0.60 < drpm < 0.80          # paper: 0.74
+    assert 0.44 < idrpm < 0.62         # paper: 0.49
+    assert 0.48 < cmdrpm < 0.62        # paper: 0.54
+    assert idrpm <= cmdrpm + 0.02      # oracle is the lower bound
+    assert cmdrpm < drpm               # proactive beats reactive
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

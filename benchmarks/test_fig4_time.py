@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 4 (normalized execution time).
+
+Shape targets from paper §5.1: only reactive DRPM pays a penalty (~15.9 %
+average); every other scheme runs at Base speed.
+"""
+
+from conftest import save_report
+
+from repro.experiments import fig4
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def test_fig4_time(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(lambda: fig4.run(ctx), rounds=1, iterations=1)
+    rows = list(WORKLOAD_NAMES)
+    for scheme in ("TPM", "ITPM", "IDRPM", "CMTPM"):
+        assert abs(rep.column_mean(scheme, rows) - 1.0) < 0.005
+    drpm = rep.column_mean("DRPM", rows)
+    assert 1.08 < drpm < 1.25          # paper: 1.159
+    assert rep.column_mean("CMDRPM", rows) < 1.005  # "almost no penalty"
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 5 (swim energy vs stripe size).
+
+Paper §5.2: CMDRPM's savings are consistent across stripe sizes."""
+
+from conftest import save_report
+
+from repro.experiments import fig5_6
+
+
+def test_fig5_stripe_size_energy(benchmark, ctx, artifacts_dir):
+    energy, _ = benchmark.pedantic(
+        lambda: fig5_6.run(ctx), rounds=1, iterations=1
+    )
+    for row in energy.rows:
+        assert energy.value(row, "CMDRPM") < 0.80, row
+        assert abs(energy.value(row, "TPM") - 1.0) < 0.01
+        assert abs(energy.value(row, "CMTPM") - 1.0) < 0.01
+    # Consistency: spread of CMDRPM savings across sizes stays bounded.
+    vals = [energy.value(r, "CMDRPM") for r in energy.rows]
+    assert max(vals) - min(vals) < 0.25
+    save_report(artifacts_dir, energy)
+    print()
+    print(energy.render())

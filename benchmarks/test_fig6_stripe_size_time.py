@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (swim execution time vs stripe size).
+
+Paper §5.2: the compiler-based approach never slows the program down at
+any stripe size, while conventional DRPM's behaviour 'becomes really
+worse when we increase the stripe size'."""
+
+from conftest import save_report
+
+from repro.experiments import fig5_6
+from repro.util.units import KB
+
+
+def test_fig6_stripe_size_time(benchmark, ctx, artifacts_dir):
+    _, time = benchmark.pedantic(
+        lambda: fig5_6.run(ctx), rounds=1, iterations=1
+    )
+    for row in time.rows:
+        assert abs(time.value(row, "CMDRPM") - 1.0) < 0.01, row
+        assert abs(time.value(row, "IDRPM") - 1.0) < 0.005, row
+        assert time.value(row, "DRPM") > 1.05, row
+    # DRPM degrades from the default toward larger stripes.
+    assert time.value("256KB", "DRPM") > time.value("64KB", "DRPM")
+    assert time.value("128KB", "DRPM") > time.value("64KB", "DRPM")
+    save_report(artifacts_dir, time)
+    print()
+    print(time.render())

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 7 (swim energy vs stripe factor).
+
+Paper §5.2: 'the CMDRPM scheme generates more savings with the increased
+number of disks' and 'remains very close to the IDRPM'."""
+
+from conftest import save_report
+
+from repro.experiments import fig7_8
+
+
+def test_fig7_stripe_factor_energy(benchmark, ctx, artifacts_dir):
+    energy, _ = benchmark.pedantic(
+        lambda: fig7_8.run(ctx), rounds=1, iterations=1
+    )
+    rows = list(energy.rows)
+    cm = [energy.value(r, "CMDRPM") for r in rows]
+    # Monotone improvement with more disks (paper's headline trend).
+    assert cm[-1] < cm[0] - 0.1
+    for r in rows:
+        gap = energy.value(r, "CMDRPM") - energy.value(r, "IDRPM")
+        assert gap < 0.20, f"{r}: CMDRPM strays from the oracle"
+        assert abs(energy.value(r, "TPM") - 1.0) < 0.01
+    save_report(artifacts_dir, energy)
+    print()
+    print(energy.render())

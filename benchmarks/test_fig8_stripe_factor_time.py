@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 8 (swim execution time vs stripe factor).
+
+Paper §5.2: from the performance angle too, CMDRPM remains at Base speed
+for every disk count; only reactive DRPM pays."""
+
+from conftest import save_report
+
+from repro.experiments import fig7_8
+
+
+def test_fig8_stripe_factor_time(benchmark, ctx, artifacts_dir):
+    _, time = benchmark.pedantic(
+        lambda: fig7_8.run(ctx), rounds=1, iterations=1
+    )
+    for r in time.rows:
+        assert abs(time.value(r, "CMDRPM") - 1.0) < 0.01, r
+        assert abs(time.value(r, "IDRPM") - 1.0) < 0.005, r
+        assert time.value(r, "DRPM") > 1.03, r
+    save_report(artifacts_dir, time)
+    print()
+    print(time.render())

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 1 (default simulation parameters)."""
+
+from conftest import save_report
+
+from repro.experiments import table1
+
+
+def test_table1_params(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(
+        lambda: table1.run(ctx.params), rounds=1, iterations=1
+    )
+    # Table 1 values straight from the paper.
+    assert rep.value("RPM", "value") == 15000.0
+    assert rep.value("Average seek time (ms)", "value") == 3.4
+    assert rep.value("Internal transfer rate (MB/s)", "value") == 55.0
+    assert rep.value("Power active (W)", "value") == 13.5
+    assert rep.value("Energy spin up (J)", "value") == 135.0
+    assert rep.value("Minimum RPM level", "value") == 3000.0
+    assert rep.value("Stripe unit (KB)", "value") == 64.0
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

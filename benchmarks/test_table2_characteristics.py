@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 2 (benchmark characteristics, measured vs paper)."""
+
+from conftest import save_report
+
+from repro.experiments import table2
+from repro.workloads.registry import WORKLOAD_NAMES
+
+
+def test_table2_characteristics(benchmark, ctx, artifacts_dir):
+    rep = benchmark.pedantic(lambda: table2.run(ctx), rounds=1, iterations=1)
+    for name in WORKLOAD_NAMES:
+        measured_mb = rep.value(name, "MB")
+        paper_mb = rep.value(name, "MB(p)")
+        assert abs(measured_mb - paper_mb) / paper_mb < 0.03
+        reqs, reqs_p = rep.value(name, "reqs"), rep.value(name, "reqs(p)")
+        assert abs(reqs - reqs_p) / reqs_p < 0.13
+        t, t_p = rep.value(name, "time_ms"), rep.value(name, "time(p)")
+        assert abs(t - t_p) / t_p < 0.12
+        e, e_p = rep.value(name, "baseE_J"), rep.value(name, "baseE(p)")
+        assert abs(e - e_p) / e_p < 0.12
+    save_report(artifacts_dir, rep)
+    print()
+    print(rep.render())

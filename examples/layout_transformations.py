@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Scenario: layout-aware loop fission and tiling (paper §6).
+
+Recreates the paper's Figure 9 and Figure 10 examples:
+
+* a nest whose statements touch disjoint array groups is distributed
+  (fission) and the groups are allocated disjoint disks — the DAP shows
+  whole disks going idle for entire loops;
+* a nest mixing a row-conforming and a column-(non-conforming) access is
+  tiled, the offending array layout-transformed, and stripe sizes set to
+  the tile bands — activity collapses to one disk per tile step.
+
+For each version we run CMTPM and CMDRPM and show how the transformations
+turn TPM from useless into profitable (the paper's Figure 13 story).
+
+Run:  python examples/layout_transformations.py
+"""
+
+from repro.analysis import EstimationModel, build_dap
+from repro.disksim import SubsystemParams
+from repro.experiments import run_schemes
+from repro.ir import ProgramBuilder, format_program
+from repro.layout import default_layout
+from repro.trace import TraceOptions
+from repro.transform import array_groups, make_version
+from repro.workloads import compute_phase, io_sweep
+
+params = SubsystemParams(num_disks=8)
+options = TraceOptions()
+estimation = EstimationModel(relative_error=0.05)
+
+# ----------------------------------------------------------------------- #
+# A Figure 9-style program: one nest, two disjoint array groups, plus
+# long in-memory phases that give the power schemes room to act.
+# ----------------------------------------------------------------------- #
+b = ProgramBuilder("fig9demo")
+U1 = b.array("U1", (2048, 1024))  # 16 MB
+U2 = b.array("U2", (2048, 1024))
+U3 = b.array("U3", (2048, 1024))
+U4 = b.array("U4", (2048, 1024))
+W = b.array("W", (4, 256), memory_resident=True)
+
+io_sweep(
+    b, "main",
+    [[(U1, False), (U2, True)], [(U3, False), (U4, True)]],  # two groups
+    2048, 1024, cyc_per_row=2.0e6,
+)
+compute_phase(b, "solve", W, duration_s=20.0)
+io_sweep(b, "writeback", [[(U2, False)]], 2048, 1024, cyc_per_row=0.4e6)
+
+program = b.build()
+layout = default_layout(program.arrays, num_disks=8)
+
+groups = array_groups(program)
+print("array groups (Fig. 11 union-find):")
+for g in groups:
+    print(f"  {sorted(g.arrays)}  ({g.total_bytes / 2**20:.0f} MB)")
+
+# ----------------------------------------------------------------------- #
+# Versions: original, LF (fission only), LF+DL (fission + disjoint disks).
+# ----------------------------------------------------------------------- #
+results = {}
+for version in ("orig", "LF", "LF+DL"):
+    tv = make_version(version, program, layout)
+    suite = run_schemes(
+        tv.program, tv.layout, params, options, estimation,
+        schemes=("Base", "CMTPM", "CMDRPM"),
+    )
+    results[version] = suite
+    print(f"\n=== {version} ({tv.detail or 'unchanged'}) ===")
+    if version != "orig":
+        print("  nests:", len(tv.program.nests), " layout:", tv.layout)
+    for s in ("CMTPM", "CMDRPM"):
+        print(
+            f"  {s}: energy {suite.normalized_energy(s):.3f}  "
+            f"time {suite.normalized_time(s):.3f}  "
+            f"(spin downs {suite.results[s].total_spin_downs}, "
+            f"rpm shifts {suite.results[s].total_rpm_shifts})"
+        )
+
+print(
+    "\nWith LF+DL, group {U3, U4} lives on its own disks, idle through the"
+    "\nwhole U1/U2 loop and the 20 s solve — long enough that even TPM's"
+    "\n10.9 s spin-up amortizes: CMTPM finally saves energy, exactly the"
+    "\npaper's §6.2 observation."
+)
+
+# ----------------------------------------------------------------------- #
+# Show the DAP compaction the paper prints (per-disk idle/active entries).
+# ----------------------------------------------------------------------- #
+tv = make_version("LF+DL", program, layout)
+dap = build_dap(tv.program, tv.layout, cached_threshold_bytes=options.buffer_cache_bytes // 2)
+print("\nLF+DL disk access pattern (paper §3 format), disks 0 and 7:")
+for disk in (0, 7):
+    entries = dap.entries(disk)
+    for e in entries[:4]:
+        print(f"  disk{disk}: {e}")
+    if not entries:
+        print(f"  disk{disk}: idle for the whole execution")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scenario: a shallow-water stencil solver under all eight schemes.
+
+This is the workload class the paper's introduction motivates: a scientific
+code iterating over disk-resident grids with alternating I/O-heavy sweeps
+and in-memory relaxations.  We run the full scheme matrix the paper
+evaluates (Base / TPM / ITPM / DRPM / IDRPM / CMTPM / CMDRPM) and print a
+Figure 3/4-style table — on the real ``swim`` model from the benchmark
+suite, then on a custom solver you can tweak.
+
+Run:  python examples/stencil_solver.py
+"""
+
+from repro.analysis import EstimationModel
+from repro.disksim import SubsystemParams
+from repro.experiments import SCHEME_NAMES, run_schemes, run_workload
+from repro.ir import ProgramBuilder
+from repro.layout import default_layout
+from repro.trace import TraceOptions
+from repro.workloads import build_workload, compute_phase, io_sweep
+
+
+def print_matrix(title: str, suite) -> None:
+    print(f"\n{title}")
+    print(f"{'scheme':>8} {'energy':>8} {'time':>8} {'rpm shifts':>11} {'spin d/u':>9}")
+    for s in SCHEME_NAMES:
+        r = suite.results[s]
+        print(
+            f"{s:>8} {suite.normalized_energy(s):8.3f} "
+            f"{suite.normalized_time(s):8.3f} {r.total_rpm_shifts:11d} "
+            f"{r.total_spin_downs:4d}/{r.total_spin_ups}"
+        )
+
+
+# ----------------------------------------------------------------------- #
+# 1. The paper's swim model, Table 1 configuration.
+# ----------------------------------------------------------------------- #
+swim = build_workload("swim")
+suite = run_workload(swim)
+print_matrix(
+    f"171.swim ({swim.data_size_mb:.0f} MB over 8 disks, "
+    f"{suite.base.num_requests} requests, "
+    f"{suite.base.execution_time_s:.1f} s base)",
+    suite,
+)
+
+# ----------------------------------------------------------------------- #
+# 2. A custom red/black Gauss-Seidel-style solver: two grids, four sweeps.
+# ----------------------------------------------------------------------- #
+b = ProgramBuilder("redblack")
+RED = b.array("RED", (512, 2048))    # 8 MB each, 16 KB rows
+BLK = b.array("BLACK", (512, 2048))
+RES = b.array("RES", (4, 512), memory_resident=True)
+
+for it in range(2):
+    io_sweep(b, f"red{it}", [[(RED, False), (RED, True)]], 512, 2048,
+             cyc_per_row=0.4e6)
+    compute_phase(b, f"norm_r{it}", RES, duration_s=5.0)
+    io_sweep(b, f"blk{it}", [[(BLK, False), (BLK, True)]], 512, 2048,
+             cyc_per_row=0.4e6)
+    compute_phase(b, f"norm_b{it}", RES, duration_s=5.0)
+
+program = b.build()
+params = SubsystemParams(num_disks=8)
+suite2 = run_schemes(
+    program,
+    default_layout(program.arrays, num_disks=8),
+    params,
+    TraceOptions(max_request_bytes=16 * 1024, cache_line_bytes=16 * 1024),
+    EstimationModel(relative_error=0.08),
+)
+print_matrix("custom red/black solver (16 MB over 8 disks)", suite2)
+
+print(
+    "\nReading the tables: the TPM rows sit at 1.000 (idle periods are far"
+    "\nbelow the ~15 s spin-down break-even); reactive DRPM saves energy but"
+    "\npays a slowdown; CMDRPM matches the oracle IDRPM's savings with the"
+    "\nBase run's execution time — the paper's Figure 3/4 in miniature."
+)

@@ -1,0 +1,91 @@
+"""repro — compiler-directed proactive disk power management.
+
+A complete, from-scratch Python reproduction of
+
+    S. W. Son, M. Kandemir, A. Choudhary,
+    "Software-Directed Disk Power Management for Scientific Applications",
+    IPPS 2005.
+
+The package layers (bottom-up):
+
+* :mod:`repro.ir` — loop-nest IR for array-based scientific programs;
+* :mod:`repro.analysis` — access patterns, cycle estimation, disk access
+  patterns (DAPs), idle-gap extraction;
+* :mod:`repro.layout` — PVFS-style ``(starting disk, stripe factor,
+  stripe size)`` striping;
+* :mod:`repro.trace` — trace generation in the paper's four-field format;
+* :mod:`repro.disksim` — the DiskSim-like multi-disk power simulator
+  (IBM Ultrastar 36Z15 parameters, TPM + DRPM power states);
+* :mod:`repro.controllers` — Base / reactive TPM / reactive DRPM / oracle
+  (ITPM, IDRPM) / compiler-directed controllers;
+* :mod:`repro.power` — break-even analysis, per-gap planning, Eq. (1)
+  pre-activation, and the power-call insertion pass;
+* :mod:`repro.transform` — layout-aware loop fission and tiling
+  (LF / TL / LF+DL / TL+DL);
+* :mod:`repro.workloads` — the six Specfp2000 benchmark models (Table 2);
+* :mod:`repro.experiments` — one module per paper table/figure, plus the
+  ``repro-experiments`` CLI.
+
+Quick start::
+
+    from repro.workloads import build_workload
+    from repro.experiments import run_workload
+
+    suite = run_workload(build_workload("swim"))
+    print(suite.energy_row())   # {'Base': 1.0, 'TPM': 1.0, ..., 'CMDRPM': 0.62}
+"""
+
+from .analysis import EstimationModel, build_dap, compute_timing, measured_timing
+from .disksim import (
+    Controller,
+    DiskParams,
+    DRPMParams,
+    PowerModel,
+    SimulationResult,
+    SubsystemParams,
+    simulate,
+)
+from .experiments import SCHEME_NAMES, ExperimentContext, run_schemes, run_workload
+from .ir import Program, ProgramBuilder, format_program, validate_program
+from .layout import Striping, SubsystemLayout, default_layout
+from .power import plan_power_calls
+from .trace import Trace, TraceOptions, generate_trace
+from .transform import make_version
+from .workloads import WORKLOAD_NAMES, Workload, all_workloads, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationModel",
+    "build_dap",
+    "compute_timing",
+    "measured_timing",
+    "Controller",
+    "DiskParams",
+    "DRPMParams",
+    "PowerModel",
+    "SimulationResult",
+    "SubsystemParams",
+    "simulate",
+    "SCHEME_NAMES",
+    "ExperimentContext",
+    "run_schemes",
+    "run_workload",
+    "Program",
+    "ProgramBuilder",
+    "format_program",
+    "validate_program",
+    "Striping",
+    "SubsystemLayout",
+    "default_layout",
+    "plan_power_calls",
+    "Trace",
+    "TraceOptions",
+    "generate_trace",
+    "make_version",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "all_workloads",
+    "build_workload",
+    "__version__",
+]

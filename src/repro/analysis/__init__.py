@@ -1,0 +1,42 @@
+"""Compiler analyses: access patterns, regions, cycle estimation, DAPs."""
+
+from .access import NestAccess, RefFootprint, analyze_nest, analyze_program
+from .cycles import (
+    EstimationModel,
+    NestTiming,
+    ProgramTiming,
+    compute_timing,
+    loop_body_cycles,
+    measured_timing,
+    scale_timing,
+)
+from .dap import ActiveInterval, DAPEntry, DiskAccessPattern, build_dap
+from .gapstats import GapStatistics, exploitable_fractions, gap_statistics
+from .idle import IdleGap, idle_gaps_from_intervals, total_idle_time
+from .regions import FlatExtents, Region
+
+__all__ = [
+    "NestAccess",
+    "RefFootprint",
+    "analyze_nest",
+    "analyze_program",
+    "EstimationModel",
+    "NestTiming",
+    "ProgramTiming",
+    "compute_timing",
+    "loop_body_cycles",
+    "measured_timing",
+    "scale_timing",
+    "ActiveInterval",
+    "DAPEntry",
+    "DiskAccessPattern",
+    "build_dap",
+    "GapStatistics",
+    "exploitable_fractions",
+    "gap_statistics",
+    "IdleGap",
+    "idle_gaps_from_intervals",
+    "total_idle_time",
+    "FlatExtents",
+    "Region",
+]

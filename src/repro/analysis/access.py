@@ -1,0 +1,234 @@
+"""Data-access-pattern extraction (paper §3, first compiler component).
+
+For each loop nest, the compiler summarizes every array reference as a
+:class:`RefFootprint`: the rectangular region the reference touches during
+*one* iteration of the nest's outermost loop, plus how that region
+translates as the outer loop advances.  Because subscripts are affine and
+inner bounds are static, the footprint at outer value ``v`` is exactly the
+base footprint translated by ``coeff * v`` per dimension — which lets the
+disk-activity computation run vectorized over all outer iterations at once.
+
+The product of this module, :class:`NestAccess`, answers the question the
+paper's compiler needs answered: *which disks does iteration v of nest n
+touch?* (:meth:`NestAccess.active_disk_matrix`).
+
+Exactness: a footprint is a rectangular region, which is *exact* when no
+two subscript dimensions share an inner loop variable (true of every
+reference in the paper's benchmarks — each dimension is indexed by its own
+loop variable).  A reference like ``A[i+j][j]`` correlates its dimensions;
+its footprint is the bounding box, an over-approximation.  That is always
+*safe* for the compiler (more apparent activity means more conservative
+power-downs), and :meth:`RefFootprint.is_exact` lets callers detect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.nodes import ArrayRef, Loop, Statement
+from ..ir.program import Program
+from ..layout.files import SubsystemLayout
+from ..util.errors import AnalysisError
+from .regions import FlatExtents, Region
+
+__all__ = ["RefFootprint", "NestAccess", "analyze_nest", "analyze_program"]
+
+
+@dataclass(frozen=True)
+class RefFootprint:
+    """One reference's per-outer-iteration footprint.
+
+    ``base`` is the region touched at outer value 0 (which may be virtual —
+    it is just the affine anchor); ``outer_coeffs[d]`` is the coefficient of
+    the outermost loop variable in subscript ``d``, so the region at outer
+    value ``v`` is ``base`` translated by ``outer_coeffs * v``.
+    """
+
+    ref: ArrayRef
+    base: Region
+    outer_coeffs: tuple[int, ...]
+    #: How many times the statement owning this ref executes per outer
+    #: iteration (product of enclosing inner-loop trip counts).
+    executions_per_outer_iter: int
+
+    def region_at(self, outer_value: int) -> Region:
+        """Region touched at a given outer-loop value."""
+        return self.base.translate(
+            tuple(c * outer_value for c in self.outer_coeffs)
+        )
+
+    def region_over(self, v_first: int, v_last: int) -> Region:
+        """Region touched over outer values ``v_first .. v_last`` inclusive."""
+        if v_first > v_last:
+            raise AnalysisError(f"empty outer range [{v_first}, {v_last}]")
+        lo_shift = tuple(min(c * v_first, c * v_last) for c in self.outer_coeffs)
+        hi_shift = tuple(max(c * v_first, c * v_last) for c in self.outer_coeffs)
+        return Region(
+            tuple(
+                (lo + dlo, hi + dhi)
+                for (lo, hi), dlo, dhi in zip(
+                    self.base.intervals, lo_shift, hi_shift
+                )
+            )
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the rectangular footprint is exact: no inner loop
+        variable appears in more than one subscript dimension (the outer
+        variable is factored out by the affine translation)."""
+        seen: set[str] = set()
+        for sub in self.ref.subscripts:
+            inner_vars = sub.variables
+            if inner_vars & seen:
+                return False
+            seen |= inner_vars
+        return True
+
+    def flat_shift_per_outer_iter(self) -> int:
+        """Uniform flat-element shift of the footprint per unit of the outer
+        variable: ``sum_d coeff_d * stride_d``.  Valid because translation
+        preserves run structure."""
+        strides = self.ref.array.strides_elements()
+        return sum(c * s for c, s in zip(self.outer_coeffs, strides))
+
+
+def _collect_footprints(
+    loop: Loop,
+    outer_var: str,
+    bounds: dict[str, tuple[int, int]],
+    execs: int,
+    out: list[RefFootprint],
+) -> None:
+    """Depth-first walk accumulating per-reference footprints."""
+    for node in loop.body:
+        if isinstance(node, Loop):
+            if node.trip_count == 0:
+                continue
+            inner = dict(bounds)
+            inner[node.var] = node.bounds_inclusive
+            _collect_footprints(node, outer_var, inner, execs * node.trip_count, out)
+        elif isinstance(node, Statement):
+            for ref in node.refs:
+                coeffs: list[int] = []
+                incl: list[tuple[int, int]] = []
+                for sub in ref.subscripts:
+                    c = sub.coefficient(outer_var)
+                    coeffs.append(c)
+                    # Range with the outer variable pinned to 0.
+                    reduced = sub.substitute(outer_var, 0)
+                    unbound = reduced.variables - set(bounds)
+                    if unbound:
+                        raise AnalysisError(
+                            f"reference {ref} uses unbound variables {sorted(unbound)}"
+                        )
+                    incl.append(reduced.value_range(bounds))
+                out.append(
+                    RefFootprint(
+                        ref=ref,
+                        base=Region.from_inclusive(tuple(incl)),
+                        outer_coeffs=tuple(coeffs),
+                        executions_per_outer_iter=execs,
+                    )
+                )
+        # PowerCall nodes access no data.
+
+
+@dataclass(frozen=True)
+class NestAccess:
+    """Access summary of one loop nest."""
+
+    nest_index: int
+    nest: Loop
+    footprints: tuple[RefFootprint, ...]
+
+    @property
+    def outer_values(self) -> range:
+        return self.nest.iter_values()
+
+    @property
+    def arrays(self) -> frozenset[str]:
+        return frozenset(fp.ref.array.name for fp in self.footprints)
+
+    # ------------------------------------------------------------------ #
+    def total_region(self, array_name: str) -> Region | None:
+        """Bounding region of all accesses to one array over the whole nest."""
+        if self.nest.trip_count == 0:
+            return None
+        v0, v1 = self.nest.bounds_inclusive
+        region: Region | None = None
+        for fp in self.footprints:
+            if fp.ref.array.name != array_name:
+                continue
+            r = fp.region_over(v0, v1)
+            region = r if region is None else region.bounding_union(r)
+        return region
+
+    # ------------------------------------------------------------------ #
+    def active_disk_matrix(self, layout: SubsystemLayout) -> np.ndarray:
+        """Boolean matrix ``M[t, d]``: does outer iteration ``t`` (the
+        ``t``-th value of the outer loop) touch disk ``d``?
+
+        This is the compiler's disk-access-pattern kernel.  For each
+        footprint the base flat extents are computed once; per-iteration
+        extents are a uniform shift, so stripe/disk membership is evaluated
+        with a single vectorized pass over (iterations x runs).
+        """
+        trips = self.nest.trip_count
+        mat = np.zeros((trips, layout.num_disks), dtype=bool)
+        if trips == 0:
+            return mat
+        values = np.asarray(list(self.outer_values), dtype=np.int64)
+        for fp in self.footprints:
+            arr = fp.ref.array
+            if arr.memory_resident:
+                continue
+            entry = layout.entry(arr.name)
+            striping = entry.striping
+            factor = striping.stripe_factor
+            ss = striping.stripe_size
+            base: FlatExtents = fp.base.flat_extents(arr)
+            if base.num_runs == 0:
+                continue
+            esize = arr.element_size
+            shift = fp.flat_shift_per_outer_iter() * esize
+            starts0 = base.starts * esize
+            lengths = base.lengths * esize
+            # (iterations x runs) byte starts; chunk if very large.
+            chunk = max(1, int(4_000_000 // max(1, base.num_runs)))
+            for c0 in range(0, trips, chunk):
+                c1 = min(trips, c0 + chunk)
+                vs = values[c0:c1, None]
+                bs = starts0[None, :] + shift * vs
+                be = bs + lengths[None, :] - 1
+                first = bs // ss
+                last = be // ss
+                span = last - first  # stripes spanned minus one
+                full = span >= factor - 1
+                any_full = full.any(axis=1)
+                phase0 = first % factor
+                for d_idx, disk in enumerate(striping.disks):
+                    phase = disk - striping.starting_disk
+                    hit = ((phase - phase0) % factor) <= span
+                    col = hit.any(axis=1) | any_full
+                    mat[c0:c1, disk] |= col
+        return mat
+
+
+def analyze_nest(nest: Loop, nest_index: int = 0) -> NestAccess:
+    """Extract the access summary of one top-level nest."""
+    if nest.trip_count == 0:
+        return NestAccess(nest_index=nest_index, nest=nest, footprints=())
+    footprints: list[RefFootprint] = []
+    bounds = {nest.var: nest.bounds_inclusive}
+    _collect_footprints(nest, nest.var, bounds, execs=1, out=footprints)
+    return NestAccess(
+        nest_index=nest_index, nest=nest, footprints=tuple(footprints)
+    )
+
+
+def analyze_program(program: Program) -> list[NestAccess]:
+    """Access summaries for every nest, in program order."""
+    return [analyze_nest(nest, i) for i, nest in enumerate(program.nests)]

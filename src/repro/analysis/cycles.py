@@ -1,0 +1,230 @@
+"""Cycle estimation: converting loop iterations to time.
+
+The paper obtains per-iteration cycle counts by timing real executions with
+``gethrtime`` on a 750 MHz UltraSPARC-III and dividing by the clock rate
+(§3).  Our stand-in (DESIGN.md §3, substitution 3) has two layers:
+
+* **Actual timing** — every statement carries a ``cost_cycles`` and the
+  nest's per-outer-iteration compute cost is the exact sum over its body.
+  The trace generator uses this, so it plays the role of the real machine.
+* **Compiler estimates** — the compiler's view of those same costs, distorted
+  by a bounded, deterministic (seeded) multiplicative error per nest.  This
+  reproduces the paper's imperfect measurement-based estimation, which is
+  what separates CMDRPM from the oracle IDRPM (paper Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.nodes import Loop, PowerCall, Statement
+from ..ir.program import Program
+from ..util.errors import AnalysisError
+from ..util.rng import DEFAULT_SEED, derive_rng
+
+__all__ = [
+    "loop_body_cycles",
+    "NestTiming",
+    "ProgramTiming",
+    "compute_timing",
+    "scale_timing",
+    "measured_timing",
+    "EstimationModel",
+]
+
+
+def loop_body_cycles(loop: Loop) -> float:
+    """CPU cycles consumed by **one** iteration of ``loop`` (compute only)."""
+    total = 0.0
+    for node in loop.body:
+        if isinstance(node, Statement):
+            total += node.cost_cycles
+        elif isinstance(node, PowerCall):
+            total += node.overhead_cycles
+        elif isinstance(node, Loop):
+            total += node.trip_count * loop_body_cycles(node)
+        else:  # pragma: no cover - defensive
+            raise AnalysisError(f"unknown node {type(node).__name__}")
+    return total
+
+
+@dataclass(frozen=True)
+class NestTiming:
+    """Compute timing of one nest at outer-iteration granularity."""
+
+    nest_index: int
+    trip_count: int
+    #: Compute cycles per outer iteration (uniform across iterations — inner
+    #: bounds are static).
+    cycles_per_iteration: float
+    #: Seconds per outer iteration at the program clock.
+    seconds_per_iteration: float
+    #: Nest start time (seconds) assuming back-to-back nest execution with
+    #: zero I/O stall — the compiler's idealized timeline.
+    start_s: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.trip_count * self.seconds_per_iteration
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.total_seconds
+
+    def iteration_start_s(self, t: int) -> float:
+        """Start time of the ``t``-th outer iteration (0-based ordinal)."""
+        if not 0 <= t <= self.trip_count:
+            raise AnalysisError(
+                f"iteration ordinal {t} out of range for nest {self.nest_index}"
+            )
+        return self.start_s + t * self.seconds_per_iteration
+
+
+@dataclass(frozen=True)
+class ProgramTiming:
+    """Per-nest compute timing for a whole program."""
+
+    nests: tuple[NestTiming, ...]
+    clock_hz: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.nests[-1].end_s if self.nests else 0.0
+
+    def nest(self, index: int) -> NestTiming:
+        return self.nests[index]
+
+
+def compute_timing(
+    program: Program, scale: np.ndarray | None = None
+) -> ProgramTiming:
+    """Derive the compute-only timeline of ``program``.
+
+    ``scale`` optionally multiplies each nest's per-iteration cycles (the
+    estimation-error hook); ``None`` means exact actual costs.
+    """
+    if scale is not None and len(scale) != len(program.nests):
+        raise AnalysisError(
+            f"scale has {len(scale)} entries for {len(program.nests)} nests"
+        )
+    out: list[NestTiming] = []
+    t = 0.0
+    for i, nest in enumerate(program.nests):
+        cycles = loop_body_cycles(nest)
+        if scale is not None:
+            cycles *= float(scale[i])
+        per_iter_s = cycles / program.clock_hz
+        nt = NestTiming(
+            nest_index=i,
+            trip_count=nest.trip_count,
+            cycles_per_iteration=cycles,
+            seconds_per_iteration=per_iter_s,
+            start_s=t,
+        )
+        out.append(nt)
+        t = nt.end_s
+    return ProgramTiming(nests=tuple(out), clock_hz=program.clock_hz)
+
+
+@dataclass(frozen=True)
+class EstimationModel:
+    """The compiler's (imperfect) timing knowledge.
+
+    Per-nest multiplicative errors are drawn once from a seeded stream keyed
+    by the program name, uniform in ``[1 - error, 1 + error]``.  ``error=0``
+    makes the compiler an oracle (useful in tests); the workload models pick
+    per-benchmark magnitudes that land Table 3's misprediction rates in the
+    paper's 5-27 % band.
+    """
+
+    relative_error: float = 0.10
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.relative_error < 1.0:
+            raise AnalysisError(
+                f"relative_error must be in [0, 1), got {self.relative_error}"
+            )
+
+    def scale_factors(self, program: Program) -> np.ndarray:
+        """Deterministic per-nest cycle-estimate multipliers."""
+        n = len(program.nests)
+        if self.relative_error == 0.0:
+            return np.ones(n)
+        rng = derive_rng(f"cycle-estimate:{program.name}", self.seed)
+        return 1.0 + rng.uniform(-self.relative_error, self.relative_error, size=n)
+
+    def estimated_timing(self, program: Program) -> ProgramTiming:
+        """The compiler's estimated timeline (actual costs x seeded error)."""
+        return compute_timing(program, self.scale_factors(program))
+
+
+def scale_timing(timing: ProgramTiming, scale: np.ndarray) -> ProgramTiming:
+    """Apply per-nest multiplicative factors to an existing timeline.
+
+    Used to distort a *measured* timeline into the compiler's estimated one
+    (the paper's measurement-based estimates are good but not perfect).
+    """
+    if len(scale) != len(timing.nests):
+        raise AnalysisError(
+            f"scale has {len(scale)} entries for {len(timing.nests)} nests"
+        )
+    out: list[NestTiming] = []
+    t = 0.0
+    for nt, f in zip(timing.nests, scale):
+        per_iter = nt.seconds_per_iteration * float(f)
+        scaled = NestTiming(
+            nest_index=nt.nest_index,
+            trip_count=nt.trip_count,
+            cycles_per_iteration=nt.cycles_per_iteration * float(f),
+            seconds_per_iteration=per_iter,
+            start_s=t,
+        )
+        out.append(scaled)
+        t = scaled.end_s
+    return ProgramTiming(nests=tuple(out), clock_hz=timing.clock_hz)
+
+
+def measured_timing(
+    program: Program,
+    request_nests: "np.ndarray | list[int]",
+    request_responses: "np.ndarray | list[float]",
+) -> ProgramTiming:
+    """Reconstruct the wall-clock timeline the paper *measures* on the real
+    machine: per-nest compute cost plus the I/O stall time the nest's
+    requests actually incurred.
+
+    ``request_nests``/``request_responses`` are parallel arrays giving, for
+    every request of a Base replay, its owning nest and its blocking
+    response time (``SimulationResult.request_responses`` aligned with the
+    trace's requests).  This is the paper's ``gethrtime`` instrumentation:
+    it observes full per-iteration wall time, I/O included.
+    """
+    nests = np.asarray(request_nests, dtype=np.int64)
+    resp = np.asarray(request_responses, dtype=float)
+    if nests.shape != resp.shape:
+        raise AnalysisError("request nest/response arrays must align")
+    io_per_nest = np.zeros(len(program.nests))
+    if nests.size:
+        if nests.min() < 0 or nests.max() >= len(program.nests):
+            raise AnalysisError("request nest index out of range")
+        np.add.at(io_per_nest, nests, resp)
+    out: list[NestTiming] = []
+    t = 0.0
+    for i, nest in enumerate(program.nests):
+        cycles = loop_body_cycles(nest)
+        trips = nest.trip_count
+        total_s = cycles * trips / program.clock_hz + float(io_per_nest[i])
+        per_iter = total_s / trips if trips else 0.0
+        nt = NestTiming(
+            nest_index=i,
+            trip_count=trips,
+            cycles_per_iteration=per_iter * program.clock_hz,
+            seconds_per_iteration=per_iter,
+            start_s=t,
+        )
+        out.append(nt)
+        t = nt.end_s
+    return ProgramTiming(nests=tuple(out), clock_hz=program.clock_hz)

@@ -1,0 +1,78 @@
+"""Idle-gap extraction.
+
+Both the oracle controllers (which know the *realized* per-disk busy
+intervals) and the compiler-directed schemes (which know the *estimated*
+ones from the DAP) reduce a disk's timeline to a list of :class:`IdleGap`
+objects; the power planner (:mod:`repro.power.planner`) then decides what to
+do inside each gap.  Keeping one shared representation is what makes
+"oracle vs compiler" differ **only** in the quality of the gaps — exactly
+the paper's framing of ITPM/IDRPM vs CMTPM/CMDRPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..util.errors import AnalysisError
+from .dap import ActiveInterval
+
+__all__ = ["IdleGap", "idle_gaps_from_intervals", "total_idle_time"]
+
+
+@dataclass(frozen=True)
+class IdleGap:
+    """A maximal period during which one disk receives no requests."""
+
+    disk: int
+    start_s: float
+    end_s: float
+    #: True when no further access follows (the trailing gap to the end of
+    #: execution) — the planner need not schedule a wake-up for these.
+    trailing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise AnalysisError(
+                f"idle gap ends before it starts: [{self.start_s}, {self.end_s}]"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def idle_gaps_from_intervals(
+    active: Sequence[ActiveInterval],
+    disk: int,
+    horizon_s: float,
+    min_gap_s: float = 0.0,
+) -> list[IdleGap]:
+    """Complement a disk's active intervals over ``[0, horizon_s]``.
+
+    ``active`` must be the (sorted, disjoint) active intervals of ``disk``.
+    Gaps shorter than ``min_gap_s`` are dropped — they are unusable by any
+    power scheme and would only add planner noise.
+    """
+    gaps: list[IdleGap] = []
+    cursor = 0.0
+    for iv in active:
+        if iv.disk != disk:
+            raise AnalysisError(
+                f"interval for disk {iv.disk} passed to gap extraction of disk {disk}"
+            )
+        if iv.start_s < cursor - 1e-12:
+            raise AnalysisError("active intervals must be sorted and disjoint")
+        if iv.start_s - cursor >= min_gap_s and iv.start_s > cursor:
+            gaps.append(IdleGap(disk=disk, start_s=cursor, end_s=iv.start_s))
+        cursor = max(cursor, iv.end_s)
+    if horizon_s - cursor >= min_gap_s and horizon_s > cursor:
+        gaps.append(
+            IdleGap(disk=disk, start_s=cursor, end_s=horizon_s, trailing=True)
+        )
+    return gaps
+
+
+def total_idle_time(gaps: Sequence[IdleGap]) -> float:
+    """Sum of gap durations."""
+    return sum(g.duration_s for g in gaps)

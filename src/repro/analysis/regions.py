@@ -1,0 +1,236 @@
+"""Rectangular integer region algebra.
+
+The data-access-pattern analysis summarizes the elements an affine reference
+touches over a (sub-)iteration domain as a *rectangular region*: a product
+of half-open per-dimension intervals.  This is exact for the benchmarks'
+references (unit/small-coefficient affine subscripts over rectangular loop
+domains) and is the representation the paper's compiler effectively works
+with when it intersects footprints with striped disk layouts.
+
+Regions convert to *flat extents* — maximal contiguous element runs in the
+array's storage order — which is the bridge from iteration space to file
+bytes and hence (via :mod:`repro.layout`) to disks.  Extent computation is
+vectorized: a region with many non-contiguous rows yields NumPy arrays of
+run starts/lengths, not Python lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir.arrays import Array, StorageOrder
+from ..util.errors import AnalysisError
+
+__all__ = ["Region", "FlatExtents"]
+
+
+@dataclass(frozen=True)
+class FlatExtents:
+    """Maximal contiguous element runs of a region, in storage order.
+
+    ``starts[k]`` is the flat element index where run ``k`` begins and
+    ``lengths[k]`` its element count.  Runs are disjoint and sorted.
+    """
+
+    starts: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def num_runs(self) -> int:
+        return int(self.starts.size)
+
+    @property
+    def total_elements(self) -> int:
+        return int(self.lengths.sum()) if self.lengths.size else 0
+
+    def byte_extents(self, element_size: int) -> "FlatExtents":
+        """Scale element runs to byte runs."""
+        return FlatExtents(self.starts * element_size, self.lengths * element_size)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A product of half-open integer intervals, one per array dimension.
+
+    An empty region is represented by any interval with ``hi <= lo``.
+    """
+
+    intervals: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "intervals",
+            tuple((int(lo), int(hi)) for lo, hi in self.intervals),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_inclusive(bounds: tuple[tuple[int, int], ...]) -> "Region":
+        """Build from inclusive (lo, hi) pairs (as range analysis produces)."""
+        return Region(tuple((lo, hi + 1) for lo, hi in bounds))
+
+    @staticmethod
+    def whole(array: Array) -> "Region":
+        """The region covering every element of ``array``."""
+        return Region(tuple((0, extent) for extent in array.shape))
+
+    @staticmethod
+    def empty(rank: int) -> "Region":
+        return Region(tuple((0, 0) for _ in range(rank)))
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(hi <= lo for lo, hi in self.intervals)
+
+    @property
+    def num_elements(self) -> int:
+        if self.is_empty:
+            return 0
+        n = 1
+        for lo, hi in self.intervals:
+            n *= hi - lo
+        return n
+
+    def contains_point(self, point: tuple[int, ...]) -> bool:
+        if len(point) != self.rank:
+            return False
+        return all(lo <= p < hi for p, (lo, hi) in zip(point, self.intervals))
+
+    def contains_region(self, other: "Region") -> bool:
+        if other.is_empty:
+            return True
+        if self.is_empty or other.rank != self.rank:
+            return False
+        return all(
+            slo <= olo and ohi <= shi
+            for (slo, shi), (olo, ohi) in zip(self.intervals, other.intervals)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Region") -> "Region":
+        if other.rank != self.rank:
+            raise AnalysisError(
+                f"rank mismatch in region intersection: {self.rank} vs {other.rank}"
+            )
+        return Region(
+            tuple(
+                (max(alo, blo), min(ahi, bhi))
+                for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals)
+            )
+        )
+
+    def overlaps(self, other: "Region") -> bool:
+        return not self.intersect(other).is_empty
+
+    def bounding_union(self, other: "Region") -> "Region":
+        """Smallest rectangle containing both regions (an over-approximation,
+        as the paper's per-nest footprints are)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        if other.rank != self.rank:
+            raise AnalysisError(
+                f"rank mismatch in region union: {self.rank} vs {other.rank}"
+            )
+        return Region(
+            tuple(
+                (min(alo, blo), max(ahi, bhi))
+                for (alo, ahi), (blo, bhi) in zip(self.intervals, other.intervals)
+            )
+        )
+
+    def translate(self, offsets: tuple[int, ...]) -> "Region":
+        """Shift the region by a per-dimension offset vector (how an affine
+        footprint moves as the outer loop advances)."""
+        if len(offsets) != self.rank:
+            raise AnalysisError("offset rank mismatch in region translation")
+        return Region(
+            tuple(
+                (lo + d, hi + d) for (lo, hi), d in zip(self.intervals, offsets)
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Flat extents
+    # ------------------------------------------------------------------ #
+    def flat_extents(self, array: Array) -> FlatExtents:
+        """Contiguous element runs of this region in ``array``'s file.
+
+        Dimensions are processed in storage order (fastest-varying last);
+        a fully-covered fastest suffix collapses into longer runs.  The
+        enumeration of the remaining prefix lattice is vectorized.
+        """
+        if self.rank != array.rank:
+            raise AnalysisError(
+                f"region rank {self.rank} does not match array "
+                f"{array.name!r} rank {array.rank}"
+            )
+        if self.is_empty:
+            return FlatExtents(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        for (lo, hi), extent in zip(self.intervals, array.shape):
+            if lo < 0 or hi > extent:
+                raise AnalysisError(
+                    f"region {self.intervals} exceeds array {array.name!r} "
+                    f"shape {array.shape}"
+                )
+
+        # Reorder so index 0 is slowest-varying, last is fastest-varying.
+        if array.order is StorageOrder.ROW_MAJOR:
+            shape = list(array.shape)
+            ivs = list(self.intervals)
+        else:
+            shape = list(reversed(array.shape))
+            ivs = list(reversed(self.intervals))
+
+        # Largest suffix of fully-covered fastest dimensions.
+        k = len(shape)
+        t = k  # dims [t, k) are fully covered
+        while t > 0 and ivs[t - 1] == (0, shape[t - 1]):
+            t -= 1
+        # Runs extend over dims [t-1, k): the run dimension is t-1 (or the
+        # whole array when t == 0).
+        suffix_elems = 1
+        for d in range(t, k):
+            suffix_elems *= shape[d]
+        if t == 0:
+            return FlatExtents(
+                np.array([0], dtype=np.int64),
+                np.array([suffix_elems], dtype=np.int64),
+            )
+        run_lo, run_hi = ivs[t - 1]
+        run_len = (run_hi - run_lo) * suffix_elems
+
+        # Strides in the canonical (slowest-first) order.
+        strides = np.empty(k, dtype=np.int64)
+        acc = 1
+        for d in range(k - 1, -1, -1):
+            strides[d] = acc
+            acc *= shape[d]
+
+        # Enumerate the prefix lattice dims [0, t-1) with broadcasting.
+        starts = np.array([run_lo * strides[t - 1]], dtype=np.int64)
+        for d in range(t - 1):
+            lo, hi = ivs[d]
+            idx = np.arange(lo, hi, dtype=np.int64) * strides[d]
+            starts = (starts[:, None] + idx[None, :]).ravel()
+        starts.sort()
+        lengths = np.full(starts.shape, run_len, dtype=np.int64)
+        return FlatExtents(starts, lengths)
+
+    def __str__(self) -> str:
+        return "x".join(f"[{lo},{hi})" for lo, hi in self.intervals)

@@ -1,0 +1,406 @@
+"""Single-disk state machine with exact energy accounting.
+
+A :class:`Disk` advances through a piecewise-constant-power timeline:
+
+* **idle** — spinning at the current RPM level, no request in service;
+* **active** — servicing a request (seek + rotational latency + transfer);
+* **standby** — spun down (TPM);
+* **spin_down / spin_up** — TPM transitions, modeled as constant-power
+  segments of the datasheet's lump energy over the datasheet's time
+  (13 J / 1.5 s and 135 J / 10.9 s), so the invariant
+  ``energy == sum(power * duration)`` holds exactly;
+* **rpm_shift** — DRPM level modulation at the faster level's idle power.
+
+All interactions (``serve``, ``set_rpm``, ``spin_down``, ``spin_up``) carry
+a timestamp; per-disk timestamps must be non-decreasing, which the
+synchronous application model guarantees.  Reactive TPM's
+idleness-threshold behaviour is built into the time-advance loop (the disk
+autonomously spins down ``threshold`` seconds into any idle period), since
+between sparse events the simulator never "sees" the moment the threshold
+fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import SimulationError
+from .powermodel import PowerModel
+
+__all__ = ["Disk", "DiskStats", "STATE_NAMES"]
+
+STATE_NAMES: tuple[str, ...] = (
+    "idle",
+    "active",
+    "standby",
+    "spin_down",
+    "spin_up",
+    "rpm_shift",
+)
+
+
+@dataclass
+class DiskStats:
+    """Per-disk accounting: residency and energy per state, plus counters."""
+
+    time_s: dict[str, float] = field(
+        default_factory=lambda: {s: 0.0 for s in STATE_NAMES}
+    )
+    energy_j: dict[str, float] = field(
+        default_factory=lambda: {s: 0.0 for s in STATE_NAMES}
+    )
+    num_requests: int = 0
+    bytes_served: int = 0
+    num_spin_downs: int = 0
+    num_spin_ups: int = 0
+    num_rpm_shifts: int = 0
+    #: Idle seconds spent at each RPM level (diagnostics for the planner).
+    idle_time_by_rpm: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(self.energy_j.values())
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.time_s.values())
+
+    def add(self, state: str, duration: float, power_w: float, rpm: int | None = None) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative accounting duration {duration}")
+        self.time_s[state] += duration
+        self.energy_j[state] += duration * power_w
+        if state == "idle" and rpm is not None:
+            self.idle_time_by_rpm[rpm] = self.idle_time_by_rpm.get(rpm, 0.0) + duration
+
+
+class Disk:
+    """One simulated disk (TPM- and DRPM-capable)."""
+
+    __slots__ = (
+        "disk_id",
+        "pm",
+        "auto_spindown_threshold_s",
+        "rpm",
+        "standby",
+        "cursor_s",
+        "ready_s",
+        "idle_anchor_s",
+        "_auto_armed",
+        "_transition_end_s",
+        "_transition_power_w",
+        "_transition_state",
+        "_transition_target_rpm",
+        "_transition_to_standby",
+        "stats",
+        "last_request_end_s",
+        "_pending_action",
+        "_standby_since_s",
+        "last_standby_s",
+        "recorder",
+    )
+
+    def __init__(
+        self,
+        disk_id: int,
+        power_model: PowerModel,
+        auto_spindown_threshold_s: float | None = None,
+        initial_rpm: int | None = None,
+        recorder=None,
+    ):
+        self.disk_id = disk_id
+        self.pm = power_model
+        self.auto_spindown_threshold_s = auto_spindown_threshold_s
+        self.rpm = power_model.disk.rpm if initial_rpm is None else initial_rpm
+        if self.rpm not in power_model.levels:
+            raise SimulationError(f"initial rpm {self.rpm} is not a supported level")
+        self.standby = False
+        self.cursor_s = 0.0
+        self.ready_s = 0.0
+        self.idle_anchor_s = 0.0
+        self._auto_armed = True
+        self._transition_end_s: float | None = None
+        self._transition_power_w = 0.0
+        self._transition_state = ""
+        self._transition_target_rpm: int | None = None
+        self._transition_to_standby = False
+        self.stats = DiskStats()
+        self.last_request_end_s = 0.0
+        #: A power call that arrived while a transition was in flight; it
+        #: takes effect the moment the transition completes (latest wins).
+        self._pending_action: tuple[str, int | None] | None = None
+        self._standby_since_s: float | None = None
+        #: Duration of the most recent completed standby period (what the
+        #: adaptive-threshold TPM policy learns from).
+        self.last_standby_s: float = 0.0
+        #: Optional :class:`~repro.disksim.timeline.TimelineRecorder`.
+        self.recorder = recorder
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, state: str, t0: float, t1: float, power_w: float, rpm: int) -> None:
+        if self.recorder is not None and t1 > t0:
+            self.recorder.record(self.disk_id, state, t0, t1, power_w, rpm)
+
+    # ------------------------------------------------------------------ #
+    # Internal transition plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def in_transition(self) -> bool:
+        return self._transition_end_s is not None
+
+    def _begin_transition(
+        self,
+        start_s: float,
+        duration_s: float,
+        power_w: float,
+        state: str,
+        target_rpm: int | None = None,
+        to_standby: bool = False,
+    ) -> None:
+        if self.in_transition:
+            raise SimulationError(
+                f"disk {self.disk_id}: transition started while one is in flight"
+            )
+        if start_s < self.cursor_s - 1e-9:
+            raise SimulationError(
+                f"disk {self.disk_id}: transition start {start_s} precedes cursor "
+                f"{self.cursor_s}"
+            )
+        self._settle_idle(start_s)
+        self._transition_end_s = start_s + duration_s
+        self._transition_power_w = power_w
+        self._transition_state = state
+        self._transition_target_rpm = target_rpm
+        self._transition_to_standby = to_standby
+        self.ready_s = max(self.ready_s, self._transition_end_s)
+
+    def _complete_transition(self) -> None:
+        assert self._transition_end_s is not None
+        end = self._transition_end_s
+        self.stats.add(
+            self._transition_state,
+            max(0.0, end - self.cursor_s),
+            self._transition_power_w,
+        )
+        self._emit(
+            self._transition_state,
+            self.cursor_s,
+            end,
+            self._transition_power_w,
+            self._transition_target_rpm or self.rpm,
+        )
+        self.cursor_s = max(self.cursor_s, end)
+        if self._transition_target_rpm is not None:
+            self.rpm = self._transition_target_rpm
+        if self._transition_to_standby and not self.standby:
+            self._standby_since_s = end
+        self.standby = self._transition_to_standby
+        self._transition_end_s = None
+        self._transition_target_rpm = None
+        self._transition_to_standby = False
+        self.idle_anchor_s = end
+        self._auto_armed = True
+        if self._pending_action is not None:
+            action, rpm = self._pending_action
+            self._pending_action = None
+            if action == "spin_down" and not self.standby:
+                self._start_spin_down(self.cursor_s)
+            elif action == "spin_up" and self.standby:
+                self._start_spin_up(self.cursor_s)
+            elif action == "rpm" and not self.standby:
+                assert rpm is not None
+                if rpm != self.rpm:
+                    self._start_rpm_shift(self.cursor_s, rpm)
+
+    def _settle_idle(self, t: float) -> None:
+        """Accrue the base (idle/standby) state from the cursor to ``t``,
+        assuming no transition is in flight and none should auto-fire."""
+        if t < self.cursor_s - 1e-9:
+            raise SimulationError(
+                f"disk {self.disk_id}: time moved backwards "
+                f"({t} < cursor {self.cursor_s})"
+            )
+        dur = max(0.0, t - self.cursor_s)
+        if dur > 0:
+            if self.standby:
+                self.stats.add("standby", dur, self.pm.standby_power_w)
+                self._emit("standby", self.cursor_s, t, self.pm.standby_power_w, 0)
+            else:
+                power = self.pm.idle_power_w(self.rpm)
+                self.stats.add("idle", dur, power, rpm=self.rpm)
+                self._emit("idle", self.cursor_s, t, power, self.rpm)
+        self.cursor_s = max(self.cursor_s, t)
+
+    # ------------------------------------------------------------------ #
+    # Time advance
+    # ------------------------------------------------------------------ #
+    #: Completion slack for floating-point time comparisons: a transition
+    #: whose end lands within this of the advance target is considered done
+    #: (leaving it "in flight" forever would wedge the state machine).
+    _EPS = 1e-9
+
+    def advance(self, t: float) -> None:
+        """Bring accounting (and autonomous behaviour) up to time ``t``."""
+        if t < self.cursor_s - 1e-9:
+            raise SimulationError(
+                f"disk {self.disk_id}: advance to {t} precedes cursor {self.cursor_s}"
+            )
+        t = max(t, self.cursor_s)
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - defensive
+                raise SimulationError("advance loop failed to converge")
+            if self.in_transition:
+                end = self._transition_end_s
+                assert end is not None
+                if end <= t + self._EPS:
+                    self._complete_transition()
+                    continue
+                self.stats.add(
+                    self._transition_state,
+                    max(0.0, t - self.cursor_s),
+                    self._transition_power_w,
+                )
+                self._emit(
+                    self._transition_state,
+                    self.cursor_s,
+                    t,
+                    self._transition_power_w,
+                    self._transition_target_rpm or self.rpm,
+                )
+                self.cursor_s = max(self.cursor_s, t)
+                return
+            if (
+                not self.standby
+                and self.auto_spindown_threshold_s is not None
+                and self._auto_armed
+            ):
+                fire_at = self.idle_anchor_s + self.auto_spindown_threshold_s
+                if fire_at < t - self._EPS:
+                    self._settle_idle(max(self.cursor_s, fire_at))
+                    self._auto_armed = False
+                    self._start_spin_down(self.cursor_s)
+                    continue
+            self._settle_idle(t)
+            return
+
+    # ------------------------------------------------------------------ #
+    # TPM actions
+    # ------------------------------------------------------------------ #
+    def _start_spin_down(self, t: float) -> None:
+        d = self.pm.spin_down_time_s
+        p = self.pm.spin_down_energy_j / d if d > 0 else 0.0
+        self.stats.num_spin_downs += 1
+        self._begin_transition(t, d, p, "spin_down", to_standby=True)
+
+    def _start_spin_up(self, t: float) -> None:
+        d = self.pm.spin_up_time_s
+        p = self.pm.spin_up_energy_j / d if d > 0 else 0.0
+        self.stats.num_spin_ups += 1
+        if self._standby_since_s is not None:
+            self.last_standby_s = max(0.0, t - self._standby_since_s)
+            self._standby_since_s = None
+        self._begin_transition(t, d, p, "spin_up", to_standby=False)
+
+    def spin_down(self, t: float) -> None:
+        """Explicit ``spin_down(disk)`` call (paper §3).
+
+        If a transition is in flight the call is deferred until it
+        completes (the cursor never moves ahead of wall-clock time).
+        """
+        self.advance(t)
+        if self.in_transition:
+            self._pending_action = ("spin_down", None)
+            return
+        if self.standby:
+            return
+        self._start_spin_down(max(t, self.cursor_s))
+
+    def spin_up(self, t: float) -> None:
+        """Explicit ``spin_up(disk)`` pre-activation call (paper §3)."""
+        self.advance(t)
+        if self.in_transition:
+            self._pending_action = ("spin_up", None)
+            return
+        if not self.standby:
+            return
+        self._start_spin_up(max(t, self.cursor_s))
+
+    # ------------------------------------------------------------------ #
+    # DRPM action
+    # ------------------------------------------------------------------ #
+    def _start_rpm_shift(self, t: float, target_rpm: int) -> None:
+        dur = self.pm.transition_time_s(self.rpm, target_rpm)
+        power = self.pm.transition_power_w(self.rpm, target_rpm)
+        self.stats.num_rpm_shifts += 1
+        self._begin_transition(t, dur, power, "rpm_shift", target_rpm=target_rpm)
+
+    def set_rpm(self, t: float, target_rpm: int) -> None:
+        """Explicit ``set_RPM(level, disk)`` call (paper §3)."""
+        if target_rpm not in self.pm.levels:
+            raise SimulationError(f"unsupported RPM level {target_rpm}")
+        self.advance(t)
+        if self.in_transition:
+            self._pending_action = ("rpm", target_rpm)
+            return
+        if self.standby:
+            raise SimulationError(
+                f"disk {self.disk_id}: set_RPM while spun down is invalid"
+            )
+        if self.rpm == target_rpm:
+            return
+        self._start_rpm_shift(max(t, self.cursor_s), target_rpm)
+
+    # ------------------------------------------------------------------ #
+    # Request service
+    # ------------------------------------------------------------------ #
+    def serve(self, t_issue: float, nbytes: int, seek: str = "full") -> float:
+        """Service a sub-request issued at ``t_issue``; return completion time.
+
+        The request waits for any in-flight transition; a disk found in
+        standby pays the full spin-up penalty first (the reactive TPM cost
+        that pre-activation exists to avoid).
+        """
+        if nbytes <= 0:
+            raise SimulationError(f"request size must be positive, got {nbytes}")
+        # A request may arrive while the disk is still busy (queueing): the
+        # accounting clock never rewinds, but service starts at ready time.
+        self.advance(max(t_issue, self.cursor_s))
+        start = t_issue
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 100:  # pragma: no cover - defensive
+                raise SimulationError("serve wait loop failed to converge")
+            if self.in_transition:
+                end = self._transition_end_s
+                assert end is not None
+                self.advance(end)
+                start = max(start, self.cursor_s)
+                continue
+            if self.standby:
+                self._start_spin_up(max(start, self.cursor_s))
+                continue
+            break
+        start = max(start, self.ready_s, self.cursor_s)
+        svc = self.pm.service_time_s(nbytes, self.rpm, seek)
+        active_power = self.pm.active_power_w(self.rpm)
+        self.stats.add("active", svc, active_power)
+        self._emit("active", start, start + svc, active_power, self.rpm)
+        self.cursor_s = start + svc
+        self.ready_s = self.cursor_s
+        self.idle_anchor_s = self.cursor_s
+        self._auto_armed = True
+        self.last_request_end_s = self.cursor_s
+        self.stats.num_requests += 1
+        self.stats.bytes_served += nbytes
+        return self.cursor_s
+
+    # ------------------------------------------------------------------ #
+    def finalize(self, t_end: float) -> None:
+        """Close the timeline at the end of execution."""
+        end = max(t_end, self.cursor_s, self.ready_s)
+        self.advance(end)
+        if self.in_transition:  # pragma: no cover - ready_s covers this
+            self.advance(self._transition_end_s or end)

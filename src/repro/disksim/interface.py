@@ -1,0 +1,68 @@
+"""Controller interface: how power-management schemes plug into the simulator.
+
+A scheme is the combination of
+
+* an optional **autonomous disk behaviour** (reactive TPM's idleness
+  threshold, applied inside the disk's time-advance loop);
+* an optional **reactive hook** invoked at every sub-request completion
+  (reactive DRPM's window heuristic lives here);
+* an optional stream of **timed directives** at absolute times (the oracle
+  schemes, which by definition know the realized timeline);
+* and — for the compiler-directed schemes — **directive records inside the
+  trace itself**, which need no controller at all (the calls are part of
+  the program; the controller here is a no-op).
+
+The simulator treats every scheme uniformly through this interface, which
+is what makes the paper's eight-scheme comparison a single code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.nodes import PowerCall
+from .disk import Disk
+from .powermodel import PowerModel
+
+__all__ = ["TimedDirective", "Controller"]
+
+
+@dataclass(frozen=True)
+class TimedDirective:
+    """A power call applied at an absolute wall-clock time (oracle schemes)."""
+
+    time_s: float
+    call: PowerCall
+
+
+class Controller:
+    """Base controller: no power management (the paper's **Base** scheme)."""
+
+    #: Human-readable scheme name (overridden by subclasses).
+    name: str = "Base"
+
+    #: Reactive TPM threshold; ``None`` disables autonomous spin-down.
+    auto_spindown_threshold_s: float | None = None
+
+    def prepare(self, num_disks: int, power_model: PowerModel) -> None:
+        """Called once before replay starts."""
+
+    def timed_directives(self) -> Sequence[TimedDirective]:
+        """Absolute-time directives to apply during replay (oracle schemes)."""
+        return ()
+
+    def on_request_complete(
+        self,
+        disk: Disk,
+        t_issue: float,
+        t_start: float,
+        t_complete: float,
+        nbytes: int,
+        seek: str = "full",
+    ) -> None:
+        """Reactive hook, invoked after each sub-request completes.
+
+        ``seek`` is the request's seek class ("seq"/"stream"/"full"), so
+        the controller can normalize like against like.
+        """

@@ -1,0 +1,195 @@
+"""Simulation parameters — paper Table 1.
+
+:class:`DiskParams` carries the IBM Ultrastar 36Z15 datasheet figures the
+paper simulates (seek/rotation/transfer, active/idle/standby power, spin
+up/down costs); :class:`DRPMParams` carries the multi-RPM extension
+(3 000-15 000 RPM in 1 200-RPM steps, window size 30).  All times are
+seconds, energies joules, powers watts, sizes bytes.
+
+Figures not printed in Table 1 (per-RPM power/latency scaling, RPM
+transition speed) follow the modeling assumptions of Gurumurthi et al.'s
+DRPM paper, which this paper says it reuses; see
+:mod:`repro.disksim.powermodel` and DESIGN.md §3, substitution 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.units import GB, KB, MB
+from ..util.validation import (
+    require,
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = ["DiskParams", "DRPMParams", "SubsystemParams"]
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """One server-class disk (defaults: IBM Ultrastar 36Z15, paper Table 1)."""
+
+    model: str = "IBM Ultrastar 36Z15"
+    interface: str = "SCSI"
+    capacity_bytes: int = 18 * GB
+    rpm: int = 15_000
+    avg_seek_s: float = 3.4e-3
+    #: Seek when the head continues a file stream it recently served but was
+    #: briefly interrupted (near-track repositioning); full ``avg_seek_s``
+    #: applies only to unrelated targets.
+    short_seek_s: float = 1.0e-3
+    #: Average rotational latency (half a revolution at full speed): 2 ms.
+    avg_rotation_s: float = 2.0e-3
+    transfer_rate_bps: float = 55 * MB
+    power_active_w: float = 13.5
+    power_idle_w: float = 10.2
+    power_standby_w: float = 2.5
+    spin_down_energy_j: float = 13.0
+    spin_down_time_s: float = 1.5
+    spin_up_energy_j: float = 135.0
+    spin_up_time_s: float = 10.9
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_bytes, "capacity_bytes")
+        require_positive(self.rpm, "rpm")
+        require_nonnegative(self.avg_seek_s, "avg_seek_s")
+        require_nonnegative(self.short_seek_s, "short_seek_s")
+        require_nonnegative(self.avg_rotation_s, "avg_rotation_s")
+        require_positive(self.transfer_rate_bps, "transfer_rate_bps")
+        require_positive(self.power_active_w, "power_active_w")
+        require_positive(self.power_idle_w, "power_idle_w")
+        require_positive(self.power_standby_w, "power_standby_w")
+        require(
+            self.power_standby_w <= self.power_idle_w <= self.power_active_w,
+            "power ordering must be standby <= idle <= active",
+        )
+        require_nonnegative(self.spin_down_energy_j, "spin_down_energy_j")
+        require_nonnegative(self.spin_down_time_s, "spin_down_time_s")
+        require_nonnegative(self.spin_up_energy_j, "spin_up_energy_j")
+        require_nonnegative(self.spin_up_time_s, "spin_up_time_s")
+
+    @property
+    def tpm_breakeven_s(self) -> float:
+        """Minimum idle-gap length for which a spin-down + spin-up cycle
+        consumes less energy than idling, assuming the transitions fit in
+        the gap::
+
+            E_down + E_up + P_standby * (L - t_down - t_up) < P_idle * L
+
+        With Table 1 values this is ~15.2 s — far above the benchmarks' idle
+        gaps, which is why TPM never helps the original codes (paper §5.1).
+        """
+        t_trans = self.spin_down_time_s + self.spin_up_time_s
+        e_trans = self.spin_down_energy_j + self.spin_up_energy_j
+        num = e_trans - self.power_standby_w * t_trans
+        den = self.power_idle_w - self.power_standby_w
+        return max(t_trans, num / den)
+
+
+@dataclass(frozen=True)
+class DRPMParams:
+    """Dynamic-RPM extension parameters (paper Table 1, DRPM section)."""
+
+    max_rpm: int = 15_000
+    min_rpm: int = 3_000
+    step_rpm: int = 1_200
+    #: Reactive controller: completed-request window length (paper uses 30).
+    window_size: int = 30
+    #: Reactive controller tolerances on the window-to-window change of the
+    #: average normalized response time (Gurumurthi et al.'s upper/lower
+    #: tolerance): below lower -> step one level down; above upper -> ramp
+    #: to full speed.
+    lower_tolerance: float = 0.05
+    upper_tolerance: float = 0.15
+    #: Seconds to modulate the spindle by one RPM step.  Much smaller than a
+    #: TPM spin-up, as the paper notes (the RPM modulation time is what makes
+    #: DRPM applicable where TPM is not); a full 15000->3000 swing takes
+    #: ``10 * transition_time_per_step_s`` = 0.5 s by default.
+    transition_time_per_step_s: float = 0.05
+    #: Spindle-power scaling exponent (power ~ RPM^2.8, Gurumurthi et al.).
+    power_exponent: float = 2.8
+    #: Non-spindle floor power (electronics), anchored at the standby level.
+    power_floor_w: float = 2.5
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_rpm, "min_rpm")
+        require(self.max_rpm >= self.min_rpm, "max_rpm must be >= min_rpm")
+        require_positive(self.step_rpm, "step_rpm")
+        require(
+            (self.max_rpm - self.min_rpm) % self.step_rpm == 0,
+            "RPM range must be an integer number of steps",
+        )
+        require_positive(self.window_size, "window_size")
+        require_nonnegative(self.lower_tolerance, "lower_tolerance")
+        require(
+            self.upper_tolerance > self.lower_tolerance,
+            "upper_tolerance must exceed lower_tolerance",
+        )
+        require_positive(self.transition_time_per_step_s, "transition_time_per_step_s")
+        require_in_range(self.power_exponent, 1.0, 4.0, "power_exponent")
+        require_nonnegative(self.power_floor_w, "power_floor_w")
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        """All supported RPM levels, ascending (11 levels by default)."""
+        return tuple(
+            range(self.min_rpm, self.max_rpm + self.step_rpm, self.step_rpm)
+        )
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def level_index(self, rpm: int) -> int:
+        """Index of an RPM value in :attr:`levels` (raises if unsupported)."""
+        if (
+            rpm < self.min_rpm
+            or rpm > self.max_rpm
+            or (rpm - self.min_rpm) % self.step_rpm != 0
+        ):
+            raise ValueError(f"unsupported RPM level {rpm}")
+        return (rpm - self.min_rpm) // self.step_rpm
+
+    def steps_between(self, rpm_a: int, rpm_b: int) -> int:
+        """Number of discrete steps between two levels."""
+        return abs(self.level_index(rpm_a) - self.level_index(rpm_b))
+
+
+@dataclass(frozen=True)
+class SubsystemParams:
+    """Full disk-subsystem configuration used by the simulator."""
+
+    num_disks: int = 8
+    disk: DiskParams = field(default_factory=DiskParams)
+    drpm: DRPMParams = field(default_factory=DRPMParams)
+    #: Reactive TPM idleness threshold (seconds); ``None`` (the default)
+    #: derives it from the disk's spin-down/up costs as the break-even time
+    #: (~15.2 s for the Ultrastar 36Z15) — the standard competitive setting
+    #: for threshold policies, and the reason TPM never fires on the
+    #: original benchmarks' second-scale gaps (paper §5.1).
+    tpm_idleness_threshold_s: float | None = None
+    #: Buffer-cache capacity in bytes (paper: refs hit disk unless cached).
+    buffer_cache_bytes: int = 8 * MB
+    #: Maximum size of a single I/O request the app issues; longer accesses
+    #: are split (and the trace generator coalesces up to this bound).
+    max_request_bytes: int = 64 * KB
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_disks, "num_disks")
+        if self.tpm_idleness_threshold_s is not None:
+            require_positive(self.tpm_idleness_threshold_s, "tpm_idleness_threshold_s")
+        require_nonnegative(self.buffer_cache_bytes, "buffer_cache_bytes")
+        require_positive(self.max_request_bytes, "max_request_bytes")
+        require(
+            self.drpm.max_rpm == self.disk.rpm,
+            "DRPM max level must equal the disk's nominal RPM",
+        )
+
+    @property
+    def effective_tpm_threshold_s(self) -> float:
+        """The reactive TPM threshold actually used (break-even by default)."""
+        if self.tpm_idleness_threshold_s is not None:
+            return self.tpm_idleness_threshold_s
+        return self.disk.tpm_breakeven_s

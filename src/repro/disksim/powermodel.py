@@ -1,0 +1,167 @@
+"""Per-RPM power, latency, and transition models.
+
+Anchored at the Table 1 figures for 15 000 RPM and scaled by the standard
+spindle-power law (power grows ~RPM^2.8; Gurumurthi et al.):
+
+* ``P_idle(r)  = floor + (P_idle(15k)  - floor) * (r / 15k)^2.8``
+* ``P_active(r)= floor + (P_active(15k)- floor) * (r / 15k)^2.8``
+* rotational latency scales as ``1/r``; media transfer rate as ``r`` (the
+  linear bit density is fixed, so bytes/revolution is constant);
+* an RPM transition takes ``steps * transition_time_per_step`` seconds and
+  draws the idle power of the **faster** level involved — the paper's stated
+  conservative assumption (§4.1).
+
+The model is exposed as a small immutable object with vectorized methods so
+the planner can evaluate all 11 levels at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..util.errors import ConfigError
+from .params import DiskParams, DRPMParams
+
+__all__ = ["PowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power/latency figures for every supported RPM level of one disk."""
+
+    disk: DiskParams
+    drpm: DRPMParams
+
+    def __post_init__(self) -> None:
+        if self.drpm.max_rpm != self.disk.rpm:
+            raise ConfigError(
+                f"DRPM max level {self.drpm.max_rpm} != disk nominal RPM {self.disk.rpm}"
+            )
+        if self.drpm.power_floor_w > self.disk.power_idle_w:
+            raise ConfigError("power floor exceeds idle power at full speed")
+
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def levels(self) -> tuple[int, ...]:
+        return self.drpm.levels
+
+    def _scale(self, rpm: float | np.ndarray) -> float | np.ndarray:
+        return (np.asarray(rpm, dtype=float) / self.disk.rpm) ** self.drpm.power_exponent
+
+    def idle_power_w(self, rpm: float | np.ndarray) -> float | np.ndarray:
+        """Idle (spinning, not servicing) power at an RPM level."""
+        floor = self.drpm.power_floor_w
+        out = floor + (self.disk.power_idle_w - floor) * self._scale(rpm)
+        return float(out) if np.isscalar(rpm) or np.ndim(rpm) == 0 else out
+
+    def active_power_w(self, rpm: float | np.ndarray) -> float | np.ndarray:
+        """Power while servicing a request at an RPM level."""
+        floor = self.drpm.power_floor_w
+        out = floor + (self.disk.power_active_w - floor) * self._scale(rpm)
+        return float(out) if np.isscalar(rpm) or np.ndim(rpm) == 0 else out
+
+    @property
+    def standby_power_w(self) -> float:
+        """Power when spun down (TPM standby)."""
+        return self.disk.power_standby_w
+
+    # ------------------------------------------------------------------ #
+    # Mechanics at a given level
+    # ------------------------------------------------------------------ #
+    def rotational_latency_s(self, rpm: float) -> float:
+        """Average rotational latency (half a revolution) at a level."""
+        if rpm <= 0:
+            raise ConfigError(f"rotational latency undefined at rpm={rpm}")
+        return 30.0 / rpm
+
+    def transfer_rate_bps(self, rpm: float) -> float:
+        """Sustained media rate at a level (linear in RPM)."""
+        if rpm <= 0:
+            raise ConfigError(f"transfer rate undefined at rpm={rpm}")
+        return self.disk.transfer_rate_bps * (rpm / self.disk.rpm)
+
+    def seek_time_s(self, seek: str) -> float:
+        """Positioning time for a seek class: ``"seq"`` (exact stream
+        continuation, no repositioning), ``"stream"`` (resuming a recently
+        served file after a brief interruption: short seek), or ``"full"``
+        (unrelated target: average seek)."""
+        if seek == "seq":
+            return 0.0
+        if seek == "stream":
+            return self.disk.short_seek_s
+        if seek == "full":
+            return self.disk.avg_seek_s
+        raise ConfigError(f"unknown seek class {seek!r}")
+
+    def service_time_s(self, nbytes: int, rpm: float, seek: str = "full") -> float:
+        """Service time of one request at a level: seek (by class) plus
+        average rotational latency plus media transfer."""
+        if nbytes < 0:
+            raise ConfigError(f"negative request size {nbytes}")
+        return (
+            self.seek_time_s(seek)
+            + self.rotational_latency_s(rpm)
+            + nbytes / self.transfer_rate_bps(rpm)
+        )
+
+    def service_energy_j(self, nbytes: int, rpm: float, seek: str = "full") -> float:
+        """Energy of one request's service period at a level."""
+        return self.service_time_s(nbytes, rpm, seek) * self.active_power_w(rpm)
+
+    # ------------------------------------------------------------------ #
+    # RPM transitions
+    # ------------------------------------------------------------------ #
+    def transition_time_s(self, rpm_from: int, rpm_to: int) -> float:
+        """Time to modulate the spindle between two levels."""
+        steps = self.drpm.steps_between(rpm_from, rpm_to)
+        return steps * self.drpm.transition_time_per_step_s
+
+    def transition_energy_j(self, rpm_from: int, rpm_to: int) -> float:
+        """Energy of a level change: faster level's idle power for the whole
+        transition (the paper's conservative assumption)."""
+        t = self.transition_time_s(rpm_from, rpm_to)
+        return t * self.idle_power_w(max(rpm_from, rpm_to))
+
+    def transition_power_w(self, rpm_from: int, rpm_to: int) -> float:
+        """Instantaneous power drawn during a level change."""
+        return self.idle_power_w(max(rpm_from, rpm_to))
+
+    # ------------------------------------------------------------------ #
+    # TPM transitions
+    # ------------------------------------------------------------------ #
+    @property
+    def spin_down_time_s(self) -> float:
+        return self.disk.spin_down_time_s
+
+    @property
+    def spin_up_time_s(self) -> float:
+        return self.disk.spin_up_time_s
+
+    @property
+    def spin_down_energy_j(self) -> float:
+        return self.disk.spin_down_energy_j
+
+    @property
+    def spin_up_energy_j(self) -> float:
+        return self.disk.spin_up_energy_j
+
+    # ------------------------------------------------------------------ #
+    # Vectorized planner helpers
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def level_array(self) -> np.ndarray:
+        return np.asarray(self.levels, dtype=float)
+
+    @cached_property
+    def idle_power_per_level(self) -> np.ndarray:
+        """Idle watts for each supported level (ascending by RPM)."""
+        return np.asarray(self.idle_power_w(self.level_array))
+
+    @cached_property
+    def steps_from_max(self) -> np.ndarray:
+        """Step distance of each level from the top level."""
+        top = self.drpm.num_levels - 1
+        return top - np.arange(self.drpm.num_levels)

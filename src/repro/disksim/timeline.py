@@ -1,0 +1,187 @@
+"""Per-disk state timelines: record, query, and render.
+
+The simulator's energy accounting is aggregate (per-state residency sums);
+for debugging plans and for the examples' visualizations it is often more
+useful to see *when* each disk was in each state.  A
+:class:`TimelineRecorder` captures every piecewise-constant power segment a
+disk's accounting emits, and the helpers here turn the segments into
+summaries, CSV, or a terminal strip chart::
+
+    disk0  ████▁▁▁▁▂▂▂▂▂▂▁▁████▁▁▁▁...
+           active/idle/low-rpm/standby per time bucket
+
+Usage::
+
+    rec = TimelineRecorder()
+    simulate(trace, params, controller, recorder=rec)
+    print(render_timeline(rec, width=80))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..util.errors import SimulationError
+
+__all__ = ["Segment", "TimelineRecorder", "render_timeline", "timeline_to_csv"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One constant-power stretch of one disk's life."""
+
+    disk: int
+    state: str
+    start_s: float
+    end_s: float
+    power_w: float
+    #: Spindle speed during the segment (0 when spun down; the *target*
+    #: level during an rpm_shift).
+    rpm: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.duration_s * self.power_w
+
+
+class TimelineRecorder:
+    """Accumulates :class:`Segment` records from the disks' accounting.
+
+    Pass one recorder to :func:`repro.disksim.simulator.simulate`; it is
+    attached to every disk.  Zero-length segments are dropped.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[int, list[Segment]] = {}
+
+    # Called by Disk.stats accounting hooks.
+    def record(
+        self,
+        disk: int,
+        state: str,
+        start_s: float,
+        end_s: float,
+        power_w: float,
+        rpm: int,
+    ) -> None:
+        if end_s <= start_s:
+            return
+        self._segments.setdefault(disk, []).append(
+            Segment(disk, state, start_s, end_s, power_w, rpm)
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def disks(self) -> list[int]:
+        return sorted(self._segments)
+
+    def segments(self, disk: int) -> list[Segment]:
+        return list(self._segments.get(disk, []))
+
+    def horizon_s(self) -> float:
+        return max(
+            (segs[-1].end_s for segs in self._segments.values() if segs),
+            default=0.0,
+        )
+
+    def verify(self) -> None:
+        """Check the structural invariants: per disk, segments are ordered,
+        non-overlapping, and contiguous (no unaccounted time)."""
+        for disk, segs in self._segments.items():
+            cursor = 0.0
+            for s in segs:
+                if s.start_s < cursor - 1e-9:
+                    raise SimulationError(
+                        f"disk {disk}: segment at {s.start_s} overlaps {cursor}"
+                    )
+                if s.start_s > cursor + 1e-6:
+                    raise SimulationError(
+                        f"disk {disk}: gap in timeline at {cursor}..{s.start_s}"
+                    )
+                cursor = s.end_s
+
+    def total_energy_j(self, disk: int | None = None) -> float:
+        """Energy integrated from the segments (cross-check against stats)."""
+        disks = [disk] if disk is not None else self.disks
+        return sum(s.energy_j for d in disks for s in self._segments.get(d, []))
+
+    def state_at(self, disk: int, t: float) -> Segment | None:
+        """The segment covering time ``t`` on ``disk`` (None if outside)."""
+        for s in self._segments.get(disk, []):
+            if s.start_s <= t < s.end_s:
+                return s
+        return None
+
+
+_GLYPHS = {
+    "active": "#",
+    "idle_full": "=",
+    "idle_low": "-",
+    "standby": ".",
+    "spin_down": "v",
+    "spin_up": "^",
+    "rpm_shift": "~",
+}
+
+
+def _classify(segment: Segment, full_rpm: int) -> str:
+    if segment.state == "idle":
+        return "idle_full" if segment.rpm >= full_rpm else "idle_low"
+    return segment.state
+
+
+def render_timeline(
+    rec: TimelineRecorder,
+    width: int = 80,
+    full_rpm: int = 15_000,
+    disks: Sequence[int] | None = None,
+) -> str:
+    """ASCII strip chart: one row per disk, one column per time bucket.
+
+    Each bucket shows the state the disk spent the most time in:
+    ``#`` active, ``=`` idle at full speed, ``-`` idle at a reduced level,
+    ``.`` standby, ``v``/``^`` spin down/up, ``~`` RPM shift.
+    """
+    horizon = rec.horizon_s()
+    if horizon <= 0 or width <= 0:
+        return "(empty timeline)"
+    bucket = horizon / width
+    rows = []
+    for disk in disks if disks is not None else rec.disks:
+        counts = [dict() for _ in range(width)]
+        for s in rec.segments(disk):
+            kind = _classify(s, full_rpm)
+            b0 = min(width - 1, int(s.start_s / bucket))
+            b1 = min(width - 1, int(max(s.start_s, s.end_s - 1e-12) / bucket))
+            for b in range(b0, b1 + 1):
+                lo = max(s.start_s, b * bucket)
+                hi = min(s.end_s, (b + 1) * bucket)
+                if hi > lo:
+                    counts[b][kind] = counts[b].get(kind, 0.0) + (hi - lo)
+        line = "".join(
+            _GLYPHS[max(c, key=c.get)] if c else " " for c in counts
+        )
+        rows.append(f"disk{disk:<3d} {line}")
+    legend = (
+        "        # active   = idle(full)   - idle(low rpm)   . standby   "
+        "v down   ^ up   ~ shift"
+    )
+    scale = f"        0s {'-' * max(0, width - 20)} {horizon:.1f}s"
+    return "\n".join(rows + [legend, scale])
+
+
+def timeline_to_csv(rec: TimelineRecorder, disks: Iterable[int] | None = None) -> str:
+    """Segments as CSV (disk,state,start_s,end_s,power_w,rpm)."""
+    out = ["disk,state,start_s,end_s,power_w,rpm"]
+    for disk in disks if disks is not None else rec.disks:
+        for s in rec.segments(disk):
+            out.append(
+                f"{s.disk},{s.state},{s.start_s:.6f},{s.end_s:.6f},"
+                f"{s.power_w:.4f},{s.rpm}"
+            )
+    return "\n".join(out) + "\n"

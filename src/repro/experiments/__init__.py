@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from .report import ExperimentReport, format_table
+from .runner import ExperimentContext
+from .schemes import SCHEME_NAMES, SchemeSuite, run_schemes, run_workload
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "ExperimentContext",
+    "SCHEME_NAMES",
+    "SchemeSuite",
+    "run_schemes",
+    "run_workload",
+]

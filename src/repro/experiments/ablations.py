@@ -1,0 +1,179 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Three studies beyond the paper's own figures:
+
+* :func:`preactivation_ablation` — what Eq. (1) buys: CMDRPM/CMTPM with the
+  wake-up call placed early (the paper's scheme) versus exactly at the gap
+  end (lazy activation, where every phase's first accesses wait out the
+  full ramp/spin-up — paper §3's "we incur the associated spin-up delay
+  fully");
+* :func:`estimation_error_sweep` — how CMDRPM degrades as the compiler's
+  cycle estimates worsen (the paper fixes one measurement quality; this
+  sweeps it from oracle-grade to +-40 %);
+* :func:`transition_speed_ablation` — sensitivity of every DRPM variant to
+  the spindle's RPM modulation speed, the key hardware parameter Table 1
+  does not print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.cycles import EstimationModel, compute_timing, measured_timing
+from ..controllers.compiler_directed import CompilerDirected
+from ..disksim.params import DRPMParams, SubsystemParams
+from ..disksim.simulator import simulate
+from ..layout.files import default_layout
+from ..power.insertion import plan_power_calls
+from ..trace.generator import directives_at_positions, generate_trace
+from .report import ExperimentReport
+from .runner import ExperimentContext
+from .schemes import run_workload
+
+__all__ = [
+    "preactivation_ablation",
+    "estimation_error_sweep",
+    "transition_speed_ablation",
+]
+
+
+def _cm_run(ctx: ExperimentContext, name: str, kind: str, preactivate: bool):
+    """One compiler-directed replay with/without Eq. (1)."""
+    suite = ctx.suite(name)
+    wl = ctx.workload(name)
+    plan = plan_power_calls(
+        wl.program,
+        suite.layout,
+        ctx.params,
+        kind,
+        estimation=wl.estimation,
+        measured=suite.measured,
+        preactivate=preactivate,
+    )
+    directives = directives_at_positions(
+        plan.placements, compute_timing(wl.program)
+    )
+    return simulate(
+        suite.base_trace.with_directives(directives),
+        ctx.params,
+        CompilerDirected(kind),
+    )
+
+
+def preactivation_ablation(
+    ctx: ExperimentContext | None = None,
+    benchmarks: Sequence[str] | None = None,
+) -> ExperimentReport:
+    """CMDRPM with vs. without pre-activation (normalized to Base)."""
+    from ..workloads.registry import WORKLOAD_NAMES
+
+    ctx = ctx or ExperimentContext()
+    names = list(benchmarks or WORKLOAD_NAMES)
+    rep = ExperimentReport(
+        experiment_id="ablation_preactivation",
+        title="Ablation: Eq. (1) pre-activation (CMDRPM, normalized to Base)",
+        columns=("E_preact", "E_lazy", "T_preact", "T_lazy"),
+    )
+    for name in names:
+        suite = ctx.suite(name)
+        base = suite.base
+        lazy = _cm_run(ctx, name, "drpm", preactivate=False)
+        rep.add_row(
+            name,
+            (
+                suite.normalized_energy("CMDRPM"),
+                lazy.total_energy_j / base.total_energy_j,
+                suite.normalized_time("CMDRPM"),
+                lazy.execution_time_s / base.execution_time_s,
+            ),
+        )
+    rep.notes.append(
+        "lazy = wake-up call at the gap end: every active phase's first "
+        "access waits out the full RPM ramp; pre-activation removes that "
+        "penalty at a tiny energy cost (the disk is back at speed slightly "
+        "early)"
+    )
+    return rep
+
+
+def estimation_error_sweep(
+    ctx: ExperimentContext | None = None,
+    benchmark: str = "swim",
+    errors: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+) -> ExperimentReport:
+    """CMDRPM quality vs. the compiler's timing-estimate error."""
+    ctx = ctx or ExperimentContext()
+    suite = ctx.suite(benchmark)
+    wl = ctx.workload(benchmark)
+    base = suite.base
+    rep = ExperimentReport(
+        experiment_id="ablation_estimation_error",
+        title=f"Ablation: {benchmark} CMDRPM vs estimation error",
+        columns=("energy", "time", "calls"),
+    )
+    actual = compute_timing(wl.program)
+    for err in errors:
+        plan = plan_power_calls(
+            wl.program,
+            suite.layout,
+            ctx.params,
+            "drpm",
+            estimation=EstimationModel(relative_error=err),
+            measured=suite.measured,
+        )
+        res = simulate(
+            suite.base_trace.with_directives(
+                directives_at_positions(plan.placements, actual)
+            ),
+            ctx.params,
+            CompilerDirected("drpm"),
+        )
+        rep.add_row(
+            f"err={err:.2f}",
+            (
+                res.total_energy_j / base.total_energy_j,
+                res.execution_time_s / base.execution_time_s,
+                float(plan.num_calls),
+            ),
+        )
+    rep.notes.append(
+        "IDRPM (perfect knowledge) reference: "
+        f"energy {suite.normalized_energy('IDRPM'):.3f}"
+    )
+    return rep
+
+
+def transition_speed_ablation(
+    ctx: ExperimentContext | None = None,
+    benchmark: str = "swim",
+    per_step_s: Sequence[float] = (0.05, 0.1, 0.2, 0.4, 0.8),
+) -> ExperimentReport:
+    """DRPM-family savings vs. the spindle's per-step modulation time."""
+    ctx = ctx or ExperimentContext()
+    wl = ctx.workload(benchmark)
+    rep = ExperimentReport(
+        experiment_id="ablation_transition_speed",
+        title=f"Ablation: {benchmark} vs RPM transition time per 1200-RPM step",
+        columns=("DRPM", "IDRPM", "CMDRPM"),
+    )
+    for per_step in per_step_s:
+        params = SubsystemParams(
+            num_disks=ctx.params.num_disks,
+            drpm=replace(ctx.params.drpm, transition_time_per_step_s=per_step),
+        )
+        suite = run_workload(
+            wl, params=params, schemes=("Base", "DRPM", "IDRPM", "CMDRPM")
+        )
+        rep.add_row(
+            f"{per_step:.2f}s/step",
+            tuple(suite.normalized_energy(s) for s in ("DRPM", "IDRPM", "CMDRPM")),
+        )
+    rep.notes.append(
+        "slower modulation shrinks every variant's savings (round trips eat "
+        "the gaps); the compiler scheme degrades alongside the oracle — its "
+        "advantage is knowing when, not acting faster"
+    )
+    return rep

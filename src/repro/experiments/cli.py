@@ -1,0 +1,117 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    repro-experiments table2
+    repro-experiments fig3 fig4 table3
+    repro-experiments all
+
+Reports render as fixed-width text tables (the same renderings recorded in
+EXPERIMENTS.md).  All artifacts sharing the default configuration reuse one
+set of simulations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import ablations, extensions, fig3, fig4, fig5_6, fig7_8, fig13, table1, table2, table3
+from .runner import ExperimentContext
+
+__all__ = ["main", "EXPERIMENT_IDS", "run_experiment"]
+
+EXPERIMENT_IDS: tuple[str, ...] = (
+    "fig2",
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig13",
+    "ablation_preactivation",
+    "ablation_estimation_error",
+    "ablation_transition_speed",
+    "ext_multitiling",
+    "ext_pdc",
+    "summary_edp",
+    "gap_anatomy",
+)
+
+
+def run_experiment(exp_id: str, ctx: ExperimentContext) -> list:
+    """Produce the report(s) for one artifact id."""
+    if exp_id == "fig2":
+        from . import fig2
+
+        return [fig2.run()]
+    if exp_id == "table1":
+        return [table1.run(ctx.params)]
+    if exp_id == "table2":
+        return [table2.run(ctx)]
+    if exp_id == "table3":
+        return [table3.run(ctx)]
+    if exp_id == "fig3":
+        return [fig3.run(ctx)]
+    if exp_id == "fig4":
+        return [fig4.run(ctx)]
+    if exp_id in ("fig5", "fig6"):
+        energy, time = fig5_6.run(ctx)
+        return [energy if exp_id == "fig5" else time]
+    if exp_id in ("fig7", "fig8"):
+        energy, time = fig7_8.run(ctx)
+        return [energy if exp_id == "fig7" else time]
+    if exp_id == "fig13":
+        return [fig13.run(ctx)]
+    if exp_id == "ablation_preactivation":
+        return [ablations.preactivation_ablation(ctx)]
+    if exp_id == "ablation_estimation_error":
+        return [ablations.estimation_error_sweep(ctx)]
+    if exp_id == "ablation_transition_speed":
+        return [ablations.transition_speed_ablation(ctx)]
+    if exp_id == "ext_multitiling":
+        return [extensions.multi_nest_tiling(ctx)]
+    if exp_id == "ext_pdc":
+        from . import pdc_experiment
+
+        return [pdc_experiment.run(ctx)]
+    if exp_id == "summary_edp":
+        from . import summary
+
+        return [summary.run(ctx)]
+    if exp_id == "gap_anatomy":
+        from . import gaps
+
+        return [gaps.run(ctx)]
+    raise SystemExit(f"unknown experiment {exp_id!r}; choose from {EXPERIMENT_IDS}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"artifact ids ({', '.join(EXPERIMENT_IDS)}) or 'all'",
+    )
+    args = parser.parse_args(argv)
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_IDS)
+    ctx = ExperimentContext()
+    for exp_id in ids:
+        for rep in run_experiment(exp_id, ctx):
+            print(rep.render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Figure 3 — normalized disk energy under every scheme.
+
+The paper's headline comparison: for each benchmark, the energy of
+TPM/ITPM/DRPM/IDRPM/CMTPM/CMDRPM relative to Base.  Shape targets
+(paper §5.1): the TPM family saves nothing (short idle periods vs the
+~15 s break-even); reactive DRPM saves ~26 % on average; IDRPM ~51 %;
+CMDRPM ~46 %, i.e. close to the oracle.
+"""
+
+from __future__ import annotations
+
+from ..workloads.registry import WORKLOAD_NAMES
+from .report import ExperimentReport
+from .runner import ExperimentContext
+from .schemes import SCHEME_NAMES
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext | None = None) -> ExperimentReport:
+    ctx = ctx or ExperimentContext()
+    rep = ExperimentReport(
+        experiment_id="fig3",
+        title="Normalized energy consumption (paper Figure 3)",
+        columns=SCHEME_NAMES,
+    )
+    for name in WORKLOAD_NAMES:
+        suite = ctx.suite(name)
+        rep.add_row(name, [suite.normalized_energy(s) for s in SCHEME_NAMES])
+    rep.add_row(
+        "average",
+        [rep.column_mean(s, rows=list(WORKLOAD_NAMES)) for s in SCHEME_NAMES],
+    )
+    rep.notes.append(
+        "paper averages: DRPM 0.74, IDRPM 0.49, CMDRPM 0.54 "
+        "(26 % / 51 % / 46 % savings); TPM family 1.00"
+    )
+    return rep

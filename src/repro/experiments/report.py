@@ -1,0 +1,92 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment module produces an :class:`ExperimentReport`: a titled
+grid of rows (benchmarks / sweep points) by columns (schemes / metrics),
+printed in the same orientation as the paper's tables and bar charts so a
+reader can eyeball paper-vs-measured directly.  EXPERIMENTS.md embeds these
+renderings verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["ExperimentReport", "format_table", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used nowhere normative — arithmetic means match the
+    paper's "averaged over benchmarks" phrasing — but handy in reports)."""
+    if not values:
+        return float("nan")
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Mapping[str, Sequence[float | str]],
+    col_width: int = 9,
+    precision: int = 3,
+) -> str:
+    """Render a grid as fixed-width text (columns sized to their content)."""
+
+    def fmt(v: float | str) -> str:
+        return v if isinstance(v, str) else f"{v:.{precision}f}"
+
+    rendered = {name: [fmt(v) for v in vals] for name, vals in rows.items()}
+    widest_cell = max(
+        [0] + [len(c) for cells in rendered.values() for c in cells]
+    )
+    col_width = max([col_width] + [len(c) + 1 for c in columns] + [widest_cell + 1])
+    label_width = max([10] + [len(k) for k in rows]) + 2
+    out = [title]
+    header = " " * label_width + "".join(f"{c:>{col_width}}" for c in columns)
+    out.append(header)
+    for name, cells in rendered.items():
+        out.append(
+            f"{name:<{label_width}}" + "".join(f"{c:>{col_width}}" for c in cells)
+        )
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated paper artifact: data plus its rendering."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: dict[str, tuple[float | str, ...]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, values: Sequence[float | str]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(values)} cells for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows[label] = tuple(values)
+
+    def value(self, row: str, column: str) -> float | str:
+        return self.rows[row][self.columns.index(column)]
+
+    def column_mean(self, column: str, rows: Sequence[str] | None = None) -> float:
+        names = rows if rows is not None else list(self.rows)
+        vals = [self.rows[r][self.columns.index(column)] for r in names]
+        nums = [v for v in vals if isinstance(v, (int, float))]
+        if not nums:
+            raise ValueError(f"column {column!r} has no numeric cells")
+        return sum(nums) / len(nums)
+
+    def render(self) -> str:
+        body = format_table(
+            f"[{self.experiment_id}] {self.title}", self.columns, self.rows
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return body

@@ -1,0 +1,71 @@
+"""Shared experiment context: builds workloads and caches scheme suites.
+
+Several artifacts consume the same runs (Table 2, Figures 3/4 and Table 3
+all derive from the default-parameter suite), so the context memoizes
+:class:`~repro.experiments.schemes.SchemeSuite` per (workload, layout
+variant) — each benchmark is simulated once per configuration no matter how
+many reports are generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..disksim.params import SubsystemParams
+from ..layout.files import SubsystemLayout, default_layout
+from ..workloads.base import Workload
+from ..workloads.registry import WORKLOAD_NAMES, build_workload
+from .schemes import SCHEME_NAMES, SchemeSuite, run_schemes
+
+__all__ = ["ExperimentContext"]
+
+
+@dataclass
+class ExperimentContext:
+    """Memoizing runner for the experiment modules."""
+
+    params: SubsystemParams = field(default_factory=SubsystemParams)
+    _workloads: dict[str, Workload] = field(default_factory=dict)
+    _suites: dict[tuple, SchemeSuite] = field(default_factory=dict)
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            self._workloads[name] = build_workload(name)
+        return self._workloads[name]
+
+    def default_layout_for(
+        self, workload: Workload, params: SubsystemParams | None = None
+    ) -> SubsystemLayout:
+        p = params or self.params
+        return default_layout(workload.program.arrays, num_disks=p.num_disks)
+
+    def suite(
+        self,
+        name: str,
+        params: SubsystemParams | None = None,
+        layout: SubsystemLayout | None = None,
+        key: tuple = (),
+    ) -> SchemeSuite:
+        """Scheme suite for one benchmark under one configuration.
+
+        ``key`` must uniquely tag any non-default ``params``/``layout``
+        combination (sweep modules pass e.g. ``("stripe_size", 32768)``).
+        """
+        cache_key = (name, key)
+        if cache_key not in self._suites:
+            wl = self.workload(name)
+            p = params or self.params
+            lay = layout or self.default_layout_for(wl, p)
+            self._suites[cache_key] = run_schemes(
+                wl.program,
+                lay,
+                p,
+                wl.trace_options,
+                wl.estimation,
+                schemes=SCHEME_NAMES,
+            )
+        return self._suites[cache_key]
+
+    def all_suites(self) -> dict[str, SchemeSuite]:
+        """Default-configuration suites for the whole Table 2 benchmark set."""
+        return {name: self.suite(name) for name in WORKLOAD_NAMES}

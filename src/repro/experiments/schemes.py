@@ -1,0 +1,167 @@
+"""Run the paper's eight power-management schemes over one program.
+
+This is the per-benchmark engine behind every figure/table: it generates
+the trace once, replays Base (collecting realized busy intervals and
+per-request responses), derives the oracle controllers and the
+measurement-based compiler timelines from that run, plans and attaches the
+CMTPM/CMDRPM directives, and replays every requested scheme — all against
+the *same* request stream, exactly as the paper's methodology (one trace,
+many policies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.access import NestAccess, analyze_program
+from ..analysis.cycles import (
+    EstimationModel,
+    ProgramTiming,
+    compute_timing,
+    measured_timing,
+)
+from ..controllers.base import Controller
+from ..controllers.compiler_directed import CompilerDirected
+from ..controllers.drpm import ReactiveDRPM
+from ..controllers.oracle import OracleDRPM, OracleTPM
+from ..controllers.tpm import ReactiveTPM
+from ..disksim.params import SubsystemParams
+from ..disksim.simulator import simulate
+from ..disksim.stats import SimulationResult
+from ..ir.program import Program
+from ..layout.files import SubsystemLayout, default_layout
+from ..power.insertion import CompilerPlan, plan_power_calls
+from ..trace.generator import TraceOptions, directives_at_positions, generate_trace
+from ..trace.request import Trace
+from ..util.errors import ReproError
+from ..workloads.base import Workload
+
+__all__ = ["SCHEME_NAMES", "SchemeSuite", "run_schemes", "run_workload"]
+
+#: All schemes of paper §4.2, in its presentation order.
+SCHEME_NAMES: tuple[str, ...] = (
+    "Base",
+    "TPM",
+    "ITPM",
+    "DRPM",
+    "IDRPM",
+    "CMTPM",
+    "CMDRPM",
+)
+
+
+@dataclass
+class SchemeSuite:
+    """Results of one program under a set of schemes."""
+
+    program_name: str
+    layout: SubsystemLayout
+    results: dict[str, SimulationResult]
+    base_trace: Trace
+    measured: ProgramTiming
+    plans: dict[str, CompilerPlan] = field(default_factory=dict)
+
+    @property
+    def base(self) -> SimulationResult:
+        return self.results["Base"]
+
+    def normalized_energy(self, scheme: str) -> float:
+        return self.results[scheme].normalized_energy(self.base)
+
+    def normalized_time(self, scheme: str) -> float:
+        return self.results[scheme].normalized_time(self.base)
+
+    def energy_row(self, schemes: Sequence[str] | None = None) -> dict[str, float]:
+        names = schemes or [s for s in SCHEME_NAMES if s in self.results]
+        return {s: self.normalized_energy(s) for s in names}
+
+    def time_row(self, schemes: Sequence[str] | None = None) -> dict[str, float]:
+        names = schemes or [s for s in SCHEME_NAMES if s in self.results]
+        return {s: self.normalized_time(s) for s in names}
+
+
+def run_schemes(
+    program: Program,
+    layout: SubsystemLayout,
+    params: SubsystemParams,
+    options: TraceOptions,
+    estimation: EstimationModel,
+    schemes: Sequence[str] = SCHEME_NAMES,
+    accesses: Sequence[NestAccess] | None = None,
+) -> SchemeSuite:
+    """Simulate ``program`` under each scheme in ``schemes``.
+
+    ``Base`` is always run (everything is normalized to it, and the
+    oracle/compiler schemes derive from its replay).
+    """
+    unknown = set(schemes) - set(SCHEME_NAMES)
+    if unknown:
+        raise ReproError(f"unknown schemes {sorted(unknown)}")
+    if accesses is None:
+        accesses = analyze_program(program)
+    trace = generate_trace(program, layout, options, accesses=accesses)
+    base = simulate(trace, params, Controller(), collect_busy_intervals=True)
+    req_nests = np.asarray([r.nest for r in trace.requests], dtype=np.int64)
+    measured = measured_timing(program, req_nests, np.asarray(base.request_responses))
+    actual = compute_timing(program)
+
+    results: dict[str, SimulationResult] = {"Base": base}
+    plans: dict[str, CompilerPlan] = {}
+    for scheme in schemes:
+        if scheme == "Base":
+            continue
+        if scheme == "TPM":
+            ctrl: Controller = ReactiveTPM(params.effective_tpm_threshold_s)
+            results[scheme] = simulate(trace, params, ctrl)
+        elif scheme == "ITPM":
+            results[scheme] = simulate(trace, params, OracleTPM(base, params))
+        elif scheme == "DRPM":
+            results[scheme] = simulate(trace, params, ReactiveDRPM(params.drpm))
+        elif scheme == "IDRPM":
+            results[scheme] = simulate(trace, params, OracleDRPM(base, params))
+        elif scheme in ("CMTPM", "CMDRPM"):
+            kind = "tpm" if scheme == "CMTPM" else "drpm"
+            plan = plan_power_calls(
+                program,
+                layout,
+                params,
+                kind,
+                estimation=estimation,
+                accesses=accesses,
+                measured=measured,
+            )
+            plans[scheme] = plan
+            directives = directives_at_positions(plan.placements, actual)
+            results[scheme] = simulate(
+                trace.with_directives(directives), params, CompilerDirected(kind)
+            )
+    return SchemeSuite(
+        program_name=program.name,
+        layout=layout,
+        results=results,
+        base_trace=trace,
+        measured=measured,
+        plans=plans,
+    )
+
+
+def run_workload(
+    workload: Workload,
+    params: SubsystemParams | None = None,
+    layout: SubsystemLayout | None = None,
+    schemes: Sequence[str] = SCHEME_NAMES,
+) -> SchemeSuite:
+    """Run one Table 2 benchmark under (by default) Table 1 parameters."""
+    p = params or SubsystemParams()
+    lay = layout or default_layout(workload.program.arrays, num_disks=p.num_disks)
+    return run_schemes(
+        workload.program,
+        lay,
+        p,
+        workload.trace_options,
+        workload.estimation,
+        schemes=schemes,
+    )

@@ -1,0 +1,47 @@
+"""Loop-nest intermediate representation for array-based scientific codes.
+
+This package is the stand-in for the paper's SUIF infrastructure: programs
+are ordered sequences of affine loop nests whose statements reference
+disk-resident multidimensional arrays.  All compiler analyses
+(:mod:`repro.analysis`), transformations (:mod:`repro.transform`), and the
+trace generator (:mod:`repro.trace`) operate on this IR.
+"""
+
+from .arrays import Array, StorageOrder
+from .builder import ArrayHandle, ProgramBuilder, RefProto
+from .expr import Affine, const, var
+from .nodes import (
+    AccessMode,
+    ArrayRef,
+    Loop,
+    Node,
+    PowerAction,
+    PowerCall,
+    Statement,
+)
+from .pretty import format_loop, format_program
+from .program import Program
+from .validate import ProgramStats, validate_program
+
+__all__ = [
+    "Array",
+    "StorageOrder",
+    "ArrayHandle",
+    "ProgramBuilder",
+    "RefProto",
+    "Affine",
+    "const",
+    "var",
+    "AccessMode",
+    "ArrayRef",
+    "Loop",
+    "Node",
+    "PowerAction",
+    "PowerCall",
+    "Statement",
+    "format_loop",
+    "format_program",
+    "Program",
+    "ProgramStats",
+    "validate_program",
+]

@@ -1,0 +1,167 @@
+"""Array declarations: shape, element size, and in-file storage order.
+
+An :class:`Array` models one disk-resident multidimensional dataset.  The
+paper stores each array in its own file, striped over the disk subsystem by a
+``(starting disk, stripe factor, stripe size)`` 3-tuple (handled in
+:mod:`repro.layout`); here we only capture the logical shape and the
+*storage order* (row- versus column-major), which §6.1's tiling algorithm
+may transform to make the access pattern conform to the layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..util.errors import IRError
+
+__all__ = ["StorageOrder", "Array"]
+
+
+class StorageOrder(str, Enum):
+    """How consecutive elements are laid out in the array's file."""
+
+    ROW_MAJOR = "row_major"  # last dimension varies fastest (C order)
+    COLUMN_MAJOR = "column_major"  # first dimension varies fastest (Fortran order)
+
+    def transposed(self) -> "StorageOrder":
+        """The opposite order (what §6.1's layout transformation applies)."""
+        return (
+            StorageOrder.COLUMN_MAJOR
+            if self is StorageOrder.ROW_MAJOR
+            else StorageOrder.ROW_MAJOR
+        )
+
+
+@dataclass(frozen=True)
+class Array:
+    """A disk-resident array.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within a program (e.g. ``"U1"``).
+    shape:
+        Extent of each dimension, in elements.  Subscripts are 0-based and
+        must satisfy ``0 <= subscript < extent`` (checked by
+        :mod:`repro.ir.validate`).
+    element_size:
+        Bytes per element (8 for the double-precision data the benchmarks
+        manipulate).
+    order:
+        Storage order of the backing file.
+    memory_resident:
+        True for in-memory temporaries that never touch the disks.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    element_size: int = 8
+    order: StorageOrder = StorageOrder.ROW_MAJOR
+    #: Paper §4.1 makes "the data manipulated by these benchmarks" — the
+    #: large arrays — disk resident.  Small temporaries (per-phase working
+    #: sets, scalars promoted to arrays) live in memory and never reach the
+    #: disk subsystem; mark them with ``memory_resident=True`` to exclude
+    #: them from layout, trace generation, and the DAP.
+    memory_resident: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("array name must be non-empty")
+        if not self.shape:
+            raise IRError(f"array {self.name!r} must have at least one dimension")
+        shape = tuple(int(s) for s in self.shape)
+        object.__setattr__(self, "shape", shape)
+        for extent in shape:
+            if extent <= 0:
+                raise IRError(f"array {self.name!r} has non-positive extent {extent}")
+        if self.element_size <= 0:
+            raise IRError(
+                f"array {self.name!r} has non-positive element size {self.element_size}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        n = 1
+        for extent in self.shape:
+            n *= extent
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        """Total byte footprint of the backing file."""
+        return self.num_elements * self.element_size
+
+    # ------------------------------------------------------------------ #
+    def strides_elements(self) -> tuple[int, ...]:
+        """Per-dimension linearization strides (in elements) for the
+        array's storage order."""
+        strides = [0] * self.rank
+        if self.order is StorageOrder.ROW_MAJOR:
+            acc = 1
+            for d in range(self.rank - 1, -1, -1):
+                strides[d] = acc
+                acc *= self.shape[d]
+        else:
+            acc = 1
+            for d in range(self.rank):
+                strides[d] = acc
+                acc *= self.shape[d]
+        return tuple(strides)
+
+    def linearize(
+        self, indices: Sequence[int | np.ndarray]
+    ) -> int | np.ndarray:
+        """Map multidimensional indices to a flat element offset in the file.
+
+        Accepts scalars or broadcastable NumPy arrays per dimension (the
+        vectorized path used by the access analysis).  Bounds are *not*
+        checked here — use :func:`repro.ir.validate.validate_program` for
+        static checking, or :meth:`contains` for dynamic checks.
+        """
+        if len(indices) != self.rank:
+            raise IRError(
+                f"array {self.name!r} has rank {self.rank}, got {len(indices)} subscripts"
+            )
+        strides = self.strides_elements()
+        flat: int | np.ndarray = 0
+        for idx, stride in zip(indices, strides):
+            flat = flat + idx * stride
+        return flat
+
+    def contains(self, indices: Sequence[int]) -> bool:
+        """True when the (scalar) index tuple is inside the array bounds."""
+        if len(indices) != self.rank:
+            return False
+        return all(0 <= i < extent for i, extent in zip(indices, self.shape))
+
+    # ------------------------------------------------------------------ #
+    def with_order(self, order: StorageOrder) -> "Array":
+        """A copy of this array with a different storage order (the layout
+        transformation of the tiling algorithm, paper Fig. 12)."""
+        return replace(self, order=order)
+
+    def byte_extent(self, element_lo: int, element_hi: int) -> tuple[int, int]:
+        """Half-open byte interval covering flat elements
+        ``[element_lo, element_hi)``."""
+        if not 0 <= element_lo <= element_hi <= self.num_elements:
+            raise IRError(
+                f"element interval [{element_lo}, {element_hi}) out of bounds "
+                f"for array {self.name!r} with {self.num_elements} elements"
+            )
+        return element_lo * self.element_size, element_hi * self.element_size
+
+    def __str__(self) -> str:
+        dims = "][".join(str(s) for s in self.shape)
+        tag = "C" if self.order is StorageOrder.ROW_MAJOR else "F"
+        return f"{self.name}[{dims}]:{tag}"

@@ -1,0 +1,184 @@
+"""A small fluent DSL for constructing IR programs.
+
+Writing nested :class:`~repro.ir.nodes.Loop` literals by hand is noisy; the
+benchmark models in :mod:`repro.workloads` instead use this builder::
+
+    b = ProgramBuilder("swim")
+    U = b.array("U", (1334, 1334))
+    V = b.array("V", (1334, 1334))
+    with b.nest("i", 0, 1334) as i:
+        with b.loop("j", 0, 1334) as j:
+            b.stmt(reads=[U[i, j]], writes=[V[i, j]], cycles=140)
+    program = b.build()
+
+``b.array`` returns an :class:`ArrayHandle` whose ``__getitem__`` builds
+subscript tuples out of affine expressions, plain ints, or loop variables.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
+
+from ..util.errors import IRError
+from .arrays import Array, StorageOrder
+from .expr import Affine
+from .nodes import AccessMode, ArrayRef, Loop, Node, PowerCall, Statement
+from .program import Program
+
+__all__ = ["ProgramBuilder", "ArrayHandle", "RefProto"]
+
+
+class RefProto:
+    """An (array, subscripts) pair awaiting an access mode."""
+
+    __slots__ = ("array", "subscripts")
+
+    def __init__(self, array: Array, subscripts: tuple[Affine, ...]):
+        self.array = array
+        self.subscripts = subscripts
+
+    def as_ref(self, mode: AccessMode) -> ArrayRef:
+        return ArrayRef(self.array, self.subscripts, mode)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        subs = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.array.name}[{subs}]"
+
+
+class ArrayHandle:
+    """Wraps an :class:`Array` so that ``A[i, j]`` builds a :class:`RefProto`."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: Array):
+        self.array = array
+
+    def __getitem__(self, idx: object) -> RefProto:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        subs = tuple(Affine.lift(s) for s in idx)
+        return RefProto(self.array, subs)
+
+    @property
+    def name(self) -> str:
+        return self.array.name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+
+class ProgramBuilder:
+    """Accumulates arrays and loop nests, then emits a frozen :class:`Program`."""
+
+    def __init__(self, name: str, clock_hz: float = 750e6):
+        self._name = name
+        self._clock_hz = clock_hz
+        self._arrays: list[Array] = []
+        self._nests: list[Loop] = []
+        #: Stack of open loop bodies; each frame collects child nodes.
+        self._frames: list[list[Node]] = []
+        self._open_vars: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Declarations
+    # ------------------------------------------------------------------ #
+    def array(
+        self,
+        name: str,
+        shape: Sequence[int],
+        element_size: int = 8,
+        order: StorageOrder = StorageOrder.ROW_MAJOR,
+        memory_resident: bool = False,
+    ) -> ArrayHandle:
+        """Declare an array (disk-resident by default) and return an
+        indexable handle; ``memory_resident=True`` declares an in-memory
+        temporary that generates no disk traffic."""
+        if any(a.name == name for a in self._arrays):
+            raise IRError(f"array {name!r} already declared")
+        arr = Array(name, tuple(shape), element_size, order, memory_resident)
+        self._arrays.append(arr)
+        return ArrayHandle(arr)
+
+    # ------------------------------------------------------------------ #
+    # Loop structure
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def nest(self, var: str, lower: int, upper: int, step: int = 1) -> Iterator[Affine]:
+        """Open a *top-level* loop nest.  Yields the loop variable as an
+        affine expression."""
+        if self._frames:
+            raise IRError("nest() may only open a top-level loop; use loop() inside")
+        with self._open_loop(var, lower, upper, step, top_level=True) as iv:
+            yield iv
+
+    @contextmanager
+    def loop(self, var: str, lower: int, upper: int, step: int = 1) -> Iterator[Affine]:
+        """Open an inner loop inside the current nest."""
+        if not self._frames:
+            raise IRError("loop() requires an enclosing nest(); use nest() at top level")
+        with self._open_loop(var, lower, upper, step, top_level=False) as iv:
+            yield iv
+
+    @contextmanager
+    def _open_loop(
+        self, var: str, lower: int, upper: int, step: int, top_level: bool
+    ) -> Iterator[Affine]:
+        if var in self._open_vars:
+            raise IRError(f"loop variable {var!r} shadows an enclosing loop")
+        self._frames.append([])
+        self._open_vars.append(var)
+        try:
+            yield Affine.variable(var)
+        finally:
+            body = self._frames.pop()
+            self._open_vars.pop()
+            loop = Loop(var=var, lower=lower, upper=upper, body=tuple(body), step=step)
+            if top_level:
+                self._nests.append(loop)
+            else:
+                self._frames[-1].append(loop)
+
+    # ------------------------------------------------------------------ #
+    # Body nodes
+    # ------------------------------------------------------------------ #
+    def stmt(
+        self,
+        reads: Iterable[RefProto] = (),
+        writes: Iterable[RefProto] = (),
+        cycles: float = 0.0,
+        label: str | None = None,
+    ) -> Statement:
+        """Append a statement to the innermost open loop."""
+        if not self._frames:
+            raise IRError("stmt() requires an open loop")
+        refs = tuple(r.as_ref(AccessMode.READ) for r in reads) + tuple(
+            r.as_ref(AccessMode.WRITE) for r in writes
+        )
+        if not refs:
+            raise IRError("statement must reference at least one array")
+        node = Statement(refs=refs, cost_cycles=cycles, label=label)
+        self._frames[-1].append(node)
+        return node
+
+    def power_call(self, call: PowerCall) -> PowerCall:
+        """Append an explicit power-management call to the innermost loop."""
+        if not self._frames:
+            raise IRError("power_call() requires an open loop")
+        self._frames[-1].append(call)
+        return call
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> Program:
+        """Freeze and return the program."""
+        if self._frames:
+            raise IRError("cannot build() with unclosed loops")
+        if not self._nests:
+            raise IRError("program has no loop nests")
+        return Program(
+            name=self._name,
+            arrays=tuple(self._arrays),
+            nests=tuple(self._nests),
+            clock_hz=self._clock_hz,
+        )

@@ -1,0 +1,209 @@
+"""Affine index expressions.
+
+The paper's compiler analyses (data-access-pattern extraction, fission
+legality, tiling) operate on *affine* array subscripts — linear combinations
+of loop index variables plus a constant, e.g. ``2*i + j - 1``.  This module
+provides an immutable :class:`Affine` form with exact integer arithmetic,
+evaluation over scalar or vectorized (NumPy) environments, and interval
+range analysis over rectangular iteration domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..util.errors import IRError
+
+__all__ = ["Affine", "var", "const"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine expression ``sum(coeffs[v] * v) + constant``.
+
+    ``coeffs`` maps loop-variable names to integer coefficients; variables
+    with coefficient zero are normalized away so equality and hashing are
+    structural.
+    """
+
+    coeffs: tuple[tuple[str, int], ...] = field(default=())
+    constant: int = 0
+
+    def __post_init__(self) -> None:
+        cleaned = tuple(sorted((v, c) for v, c in self.coeffs if c != 0))
+        object.__setattr__(self, "coeffs", cleaned)
+        if not isinstance(self.constant, (int, np.integer)):
+            raise IRError(f"affine constant must be an int, got {self.constant!r}")
+        for v, c in cleaned:
+            if not isinstance(v, str) or not v:
+                raise IRError(f"affine variable name must be a non-empty str, got {v!r}")
+            if not isinstance(c, (int, np.integer)):
+                raise IRError(f"affine coefficient for {v!r} must be an int, got {c!r}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def variable(name: str) -> "Affine":
+        """The expression consisting of a single loop variable."""
+        return Affine(coeffs=((name, 1),))
+
+    @staticmethod
+    def const(value: int) -> "Affine":
+        """A constant expression."""
+        return Affine(constant=int(value))
+
+    @staticmethod
+    def lift(value: "Affine | int") -> "Affine":
+        """Coerce an int to :class:`Affine`; pass affines through."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, (int, np.integer)):
+            return Affine.const(int(value))
+        raise IRError(f"cannot lift {value!r} to an affine expression")
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    @property
+    def coeff_map(self) -> dict[str, int]:
+        """Coefficients as a fresh dict (name -> coefficient)."""
+        return dict(self.coeffs)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The set of loop variables with non-zero coefficient."""
+        return frozenset(v for v, _ in self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no loop variable appears."""
+        return not self.coeffs
+
+    def coefficient(self, name: str) -> int:
+        """The coefficient of variable ``name`` (0 if absent)."""
+        return self.coeff_map.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (exact, integer)
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Affine | int") -> "Affine":
+        other = Affine.lift(other)
+        merged = self.coeff_map
+        for v, c in other.coeffs:
+            merged[v] = merged.get(v, 0) + c
+        return Affine(tuple(merged.items()), self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(tuple((v, -c) for v, c in self.coeffs), -self.constant)
+
+    def __sub__(self, other: "Affine | int") -> "Affine":
+        return self + (-Affine.lift(other))
+
+    def __rsub__(self, other: "Affine | int") -> "Affine":
+        return Affine.lift(other) + (-self)
+
+    def __mul__(self, k: int) -> "Affine":
+        if isinstance(k, Affine):
+            if k.is_constant:
+                k = k.constant
+            else:
+                raise IRError("affine expressions support multiplication by integers only")
+        if not isinstance(k, (int, np.integer)):
+            raise IRError(f"affine multiplier must be an int, got {k!r}")
+        k = int(k)
+        return Affine(tuple((v, c * k) for v, c in self.coeffs), self.constant * k)
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------ #
+    # Evaluation and range analysis
+    # ------------------------------------------------------------------ #
+    def evaluate(self, env: Mapping[str, int | np.ndarray]) -> int | np.ndarray:
+        """Evaluate under ``env``; values may be ints or NumPy index arrays.
+
+        Vectorized evaluation (array-valued environments) is what lets the
+        access analysis sweep whole iteration ranges without Python loops.
+        """
+        total: int | np.ndarray = self.constant
+        for v, c in self.coeffs:
+            if v not in env:
+                raise IRError(f"unbound loop variable {v!r} in affine evaluation")
+            total = total + c * env[v]
+        return total
+
+    def value_range(self, bounds: Mapping[str, tuple[int, int]]) -> tuple[int, int]:
+        """Inclusive (min, max) of this expression over a rectangular domain.
+
+        ``bounds`` maps each variable to an inclusive ``(lo, hi)`` interval.
+        Because the expression is affine, extrema occur at interval
+        endpoints, picked per-variable by coefficient sign.
+        """
+        lo = hi = self.constant
+        for v, c in self.coeffs:
+            if v not in bounds:
+                raise IRError(f"unbound loop variable {v!r} in range analysis")
+            blo, bhi = bounds[v]
+            if blo > bhi:
+                raise IRError(f"empty bound for {v!r}: ({blo}, {bhi})")
+            if c >= 0:
+                lo += c * blo
+                hi += c * bhi
+            else:
+                lo += c * bhi
+                hi += c * blo
+        return lo, hi
+
+    def substitute(self, name: str, replacement: "Affine | int") -> "Affine":
+        """Replace variable ``name`` with another affine expression."""
+        replacement = Affine.lift(replacement)
+        c = self.coefficient(name)
+        if c == 0:
+            return self
+        without = Affine(
+            tuple((v, k) for v, k in self.coeffs if v != name), self.constant
+        )
+        return without + replacement * c
+
+    def rename(self, mapping: Mapping[str, str]) -> "Affine":
+        """Rename variables (used by strip-mining and tiling)."""
+        return Affine(
+            tuple((mapping.get(v, v), c) for v, c in self.coeffs), self.constant
+        )
+
+    # ------------------------------------------------------------------ #
+    # Display
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for v, c in self.coeffs:
+            if c == 1:
+                parts.append(v)
+            elif c == -1:
+                parts.append(f"-{v}")
+            else:
+                parts.append(f"{c}*{v}")
+        if self.constant != 0 or not parts:
+            parts.append(str(self.constant))
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Affine({self})"
+
+
+def var(name: str) -> Affine:
+    """Shorthand for :meth:`Affine.variable`."""
+    return Affine.variable(name)
+
+
+def const(value: int) -> Affine:
+    """Shorthand for :meth:`Affine.const`."""
+    return Affine.const(value)

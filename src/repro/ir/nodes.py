@@ -1,0 +1,273 @@
+"""IR nodes: array references, statements, loops, and power-management calls.
+
+The IR is deliberately close to the paper's program model: a program is a
+sequence of (possibly imperfectly nested) affine loop nests whose statements
+read and write disk-resident arrays.  Explicit power-management calls
+(``spin_up`` / ``spin_down`` / ``set_RPM``, paper §3) are first-class nodes
+so the insertion pass can place them at precise loop positions and the trace
+generator can emit them as timed directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterator, Optional, Union
+
+from ..util.errors import IRError
+from .arrays import Array
+from .expr import Affine
+
+__all__ = [
+    "AccessMode",
+    "ArrayRef",
+    "Statement",
+    "PowerCall",
+    "PowerAction",
+    "Loop",
+    "Node",
+]
+
+
+class AccessMode(str, Enum):
+    """Whether an array reference reads or writes its element."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted reference ``A[f1(iv), ..., fk(iv)]`` with access mode."""
+
+    array: Array
+    subscripts: tuple[Affine, ...]
+    mode: AccessMode = AccessMode.READ
+
+    def __post_init__(self) -> None:
+        subs = tuple(Affine.lift(s) for s in self.subscripts)
+        object.__setattr__(self, "subscripts", subs)
+        if len(subs) != self.array.rank:
+            raise IRError(
+                f"reference to {self.array.name!r} has {len(subs)} subscripts, "
+                f"array rank is {self.array.rank}"
+            )
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All loop variables appearing in any subscript."""
+        out: frozenset[str] = frozenset()
+        for s in self.subscripts:
+            out |= s.variables
+        return out
+
+    def rename(self, mapping: dict[str, str]) -> "ArrayRef":
+        """Rename loop variables in every subscript."""
+        return replace(
+            self, subscripts=tuple(s.rename(mapping) for s in self.subscripts)
+        )
+
+    def substitute(self, name: str, replacement: Affine | int) -> "ArrayRef":
+        """Substitute a loop variable in every subscript."""
+        return replace(
+            self,
+            subscripts=tuple(s.substitute(name, replacement) for s in self.subscripts),
+        )
+
+    def with_array(self, array: Array) -> "ArrayRef":
+        """Re-point this reference at a (possibly layout-transformed) array."""
+        return replace(self, array=array)
+
+    def transposed(self) -> "ArrayRef":
+        """Reverse the subscript order (companion of a row<->column layout
+        transformation when expressed as an index permutation)."""
+        return replace(self, subscripts=tuple(reversed(self.subscripts)))
+
+    def __str__(self) -> str:
+        subs = ", ".join(str(s) for s in self.subscripts)
+        marker = "W" if self.mode is AccessMode.WRITE else "R"
+        return f"{self.array.name}[{subs}]:{marker}"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One loop-body statement: a set of array references plus a compute cost.
+
+    ``cost_cycles`` is the per-execution CPU cost used by the cycle model
+    (standing in for the paper's ``gethrtime`` measurements); it excludes
+    I/O time, which the simulator adds.
+    """
+
+    refs: tuple[ArrayRef, ...]
+    cost_cycles: float = 0.0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "refs", tuple(self.refs))
+        if self.cost_cycles < 0:
+            raise IRError(f"statement cost must be >= 0, got {self.cost_cycles}")
+
+    @property
+    def reads(self) -> tuple[ArrayRef, ...]:
+        return tuple(r for r in self.refs if r.mode is AccessMode.READ)
+
+    @property
+    def writes(self) -> tuple[ArrayRef, ...]:
+        return tuple(r for r in self.refs if r.mode is AccessMode.WRITE)
+
+    @property
+    def arrays(self) -> frozenset[str]:
+        """Names of all arrays this statement touches (the paper's
+        per-statement "array group B", Fig. 11)."""
+        return frozenset(r.array.name for r in self.refs)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for r in self.refs:
+            out |= r.variables
+        return out
+
+    def rename(self, mapping: dict[str, str]) -> "Statement":
+        return replace(self, refs=tuple(r.rename(mapping) for r in self.refs))
+
+    def __str__(self) -> str:
+        body = "; ".join(str(r) for r in self.refs)
+        tag = f" <{self.label}>" if self.label else ""
+        return f"stmt({body}; {self.cost_cycles:g} cyc){tag}"
+
+
+class PowerAction(str, Enum):
+    """The three explicit power-management calls of paper §3."""
+
+    SPIN_DOWN = "spin_down"
+    SPIN_UP = "spin_up"
+    SET_RPM = "set_RPM"
+
+
+@dataclass(frozen=True)
+class PowerCall:
+    """An explicit power-management call inserted by the compiler.
+
+    ``spin_down(disk)`` / ``spin_up(disk)`` target TPM disks; ``set_RPM(level,
+    disk)`` targets DRPM disks, with ``rpm`` the absolute target spindle
+    speed.  The call itself costs ``overhead_cycles`` (the paper's ``Tm``).
+    """
+
+    action: PowerAction
+    disk: int
+    rpm: Optional[int] = None
+    overhead_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.disk < 0:
+            raise IRError(f"disk id must be >= 0, got {self.disk}")
+        if self.action is PowerAction.SET_RPM:
+            if self.rpm is None or self.rpm <= 0:
+                raise IRError("set_RPM requires a positive rpm level")
+        elif self.rpm is not None:
+            raise IRError(f"{self.action.value} takes no rpm level")
+
+    def __str__(self) -> str:
+        if self.action is PowerAction.SET_RPM:
+            return f"set_RPM({self.rpm}, disk{self.disk})"
+        return f"{self.action.value}(disk{self.disk})"
+
+
+#: Anything that can appear in a loop body.
+Node = Union[Statement, PowerCall, "Loop"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for var in range(lower, upper, step)`` over a body.
+
+    Bounds are compile-time integers (the paper's benchmarks have
+    statically-known trip counts); ``upper`` is exclusive.
+    """
+
+    var: str
+    lower: int
+    upper: int
+    body: tuple[Node, ...] = field(default=())
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.var:
+            raise IRError("loop variable name must be non-empty")
+        if self.step <= 0:
+            raise IRError(f"loop {self.var!r} must have positive step, got {self.step}")
+        if self.upper < self.lower:
+            raise IRError(
+                f"loop {self.var!r} has upper bound {self.upper} < lower {self.lower}"
+            )
+        object.__setattr__(self, "body", tuple(self.body))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations executed."""
+        return len(range(self.lower, self.upper, self.step))
+
+    def iter_values(self) -> range:
+        """The iteration values of this loop's variable."""
+        return range(self.lower, self.upper, self.step)
+
+    @property
+    def bounds_inclusive(self) -> tuple[int, int]:
+        """Inclusive (first, last) values taken by the loop variable.
+
+        Raises :class:`IRError` for a zero-trip loop, which has no values.
+        """
+        if self.trip_count == 0:
+            raise IRError(f"loop {self.var!r} has zero iterations")
+        last = self.lower + (self.trip_count - 1) * self.step
+        return self.lower, last
+
+    # ------------------------------------------------------------------ #
+    def with_body(self, body: tuple[Node, ...]) -> "Loop":
+        return replace(self, body=tuple(body))
+
+    def statements(self) -> Iterator[Statement]:
+        """All statements in this loop, depth-first."""
+        for node in self.body:
+            if isinstance(node, Statement):
+                yield node
+            elif isinstance(node, Loop):
+                yield from node.statements()
+
+    def inner_loops(self) -> Iterator["Loop"]:
+        """All loops strictly inside this one, depth-first pre-order."""
+        for node in self.body:
+            if isinstance(node, Loop):
+                yield node
+                yield from node.inner_loops()
+
+    def loop_variables(self) -> list[str]:
+        """This loop's variable followed by all inner loop variables."""
+        return [self.var] + [l.var for l in self.inner_loops()]
+
+    @property
+    def arrays(self) -> frozenset[str]:
+        """Names of all arrays referenced anywhere in the loop."""
+        out: frozenset[str] = frozenset()
+        for stmt in self.statements():
+            out |= stmt.arrays
+        return out
+
+    def total_statement_executions(self) -> int:
+        """Sum over statements of how many times each executes."""
+
+        def walk(loop: Loop) -> int:
+            count = 0
+            for node in loop.body:
+                if isinstance(node, Statement):
+                    count += 1
+                elif isinstance(node, Loop):
+                    count += walk(node)
+            return count * loop.trip_count
+
+        return walk(self)
+
+    def __str__(self) -> str:
+        return f"for {self.var} in [{self.lower}, {self.upper}) step {self.step}"

@@ -1,0 +1,55 @@
+"""Pretty-printer: render IR programs as readable pseudo-code.
+
+Used by examples, debugging, and the transformation tests (which assert on
+structure, but human-readable dumps make failures diagnosable).  Output is
+deterministic, so snapshot-style assertions are stable.
+"""
+
+from __future__ import annotations
+
+from .nodes import Loop, PowerCall, Statement
+from .program import Program
+
+__all__ = ["format_program", "format_loop"]
+
+_INDENT = "    "
+
+
+def _format_node(node: object, depth: int, lines: list[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(node, Loop):
+        step = f" step {node.step}" if node.step != 1 else ""
+        lines.append(f"{pad}for {node.var} in [{node.lower}, {node.upper}){step}:")
+        if not node.body:
+            lines.append(f"{pad}{_INDENT}pass")
+        for child in node.body:
+            _format_node(child, depth + 1, lines)
+    elif isinstance(node, Statement):
+        reads = ", ".join(str(r) for r in node.reads) or "-"
+        writes = ", ".join(str(w) for w in node.writes) or "-"
+        tag = f"  # {node.label}" if node.label else ""
+        lines.append(
+            f"{pad}compute[{node.cost_cycles:g} cyc] reads({reads}) writes({writes}){tag}"
+        )
+    elif isinstance(node, PowerCall):
+        lines.append(f"{pad}{node}")
+    else:  # pragma: no cover - defensive
+        lines.append(f"{pad}<unknown node {type(node).__name__}>")
+
+
+def format_loop(loop: Loop, depth: int = 0) -> str:
+    """Render a single loop (nest) as indented pseudo-code."""
+    lines: list[str] = []
+    _format_node(loop, depth, lines)
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program: array declarations, then each nest."""
+    lines = [f"program {program.name}:"]
+    for arr in program.arrays:
+        lines.append(f"{_INDENT}declare {arr}  # {arr.size_bytes} bytes")
+    for idx, nest in enumerate(program.nests):
+        lines.append(f"{_INDENT}nest {idx}:")
+        lines.append(format_loop(nest, depth=2))
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Whole-program container: named arrays plus an ordered list of loop nests.
+
+The paper's unit of analysis is the *loop nest*: the DAP (disk access
+pattern) is expressed per-disk as ``<nest, iteration, idle/active>`` entries
+and the transformations operate nest-by-nest.  A :class:`Program` is an
+ordered sequence of top-level :class:`~repro.ir.nodes.Loop` nests over a
+shared set of :class:`~repro.ir.arrays.Array` declarations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping
+
+from ..util.errors import IRError
+from .arrays import Array
+from .nodes import Loop, Statement
+
+__all__ = ["Program"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An array-intensive scientific application in IR form."""
+
+    name: str
+    arrays: tuple[Array, ...]
+    nests: tuple[Loop, ...]
+    #: CPU clock in Hz used to convert statement cycle costs to time; the
+    #: paper measured on a 750 MHz UltraSPARC-III (§4.1).
+    clock_hz: float = 750e6
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("program name must be non-empty")
+        object.__setattr__(self, "arrays", tuple(self.arrays))
+        object.__setattr__(self, "nests", tuple(self.nests))
+        seen: set[str] = set()
+        for arr in self.arrays:
+            if arr.name in seen:
+                raise IRError(f"duplicate array declaration {arr.name!r}")
+            seen.add(arr.name)
+        if self.clock_hz <= 0:
+            raise IRError(f"clock_hz must be positive, got {self.clock_hz}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def array_map(self) -> dict[str, Array]:
+        """Arrays by name."""
+        return {a.name: a for a in self.arrays}
+
+    def array(self, name: str) -> Array:
+        """Look up a declared array by name."""
+        try:
+            return self.array_map[name]
+        except KeyError:
+            raise IRError(f"program {self.name!r} declares no array {name!r}") from None
+
+    @property
+    def num_nests(self) -> int:
+        return len(self.nests)
+
+    def nest(self, index: int) -> Loop:
+        """The ``index``-th top-level loop nest."""
+        try:
+            return self.nests[index]
+        except IndexError:
+            raise IRError(
+                f"program {self.name!r} has {len(self.nests)} nests, no index {index}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def statements(self) -> Iterator[Statement]:
+        """All statements in program order."""
+        for nest in self.nests:
+            yield from nest.statements()
+
+    @property
+    def referenced_arrays(self) -> frozenset[str]:
+        """Names of arrays actually referenced by some statement."""
+        out: frozenset[str] = frozenset()
+        for nest in self.nests:
+            out |= nest.arrays
+        return out
+
+    @property
+    def total_data_bytes(self) -> int:
+        """Footprint of all *referenced disk-resident* arrays (paper
+        Table 2's "Data Size" counts the on-disk dataset manipulated by the
+        selected nests; in-memory temporaries are excluded)."""
+        amap = self.array_map
+        return sum(
+            amap[name].size_bytes
+            for name in self.referenced_arrays
+            if not amap[name].memory_resident
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_nests(self, nests: tuple[Loop, ...]) -> "Program":
+        """A copy with replaced nests (used by transformations)."""
+        return replace(self, nests=tuple(nests))
+
+    def with_nest(self, index: int, nest: Loop) -> "Program":
+        """A copy with one nest replaced."""
+        if not 0 <= index < len(self.nests):
+            raise IRError(f"nest index {index} out of range")
+        nests = list(self.nests)
+        nests[index] = nest
+        return self.with_nests(tuple(nests))
+
+    def with_arrays(self, arrays: Mapping[str, Array]) -> "Program":
+        """A copy with some array declarations replaced (by name) and all
+        statement references re-pointed at the replacements.
+
+        Used by the tiling pass's layout transformation: swapping an array's
+        storage order must be reflected both in the declaration and in every
+        :class:`~repro.ir.nodes.ArrayRef` to it.
+        """
+        new_decls = tuple(arrays.get(a.name, a) for a in self.arrays)
+
+        def rewrite_loop(loop: Loop) -> Loop:
+            new_body: list = []
+            for node in loop.body:
+                if isinstance(node, Loop):
+                    new_body.append(rewrite_loop(node))
+                elif isinstance(node, Statement):
+                    refs = tuple(
+                        r.with_array(arrays[r.array.name])
+                        if r.array.name in arrays
+                        else r
+                        for r in node.refs
+                    )
+                    new_body.append(replace(node, refs=refs))
+                else:
+                    new_body.append(node)
+            return loop.with_body(tuple(new_body))
+
+        return replace(
+            self,
+            arrays=new_decls,
+            nests=tuple(rewrite_loop(n) for n in self.nests),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"Program({self.name!r}: {len(self.arrays)} arrays, "
+            f"{len(self.nests)} nests, {self.total_data_bytes} bytes)"
+        )

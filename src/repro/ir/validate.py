@@ -1,0 +1,108 @@
+"""Static validation of IR programs.
+
+Checks the structural invariants the analyses rely on:
+
+* every loop variable used in a subscript is bound by an enclosing loop;
+* no loop variable shadows an enclosing one;
+* every referenced array is declared;
+* every subscript stays inside the array bounds over the *entire*
+  rectangular iteration domain (affine range analysis — the same machinery
+  the access-pattern analysis uses, so a program that validates can always
+  be analyzed).
+
+:func:`validate_program` raises :class:`~repro.util.errors.IRError` on the
+first violation and returns statistics otherwise, which the workload tests
+use to sanity-check the benchmark models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import IRError
+from .nodes import Loop, PowerCall, Statement
+from .program import Program
+
+__all__ = ["validate_program", "ProgramStats"]
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Aggregate counts produced by validation."""
+
+    num_nests: int
+    num_loops: int
+    num_statements: int
+    num_power_calls: int
+    total_statement_executions: int
+    max_depth: int
+
+
+def _check_loop(
+    loop: Loop,
+    bounds: dict[str, tuple[int, int]],
+    program: Program,
+    stats: dict[str, int],
+    depth: int,
+) -> None:
+    if loop.var in bounds:
+        raise IRError(f"loop variable {loop.var!r} shadows an enclosing loop")
+    stats["loops"] += 1
+    stats["max_depth"] = max(stats["max_depth"], depth)
+    if loop.trip_count == 0:
+        # A zero-trip loop executes nothing; its body is unconstrained but
+        # we still sanity-check structure with a degenerate bound.
+        return
+    declared = program.array_map
+    inner = dict(bounds)
+    inner[loop.var] = loop.bounds_inclusive
+    for node in loop.body:
+        if isinstance(node, Loop):
+            _check_loop(node, inner, program, stats, depth + 1)
+        elif isinstance(node, Statement):
+            stats["statements"] += 1
+            for ref in node.refs:
+                if ref.array.name not in declared:
+                    raise IRError(
+                        f"statement references undeclared array {ref.array.name!r}"
+                    )
+                if declared[ref.array.name] != ref.array:
+                    raise IRError(
+                        f"statement references stale declaration of "
+                        f"{ref.array.name!r} (shape/order mismatch with program)"
+                    )
+                unbound = ref.variables - set(inner)
+                if unbound:
+                    raise IRError(
+                        f"reference {ref} uses unbound loop variables {sorted(unbound)}"
+                    )
+                for dim, (sub, extent) in enumerate(
+                    zip(ref.subscripts, ref.array.shape)
+                ):
+                    lo, hi = sub.value_range(inner)
+                    if lo < 0 or hi >= extent:
+                        raise IRError(
+                            f"subscript {dim} of {ref} ranges over [{lo}, {hi}] "
+                            f"but array extent is {extent}"
+                        )
+        elif isinstance(node, PowerCall):
+            stats["power_calls"] += 1
+        else:  # pragma: no cover - defensive
+            raise IRError(f"unknown IR node type {type(node).__name__}")
+
+
+def validate_program(program: Program) -> ProgramStats:
+    """Validate ``program``; raise :class:`IRError` on the first violation."""
+    stats = {"loops": 0, "statements": 0, "power_calls": 0, "max_depth": 0}
+    for nest in program.nests:
+        _check_loop(nest, {}, program, stats, depth=1)
+    return ProgramStats(
+        num_nests=len(program.nests),
+        num_loops=stats["loops"],
+        num_statements=stats["statements"],
+        num_power_calls=stats["power_calls"],
+        total_statement_executions=sum(
+            n.total_statement_executions() for n in program.nests
+        ),
+        max_depth=stats["max_depth"],
+    )

@@ -1,0 +1,22 @@
+"""Disk layout modeling: PVFS-style striping and per-array file placement."""
+
+from .files import (
+    DEFAULT_STARTING_DISK,
+    DEFAULT_STRIPE_FACTOR,
+    DEFAULT_STRIPE_SIZE,
+    FileEntry,
+    SubsystemLayout,
+    default_layout,
+)
+from .striping import Striping, SubExtent
+
+__all__ = [
+    "DEFAULT_STARTING_DISK",
+    "DEFAULT_STRIPE_FACTOR",
+    "DEFAULT_STRIPE_SIZE",
+    "FileEntry",
+    "SubsystemLayout",
+    "default_layout",
+    "Striping",
+    "SubExtent",
+]

@@ -1,0 +1,209 @@
+"""File maps: which file (array) lives where on the disk subsystem.
+
+The paper stores each array in its own striped file.  A :class:`FileEntry`
+couples an array name with its :class:`~repro.layout.striping.Striping` and
+a *base block* — the start of the file's global block-number range, so trace
+requests can carry the DiskSim-style "start block number" (paper §4.1).
+A :class:`SubsystemLayout` is the full picture: the number of disks plus a
+:class:`FileEntry` per array, and is the object both the compiler (DAP
+construction) and the simulator (request fan-out) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping
+
+from ..ir.arrays import Array
+from ..util.errors import LayoutError
+from ..util.units import KB, SECTOR_BYTES, bytes_to_sectors
+from .striping import Striping, SubExtent
+
+__all__ = ["FileEntry", "SubsystemLayout", "default_layout"]
+
+#: Paper Table 1 striping defaults.
+DEFAULT_STRIPE_SIZE: int = 64 * KB
+DEFAULT_STRIPE_FACTOR: int = 8
+DEFAULT_STARTING_DISK: int = 0
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One array's file: its size, striping, and global block range."""
+
+    array_name: str
+    size_bytes: int
+    striping: Striping
+    base_block: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise LayoutError(
+                f"file for {self.array_name!r} must be non-empty, got {self.size_bytes}"
+            )
+        if self.base_block < 0:
+            raise LayoutError(f"base_block must be >= 0, got {self.base_block}")
+
+    @property
+    def num_blocks(self) -> int:
+        """Sectors spanned by the file (global block-number space)."""
+        return bytes_to_sectors(self.size_bytes)
+
+    @property
+    def block_range(self) -> tuple[int, int]:
+        """Half-open global block interval ``[base, base + num_blocks)``."""
+        return self.base_block, self.base_block + self.num_blocks
+
+    def offset_to_block(self, offset: int) -> int:
+        """Global block number of a byte offset within this file."""
+        if not 0 <= offset < self.size_bytes:
+            raise LayoutError(
+                f"offset {offset} outside file {self.array_name!r} "
+                f"of {self.size_bytes} bytes"
+            )
+        return self.base_block + offset // SECTOR_BYTES
+
+    def block_to_offset(self, block: int) -> int:
+        """Byte offset (within the file) of a global block number."""
+        lo, hi = self.block_range
+        if not lo <= block < hi:
+            raise LayoutError(
+                f"block {block} outside file {self.array_name!r} range [{lo}, {hi})"
+            )
+        return (block - self.base_block) * SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class SubsystemLayout:
+    """The whole disk subsystem: disk count plus per-array file placement."""
+
+    num_disks: int
+    entries: tuple[FileEntry, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_disks < 1:
+            raise LayoutError(f"num_disks must be >= 1, got {self.num_disks}")
+        object.__setattr__(self, "entries", tuple(self.entries))
+        seen: set[str] = set()
+        prev_end = None
+        for e in sorted(self.entries, key=lambda e: e.base_block):
+            if e.array_name in seen:
+                raise LayoutError(f"duplicate file entry for {e.array_name!r}")
+            seen.add(e.array_name)
+            s = e.striping
+            if s.starting_disk + s.stripe_factor > self.num_disks:
+                raise LayoutError(
+                    f"file {e.array_name!r} striped over disks "
+                    f"[{s.starting_disk}, {s.starting_disk + s.stripe_factor}) "
+                    f"but subsystem has {self.num_disks} disks"
+                )
+            lo, hi = e.block_range
+            if prev_end is not None and lo < prev_end:
+                raise LayoutError(
+                    f"file {e.array_name!r} block range overlaps a previous file"
+                )
+            prev_end = hi
+
+    # ------------------------------------------------------------------ #
+    @property
+    def file_map(self) -> dict[str, FileEntry]:
+        return {e.array_name: e for e in self.entries}
+
+    def entry(self, array_name: str) -> FileEntry:
+        try:
+            return self.file_map[array_name]
+        except KeyError:
+            raise LayoutError(f"no file entry for array {array_name!r}") from None
+
+    def striping(self, array_name: str) -> Striping:
+        return self.entry(array_name).striping
+
+    def layout_tuple(self, array_name: str) -> tuple[int, int, int]:
+        """The paper's 3-tuple for one array."""
+        return self.striping(array_name).as_tuple()
+
+    def disks_of_array(self, array_name: str) -> tuple[int, ...]:
+        return self.striping(array_name).disks
+
+    # ------------------------------------------------------------------ #
+    def resolve_block(self, block: int) -> FileEntry:
+        """Find the file owning a global block number."""
+        for e in self.entries:
+            lo, hi = e.block_range
+            if lo <= block < hi:
+                return e
+        raise LayoutError(f"block {block} belongs to no file")
+
+    def split_request(
+        self, array_name: str, offset: int, length: int
+    ) -> list[SubExtent]:
+        """Fan a byte extent of one array's file out to per-disk runs."""
+        e = self.entry(array_name)
+        if offset + length > e.size_bytes:
+            raise LayoutError(
+                f"extent [{offset}, {offset + length}) exceeds file "
+                f"{array_name!r} of {e.size_bytes} bytes"
+            )
+        return e.striping.split_extent(offset, length)
+
+    # ------------------------------------------------------------------ #
+    def with_striping(self, stripings: Mapping[str, Striping]) -> "SubsystemLayout":
+        """A copy with some files re-striped (the DL step of LF+DL / TL+DL).
+
+        Block ranges are preserved: re-striping moves data between disks but
+        keeps the file's logical byte/block addressing.
+        """
+        new_entries = tuple(
+            replace(e, striping=stripings[e.array_name])
+            if e.array_name in stripings
+            else e
+            for e in self.entries
+        )
+        return replace(self, entries=new_entries)
+
+    def with_file_sizes(self, sizes: Mapping[str, int]) -> "SubsystemLayout":
+        """A copy with some file sizes changed, re-packing base blocks."""
+        entries: list[FileEntry] = []
+        next_block = 0
+        for e in self.entries:
+            size = sizes.get(e.array_name, e.size_bytes)
+            entry = FileEntry(e.array_name, size, e.striping, next_block)
+            entries.append(entry)
+            next_block += entry.num_blocks
+        return replace(self, entries=tuple(entries))
+
+    def __str__(self) -> str:
+        files = ", ".join(
+            f"{e.array_name}{e.striping.as_tuple()}" for e in self.entries
+        )
+        return f"SubsystemLayout({self.num_disks} disks: {files})"
+
+
+def default_layout(
+    arrays: Iterable[Array],
+    num_disks: int = DEFAULT_STRIPE_FACTOR,
+    stripe_size: int = DEFAULT_STRIPE_SIZE,
+    stripe_factor: int | None = None,
+    starting_disk: int = DEFAULT_STARTING_DISK,
+) -> SubsystemLayout:
+    """Stripe every array over the same disks with the paper's defaults.
+
+    By default each file is striped over *all* ``num_disks`` disks starting
+    at disk 0 with 64 KB units (paper Table 1).  Files are packed one after
+    another in the global block space.
+    """
+    factor = num_disks if stripe_factor is None else stripe_factor
+    entries: list[FileEntry] = []
+    next_block = 0
+    for arr in arrays:
+        if arr.memory_resident:
+            continue
+        entry = FileEntry(
+            array_name=arr.name,
+            size_bytes=arr.size_bytes,
+            striping=Striping(starting_disk, factor, stripe_size),
+            base_block=next_block,
+        )
+        entries.append(entry)
+        next_block += entry.num_blocks
+    return SubsystemLayout(num_disks=num_disks, entries=tuple(entries))

@@ -1,0 +1,174 @@
+"""Striping math: the paper's ``(starting disk, stripe factor, stripe size)``
+3-tuple and the byte-extent -> disk mapping it induces.
+
+An array's backing file is cut into fixed-size *stripe units*; unit ``s``
+lives on disk ``starting_disk + (s mod stripe_factor)`` and occupies slot
+``s // stripe_factor`` within that disk's allocation for the file.  This is
+exactly PVFS's ``(base, pcount, ssize)`` semantics (paper §3), which the
+paper's compiler consumes to turn data access patterns into *disk* access
+patterns.
+
+Everything here is pure integer math, exposed both scalar and vectorized
+(NumPy) so the access analysis can map whole iteration ranges at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import LayoutError
+
+__all__ = ["Striping", "SubExtent"]
+
+
+@dataclass(frozen=True)
+class SubExtent:
+    """A maximal run of bytes that lands contiguously on a single disk."""
+
+    disk: int
+    #: Stripe-unit index within the file.
+    stripe_index: int
+    #: Byte offset of this run from the start of the file.
+    file_offset: int
+    #: Byte offset of this run within the disk's allocation for the file:
+    #: ``(stripe_index // factor) * stripe_size + offset_in_stripe``.
+    disk_offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class Striping:
+    """Disk layout of one file, as the paper's 3-tuple.
+
+    ``starting_disk`` and the ``stripe_factor`` consecutive disks from it
+    hold the file; disk ids are absolute within the subsystem (no wrapping —
+    the subsystem validates ``starting_disk + stripe_factor <= num_disks``).
+    """
+
+    starting_disk: int
+    stripe_factor: int
+    stripe_size: int
+
+    def __post_init__(self) -> None:
+        if self.starting_disk < 0:
+            raise LayoutError(f"starting_disk must be >= 0, got {self.starting_disk}")
+        if self.stripe_factor < 1:
+            raise LayoutError(f"stripe_factor must be >= 1, got {self.stripe_factor}")
+        if self.stripe_size < 1:
+            raise LayoutError(f"stripe_size must be >= 1, got {self.stripe_size}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def disks(self) -> tuple[int, ...]:
+        """All disks this file may occupy, in order."""
+        return tuple(range(self.starting_disk, self.starting_disk + self.stripe_factor))
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """The paper's ``(starting disk, stripe factor, stripe size)``."""
+        return (self.starting_disk, self.stripe_factor, self.stripe_size)
+
+    # ------------------------------------------------------------------ #
+    def stripe_of_offset(self, offset: int | np.ndarray) -> int | np.ndarray:
+        """Stripe-unit index containing a file byte offset (vectorizable)."""
+        return offset // self.stripe_size
+
+    def disk_of_stripe(self, stripe: int | np.ndarray) -> int | np.ndarray:
+        """Disk holding a given stripe unit (vectorizable)."""
+        return self.starting_disk + stripe % self.stripe_factor
+
+    def disk_of_offset(self, offset: int | np.ndarray) -> int | np.ndarray:
+        """Disk holding a given file byte offset (vectorizable)."""
+        return self.disk_of_stripe(self.stripe_of_offset(offset))
+
+    def disk_offset_of(self, offset: int) -> int:
+        """Byte position of a file offset within its disk's allocation."""
+        stripe, within = divmod(offset, self.stripe_size)
+        return (stripe // self.stripe_factor) * self.stripe_size + within
+
+    # ------------------------------------------------------------------ #
+    def disks_for_extent(self, offset: int, length: int) -> frozenset[int]:
+        """Set of disks touched by file bytes ``[offset, offset+length)``.
+
+        O(min(#stripes, stripe_factor)) — a long extent touches every disk
+        of the file after ``stripe_factor`` stripes.
+        """
+        if length <= 0:
+            return frozenset()
+        if offset < 0:
+            raise LayoutError(f"extent offset must be >= 0, got {offset}")
+        first = offset // self.stripe_size
+        last = (offset + length - 1) // self.stripe_size
+        nstripes = last - first + 1
+        if nstripes >= self.stripe_factor:
+            return frozenset(self.disks)
+        return frozenset(
+            self.starting_disk + s % self.stripe_factor
+            for s in range(first, last + 1)
+        )
+
+    def split_extent(self, offset: int, length: int) -> list[SubExtent]:
+        """Cut ``[offset, offset+length)`` at stripe boundaries.
+
+        Returns one :class:`SubExtent` per stripe-unit crossing, in file
+        order.  The simulator uses this to fan a logical request out to
+        per-disk sub-requests (RAID-0 semantics).
+        """
+        if length <= 0:
+            return []
+        if offset < 0:
+            raise LayoutError(f"extent offset must be >= 0, got {offset}")
+        out: list[SubExtent] = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            stripe, within = divmod(pos, self.stripe_size)
+            run = min(self.stripe_size - within, end - pos)
+            out.append(
+                SubExtent(
+                    disk=int(self.disk_of_stripe(stripe)),
+                    stripe_index=stripe,
+                    file_offset=pos,
+                    disk_offset=(stripe // self.stripe_factor) * self.stripe_size
+                    + within,
+                    length=run,
+                )
+            )
+            pos += run
+        return out
+
+    def per_disk_bytes(self, offset: int, length: int) -> dict[int, int]:
+        """Bytes of ``[offset, offset+length)`` landing on each disk.
+
+        Closed-form per disk (no per-stripe loop): each disk holds a
+        periodic subsequence of stripe units, so its share of the extent is
+        the number of its stripes in range times the stripe size, with
+        partial first/last stripes corrected exactly.
+        """
+        if length <= 0:
+            return {}
+        if offset < 0:
+            raise LayoutError(f"extent offset must be >= 0, got {offset}")
+        end = offset + length
+        first = offset // self.stripe_size
+        last = (end - 1) // self.stripe_size
+        out: dict[int, int] = {}
+        factor = self.stripe_factor
+        for disk in self.disks:
+            phase = disk - self.starting_disk
+            # Stripes s in [first, last] with s % factor == phase.
+            lo = first + ((phase - first) % factor)
+            if lo > last:
+                continue
+            count = (last - lo) // factor + 1
+            total = count * self.stripe_size
+            # Correct the (possibly partial) boundary stripes.
+            if lo == first:
+                total -= offset - first * self.stripe_size
+            hi = lo + (count - 1) * factor
+            if hi == last:
+                total -= (last + 1) * self.stripe_size - end
+            if total > 0:
+                out[disk] = total
+        return out

@@ -1,0 +1,93 @@
+"""Break-even analysis for disk power transitions.
+
+A power transition only pays off when the idle gap is long enough to
+amortize its cost.  This module gives closed forms for:
+
+* the **TPM break-even** gap length (spin down + spin up beats idling) —
+  ~15.2 s with Table 1 figures, the quantity that makes TPM useless on the
+  original benchmarks and viable after the paper's §6 transformations;
+* the **DRPM per-level break-even**: the smallest gap for which descending
+  to level ``l`` and returning to full speed beats idling at full speed.
+
+These are the planner's feasibility thresholds; the planner itself then
+*optimizes* (picks the energy-minimizing level), but tests validate it
+against these independent formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..disksim.powermodel import PowerModel
+
+__all__ = [
+    "tpm_breakeven_s",
+    "tpm_cycle_energy_j",
+    "drpm_cycle_energy_j",
+    "drpm_breakeven_s",
+    "drpm_breakeven_table",
+]
+
+
+def tpm_breakeven_s(pm: PowerModel) -> float:
+    """Minimum gap for which a spin-down/up cycle saves energy."""
+    return pm.disk.tpm_breakeven_s
+
+
+def tpm_cycle_energy_j(pm: PowerModel, gap_s: float) -> float:
+    """Energy of spending a gap as: spin down, standby, spin up.
+
+    Requires the transitions to fit (``gap_s >= t_down + t_up``); raises
+    ``ValueError`` otherwise, since the cycle is infeasible.
+    """
+    t_trans = pm.spin_down_time_s + pm.spin_up_time_s
+    if gap_s < t_trans:
+        raise ValueError(
+            f"gap {gap_s:.3f}s cannot fit spin down+up of {t_trans:.3f}s"
+        )
+    return (
+        pm.spin_down_energy_j
+        + pm.spin_up_energy_j
+        + pm.standby_power_w * (gap_s - t_trans)
+    )
+
+
+def drpm_cycle_energy_j(pm: PowerModel, gap_s: float, rpm: int) -> float:
+    """Energy of spending a gap as: ramp down to ``rpm``, idle there, ramp
+    back to full speed."""
+    top = pm.disk.rpm
+    t_down = pm.transition_time_s(top, rpm)
+    t_up = pm.transition_time_s(rpm, top)
+    if gap_s < t_down + t_up:
+        raise ValueError(
+            f"gap {gap_s:.3f}s cannot fit RPM round-trip of {t_down + t_up:.3f}s"
+        )
+    return (
+        pm.transition_energy_j(top, rpm)
+        + pm.transition_energy_j(rpm, top)
+        + pm.idle_power_w(rpm) * (gap_s - t_down - t_up)
+    )
+
+
+def drpm_breakeven_s(pm: PowerModel, rpm: int) -> float:
+    """Smallest gap for which descending to ``rpm`` (and returning) beats
+    idling at full speed.
+
+    Solves ``E_down + E_up + P_l * (L - t) < P_max * L`` for ``L``, floored
+    at the round-trip time ``t``.
+    """
+    top = pm.disk.rpm
+    if rpm == top:
+        return 0.0
+    t = pm.transition_time_s(top, rpm) + pm.transition_time_s(rpm, top)
+    e = pm.transition_energy_j(top, rpm) + pm.transition_energy_j(rpm, top)
+    p_low = pm.idle_power_w(rpm)
+    p_max = pm.idle_power_w(top)
+    if p_max <= p_low:
+        return float("inf")
+    return max(t, (e - p_low * t) / (p_max - p_low))
+
+
+def drpm_breakeven_table(pm: PowerModel) -> dict[int, float]:
+    """Break-even gap for every supported level (diagnostics/reports)."""
+    return {rpm: drpm_breakeven_s(pm, rpm) for rpm in pm.levels}

@@ -1,0 +1,110 @@
+"""Render a compiler plan as paper-style modified code (Figure 2(d)).
+
+The paper shows its output as source code with ``spin_down``/``spin_up``
+calls woven between strip-mined loops.  :func:`render_plan` produces that
+view: the program's pseudo-code with every planned call printed at its
+insertion point, annotated with the gap it serves.  This is a *display*
+of the plan — the executable form is the directive stream the trace
+generator builds from the same placements.
+
+:func:`insert_calls_into_nest` additionally materializes a plan's calls for
+one nest as real IR (peeled loops with :class:`~repro.ir.nodes.PowerCall`
+nodes between them), which the tests use to check that the woven code is
+structurally faithful.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..ir.nodes import Loop, Node, PowerCall
+from ..ir.pretty import format_loop
+from ..ir.program import Program
+from ..trace.generator import CallPlacement
+from ..util.errors import TransformError
+
+__all__ = ["render_plan", "insert_calls_into_nest"]
+
+
+def render_plan(program: Program, placements: Sequence[CallPlacement]) -> str:
+    """Pseudo-code of ``program`` with the plan's calls woven in.
+
+    Calls with fraction 0 print immediately before their iteration; calls
+    with a positive fraction print inside the iteration (the strip-mined
+    position after the body's accesses, paper §3).
+    """
+    by_nest: dict[int, list[CallPlacement]] = defaultdict(list)
+    for p in placements:
+        if not 0 <= p.nest < len(program.nests):
+            raise TransformError(f"placement targets unknown nest {p.nest}")
+        by_nest[p.nest].append(p)
+
+    lines: list[str] = [f"program {program.name} with inserted power calls:"]
+    for idx, nest in enumerate(program.nests):
+        lines.append(f"  nest {idx}:  # {nest}")
+        calls = sorted(by_nest.get(idx, []), key=lambda p: (p.iteration, p.fraction))
+        if not calls:
+            lines.append("    " + format_loop(nest, depth=0).replace("\n", "\n    "))
+            continue
+        cursor = 0
+        for p in calls:
+            where = (
+                f"before iteration {p.iteration}"
+                if p.fraction == 0.0
+                else f"within iteration {p.iteration} (after its accesses)"
+            )
+            if p.iteration > cursor:
+                lines.append(
+                    f"    for {nest.var} in [{cursor}, {p.iteration}): ... body ..."
+                )
+            lines.append(f"    {p.call}  # {where}")
+            cursor = max(cursor, p.iteration + (1 if p.fraction > 0 else 0))
+            if p.fraction > 0:
+                lines.append(
+                    f"    for {nest.var} in [{p.iteration}, {p.iteration + 1}): "
+                    "... body continues after the call ..."
+                )
+        if cursor < nest.trip_count:
+            lines.append(
+                f"    for {nest.var} in [{cursor}, {nest.trip_count}): ... body ..."
+            )
+    return "\n".join(lines)
+
+
+def insert_calls_into_nest(
+    nest: Loop, placements: Sequence[CallPlacement]
+) -> list[Node]:
+    """Materialize whole-iteration placements for one nest as IR.
+
+    The nest is peeled at each placement's iteration ordinal, with the
+    :class:`PowerCall` nodes between the peels — the executable shape of
+    paper Figure 2(d).  Fractional placements are rounded *down* to their
+    iteration boundary (strictly-inside-the-body positions require the
+    strip-mined body form, which display uses but IR peeling approximates
+    conservatively: the call runs before the iteration's accesses, i.e.
+    never later than planned).
+
+    Requires a normalized loop (lower 0, step 1).
+    """
+    if nest.lower != 0 or nest.step != 1:
+        raise TransformError("call insertion requires a normalized loop")
+    marks: list[tuple[int, PowerCall]] = []
+    for p in placements:
+        if not 0 <= p.iteration <= nest.trip_count:
+            raise TransformError(
+                f"placement iteration {p.iteration} outside [0, {nest.trip_count}]"
+            )
+        marks.append((p.iteration, p.call))
+    marks.sort(key=lambda m: m[0])
+
+    out: list[Node] = []
+    cursor = 0
+    for at, call in marks:
+        if at > cursor:
+            out.append(Loop(nest.var, cursor, at, nest.body, nest.step))
+            cursor = at
+        out.append(call)
+    if cursor < nest.trip_count:
+        out.append(Loop(nest.var, cursor, nest.trip_count, nest.body, nest.step))
+    return out

@@ -1,0 +1,154 @@
+"""Per-gap power-mode planning — the decision kernel shared by the oracle
+and compiler-directed schemes (paper §§3, 4.2).
+
+Given one idle gap, the planner picks the mode minimizing the energy spent
+inside the gap, subject to the disk being back at full capability before
+the gap ends (zero performance impact by construction):
+
+* **TPM planning** considers one alternative — spin down, standby, spin up
+  in time — and takes it iff it beats idling (i.e. the gap exceeds the
+  break-even length);
+* **DRPM planning** evaluates every supported RPM level vectorized and
+  takes the argmin of ``E_down(l) + P_idle(l) * residual + E_up(l)`` over
+  the levels whose round-trip fits the gap.
+
+For *trailing* gaps (no subsequent access) the return transition is
+dropped.  ITPM/IDRPM call this on **realized** gaps; CMTPM/CMDRPM on
+**estimated** gaps with a safety margin — the planner itself is identical,
+which is precisely the paper's oracle-versus-compiler framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.idle import IdleGap
+from ..disksim.powermodel import PowerModel
+from ..util.errors import AnalysisError
+
+__all__ = ["GapMode", "GapDecision", "plan_tpm_gap", "plan_drpm_gap", "plan_gaps"]
+
+
+class GapMode(str, Enum):
+    """What to do with an idle gap."""
+
+    NONE = "none"  # stay idle at full speed
+    STANDBY = "standby"  # TPM: spin down
+    RPM = "rpm"  # DRPM: descend to a lower level
+
+
+@dataclass(frozen=True)
+class GapDecision:
+    """The planned use of one idle gap on one disk."""
+
+    gap: IdleGap
+    mode: GapMode
+    #: Target level for :attr:`GapMode.RPM`; ``None`` otherwise.
+    target_rpm: int | None
+    #: When to start the downward transition (gap start).
+    down_at_s: float
+    #: Latest start of the upward transition so it completes before the gap
+    #: ends (minus any safety margin); ``None`` for trailing gaps or NONE.
+    up_at_s: float | None
+    #: Planner's estimate of energy saved versus idling through the gap.
+    est_saving_j: float
+
+    @property
+    def acts(self) -> bool:
+        return self.mode is not GapMode.NONE
+
+
+def plan_tpm_gap(
+    gap: IdleGap, pm: PowerModel, safety_margin_s: float = 0.0
+) -> GapDecision:
+    """Optimal TPM use of one gap (spin down or do nothing)."""
+    if safety_margin_s < 0:
+        raise AnalysisError("safety margin must be >= 0")
+    length = gap.duration_s
+    t_down, t_up = pm.spin_down_time_s, pm.spin_up_time_s
+    idle_cost = pm.idle_power_w(pm.disk.rpm) * length
+    none = GapDecision(gap, GapMode.NONE, None, gap.start_s, None, 0.0)
+    if gap.trailing:
+        usable = length - t_down
+        if usable <= 0:
+            return none
+        cost = pm.spin_down_energy_j + pm.standby_power_w * usable
+        if cost >= idle_cost:
+            return none
+        return GapDecision(
+            gap, GapMode.STANDBY, None, gap.start_s, None, idle_cost - cost
+        )
+    usable = length - t_down - t_up - safety_margin_s
+    if usable <= 0:
+        return none
+    cost = (
+        pm.spin_down_energy_j
+        + pm.spin_up_energy_j
+        + pm.standby_power_w * usable
+        + pm.idle_power_w(pm.disk.rpm) * safety_margin_s
+    )
+    if cost >= idle_cost:
+        return none
+    up_at = gap.end_s - t_up - safety_margin_s
+    return GapDecision(
+        gap, GapMode.STANDBY, None, gap.start_s, up_at, idle_cost - cost
+    )
+
+
+def plan_drpm_gap(
+    gap: IdleGap, pm: PowerModel, safety_margin_s: float = 0.0
+) -> GapDecision:
+    """Optimal DRPM use of one gap: the energy-minimizing reachable level.
+
+    Vectorized over all levels; the disk is assumed to enter the gap at
+    full speed (the planner's own up-transitions guarantee it for the
+    next gap).
+    """
+    if safety_margin_s < 0:
+        raise AnalysisError("safety margin must be >= 0")
+    length = gap.duration_s
+    top = pm.disk.rpm
+    levels = np.asarray(pm.levels)
+    per_step = pm.drpm.transition_time_per_step_s
+    steps = pm.steps_from_max.astype(float)
+    t_down = steps * per_step
+    t_up = np.zeros_like(t_down) if gap.trailing else t_down
+    margin = 0.0 if gap.trailing else safety_margin_s
+    usable = length - t_down - t_up - margin
+    p_idle = pm.idle_power_per_level
+    p_top = pm.idle_power_w(top)
+    # Transition segments draw the faster level's power == top level here.
+    cost = p_top * (t_down + t_up) + p_idle * np.maximum(usable, 0.0) + p_top * margin
+    cost = np.where(usable >= 0, cost, np.inf)
+    idle_cost = p_top * length
+    best = int(np.argmin(cost))
+    best_rpm = int(levels[best])
+    if best_rpm == top or not np.isfinite(cost[best]) or cost[best] >= idle_cost:
+        return GapDecision(gap, GapMode.NONE, None, gap.start_s, None, 0.0)
+    up_at = None if gap.trailing else gap.end_s - float(t_up[best]) - margin
+    return GapDecision(
+        gap,
+        GapMode.RPM,
+        best_rpm,
+        gap.start_s,
+        up_at,
+        float(idle_cost - cost[best]),
+    )
+
+
+def plan_gaps(
+    gaps: Sequence[IdleGap],
+    pm: PowerModel,
+    kind: str,
+    safety_margin_s: float = 0.0,
+) -> list[GapDecision]:
+    """Plan a list of gaps with the TPM or DRPM policy (``kind``)."""
+    if kind == "tpm":
+        return [plan_tpm_gap(g, pm, safety_margin_s) for g in gaps]
+    if kind == "drpm":
+        return [plan_drpm_gap(g, pm, safety_margin_s) for g in gaps]
+    raise AnalysisError(f"unknown planning kind {kind!r} (use 'tpm' or 'drpm')")

@@ -1,0 +1,82 @@
+"""Pre-activation distance — paper Equation (1).
+
+To hide a wake-up latency ``Tsu`` (a spin-up, or an RPM ramp back to full
+speed) the compiler inserts the pre-activation call ``d`` outer iterations
+before the first access of the next active phase::
+
+    d = ceil( Tsu / (s + Tm) )                                   (Eq. 1)
+
+where ``s`` is the time of the shortest path through one loop iteration and
+``Tm`` the overhead of the call itself.  Because the loop is strip-mined
+rather than unrolled, ``d`` may exceed the iterations remaining in the
+current nest — :func:`place_before` then spills the placement backwards
+into earlier nests along the (estimated) timeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.cycles import ProgramTiming
+from ..util.errors import AnalysisError
+
+__all__ = ["preactivation_distance", "place_before", "place_at_or_after"]
+
+
+def preactivation_distance(tsu_s: float, iter_s: float, tm_s: float = 0.0) -> int:
+    """Equation (1): iterations of lead needed to hide ``tsu_s``."""
+    if tsu_s < 0 or tm_s < 0:
+        raise AnalysisError("times must be non-negative")
+    if iter_s + tm_s <= 0:
+        raise AnalysisError("loop iteration time must be positive")
+    return math.ceil(tsu_s / (iter_s + tm_s))
+
+
+def place_before(
+    timing: ProgramTiming,
+    nest: int,
+    iteration: int,
+    lead_s: float,
+    tm_s: float = 0.0,
+) -> tuple[int, int]:
+    """Position ``lead_s`` of compute time before (nest, iteration-ordinal).
+
+    Applies Eq. 1 within the target nest; if the distance underflows the
+    nest, the remainder spills into the preceding nests (the activation
+    call simply lands in an earlier loop).  Clamps at the program start.
+    """
+    if not 0 <= nest < len(timing.nests):
+        raise AnalysisError(f"nest {nest} out of range")
+    n = nest
+    ordinal = iteration
+    remaining = lead_s
+    while True:
+        nt = timing.nest(n)
+        if nt.trip_count > 0 and nt.seconds_per_iteration + tm_s > 0:
+            d = preactivation_distance(remaining, nt.seconds_per_iteration, tm_s)
+            if d <= ordinal:
+                return n, ordinal - d
+            remaining -= ordinal * (nt.seconds_per_iteration + tm_s)
+        if n == 0:
+            return 0, 0
+        n -= 1
+        ordinal = timing.nest(n).trip_count
+
+
+def place_at_or_after(
+    timing: ProgramTiming, t_s: float
+) -> tuple[int, int]:
+    """First (nest, iteration-ordinal) boundary at or after time ``t_s`` on
+    the given timeline (used to place spin-*down* calls so they can never
+    precede the last access of the ending active phase)."""
+    if t_s <= 0:
+        return 0, 0
+    for nt in timing.nests:
+        if t_s <= nt.end_s + 1e-12:
+            if nt.seconds_per_iteration <= 0 or nt.trip_count == 0:
+                return nt.nest_index, nt.trip_count
+            frac = (t_s - nt.start_s) / nt.seconds_per_iteration
+            ordinal = min(nt.trip_count, math.ceil(frac - 1e-9))
+            return nt.nest_index, max(0, ordinal)
+    last = timing.nests[-1]
+    return last.nest_index, last.trip_count

@@ -1,0 +1,26 @@
+"""Trace generation and trace-file I/O (paper §4.1)."""
+
+from .buffercache import BufferCache
+from .generator import (
+    CallPlacement,
+    TraceOptions,
+    directives_at_positions,
+    generate_trace,
+)
+from .request import DirectiveRecord, IORequest, Trace
+from .tracefile import format_trace, parse_trace, read_trace, write_trace
+
+__all__ = [
+    "BufferCache",
+    "CallPlacement",
+    "TraceOptions",
+    "directives_at_positions",
+    "generate_trace",
+    "DirectiveRecord",
+    "IORequest",
+    "Trace",
+    "format_trace",
+    "parse_trace",
+    "read_trace",
+    "write_trace",
+]

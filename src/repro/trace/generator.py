@@ -1,0 +1,183 @@
+"""Trace generator (paper §4.1).
+
+Walks a program's loop nests in execution order, filters every array
+access through the buffer cache, and emits one :class:`~repro.trace.request.
+IORequest` per missing byte run (split at ``max_request_bytes``).  Request
+arrival times come from the *actual* cycle model — the generator plays the
+role of the instrumented real execution on the paper's Blade1000.
+
+The walk is vectorized at outer-iteration granularity: each reference's
+footprint is pre-analyzed once per nest (:mod:`repro.analysis.access`) and
+its per-iteration byte extents are produced by shifting the base extents —
+no per-element Python work.
+
+Directive attachment is separate: :func:`directives_at_positions` converts
+a power plan's (nest, iteration) placements to nominal times on the same
+timeline, and :meth:`Trace.with_directives` glues them on.  This lets one
+base trace be shared by every scheme (Base/TPM/DRPM/oracles see the same
+requests; only directive streams differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.access import NestAccess, analyze_program
+from ..analysis.cycles import ProgramTiming, compute_timing
+from ..ir.nodes import AccessMode, PowerCall
+from ..ir.program import Program
+from ..layout.files import SubsystemLayout
+from ..util.errors import TraceError
+from ..util.units import KB
+from .buffercache import BufferCache
+from .request import DirectiveRecord, IORequest, Trace
+
+__all__ = ["generate_trace", "directives_at_positions", "CallPlacement", "TraceOptions"]
+
+
+@dataclass(frozen=True)
+class TraceOptions:
+    """Knobs of the trace generator."""
+
+    buffer_cache_bytes: int = 8 * 1024 * KB
+    cache_line_bytes: int = 8 * KB
+    max_request_bytes: int = 64 * KB
+
+    def __post_init__(self) -> None:
+        if self.max_request_bytes <= 0:
+            raise TraceError("max_request_bytes must be positive")
+        if self.cache_line_bytes <= 0:
+            raise TraceError("cache_line_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class CallPlacement:
+    """A power call pinned to a loop position.
+
+    The call executes at outer iteration ``iteration`` (ordinal) of nest
+    ``nest``, ``fraction`` of the way through that iteration's body —
+    fraction 0 is "immediately before the iteration", and any positive
+    fraction is a strip-mined position *after* the iteration's array
+    accesses (the trace generator stamps a nest iteration's I/O at its
+    start).  Ordinal ``trip_count`` (fraction 0) means "right after the
+    nest finishes"."""
+
+    nest: int
+    iteration: int
+    call: PowerCall
+    fraction: float = 0.0
+
+
+def generate_trace(
+    program: Program,
+    layout: SubsystemLayout,
+    options: TraceOptions | None = None,
+    accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
+) -> Trace:
+    """Produce the I/O request trace of ``program`` under ``layout``."""
+    opts = options or TraceOptions()
+    if accesses is None:
+        accesses = analyze_program(program)
+    if timing is None:
+        timing = compute_timing(program)
+    if len(accesses) != len(program.nests):
+        raise TraceError("access summaries do not match program nests")
+
+    cache = BufferCache(opts.buffer_cache_bytes, opts.cache_line_bytes)
+    requests: list[IORequest] = []
+    cap = opts.max_request_bytes
+
+    for acc in accesses:
+        nt = timing.nest(acc.nest_index)
+        if acc.nest.trip_count == 0:
+            continue
+        # Pre-compute per-footprint base byte extents and per-iteration shift.
+        prepared = []
+        for fp in acc.footprints:
+            arr = fp.ref.array
+            if arr.memory_resident:
+                continue
+            ext = fp.base.flat_extents(arr)
+            if ext.num_runs == 0:
+                continue
+            esize = arr.element_size
+            file_size = layout.entry(arr.name).size_bytes
+            prepared.append(
+                (
+                    fp,
+                    arr.name,
+                    ext.starts * esize,
+                    ext.lengths * esize,
+                    fp.flat_shift_per_outer_iter() * esize,
+                    file_size,
+                )
+            )
+        for t, v in enumerate(acc.nest.iter_values()):
+            t_nominal = nt.iteration_start_s(t)
+            for fp, name, starts0, lengths, shift, file_size in prepared:
+                starts = starts0 + shift * v
+                missing = cache.access_extents(name, starts, lengths)
+                if not missing:
+                    continue
+                is_write = fp.ref.mode is AccessMode.WRITE
+                for off, ln in missing:
+                    # Cache lines may overhang the file tail; clip.
+                    if off >= file_size:
+                        continue
+                    ln = min(ln, file_size - off)
+                    pos = off
+                    remaining = ln
+                    while remaining > 0:
+                        chunk = min(cap, remaining)
+                        requests.append(
+                            IORequest(
+                                nominal_time_s=t_nominal,
+                                array=name,
+                                offset=pos,
+                                nbytes=chunk,
+                                is_write=is_write,
+                                nest=acc.nest_index,
+                                iteration=int(v),
+                            )
+                        )
+                        pos += chunk
+                        remaining -= chunk
+
+    return Trace(
+        program_name=program.name,
+        layout=layout,
+        requests=tuple(requests),
+        directives=(),
+        total_compute_s=timing.total_seconds,
+    )
+
+
+def directives_at_positions(
+    placements: Sequence[CallPlacement], timing: ProgramTiming
+) -> list[DirectiveRecord]:
+    """Convert loop-position call placements to timed directive records.
+
+    ``timing`` must be the *actual* timeline (the code executes when the
+    program counter reaches the insertion point, regardless of what the
+    compiler estimated).
+    """
+    out: list[DirectiveRecord] = []
+    for p in placements:
+        nt = timing.nest(p.nest)
+        if not 0 <= p.iteration <= nt.trip_count:
+            raise TraceError(
+                f"placement iteration {p.iteration} out of range for nest "
+                f"{p.nest} with {nt.trip_count} iterations"
+            )
+        if not 0.0 <= p.fraction <= 1.0:
+            raise TraceError(f"placement fraction {p.fraction} outside [0, 1]")
+        t = nt.iteration_start_s(p.iteration)
+        if p.fraction > 0.0:
+            if p.iteration >= nt.trip_count:
+                raise TraceError("fractional placement beyond the last iteration")
+            t += p.fraction * nt.seconds_per_iteration
+        out.append(DirectiveRecord(nominal_time_s=t, call=p.call))
+    out.sort(key=lambda d: d.nominal_time_s)
+    return out

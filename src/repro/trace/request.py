@@ -1,0 +1,131 @@
+"""Trace records.
+
+A trace is the program-ordered stream the simulator replays.  It contains
+two record kinds:
+
+* :class:`IORequest` — one blocking disk access, in the paper's four-field
+  format (arrival time, start block, size, read/write) plus provenance
+  (which array / nest / iteration produced it, used by reports and tests);
+* :class:`DirectiveRecord` — a compiler-inserted power-management call
+  (paper §3), pinned to its position in the instruction stream.
+
+``nominal_time_s`` is the record's timestamp on the *unperturbed* timeline
+(no power-management slowdowns): the compute time accumulated before the
+record executes.  At replay, the simulator shifts nominal times by the
+slowdown accumulated so far — which is exactly how code inserted at a loop
+position behaves on a real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..ir.nodes import PowerCall
+from ..layout.files import SubsystemLayout
+from ..util.errors import TraceError
+
+__all__ = ["IORequest", "DirectiveRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One logical (file-level) disk request; may span several disks."""
+
+    nominal_time_s: float
+    array: str
+    offset: int
+    nbytes: int
+    is_write: bool
+    nest: int = -1
+    iteration: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nominal_time_s < 0:
+            raise TraceError(f"negative request time {self.nominal_time_s}")
+        if self.offset < 0:
+            raise TraceError(f"negative request offset {self.offset}")
+        if self.nbytes <= 0:
+            raise TraceError(f"request size must be positive, got {self.nbytes}")
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.is_write else "read"
+
+
+@dataclass(frozen=True)
+class DirectiveRecord:
+    """A power-management call at its program position."""
+
+    nominal_time_s: float
+    call: PowerCall
+
+    def __post_init__(self) -> None:
+        if self.nominal_time_s < 0:
+            raise TraceError(f"negative directive time {self.nominal_time_s}")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete replayable trace for one program under one layout."""
+
+    program_name: str
+    layout: SubsystemLayout
+    requests: tuple[IORequest, ...]
+    directives: tuple[DirectiveRecord, ...] = field(default=())
+    #: Total compute time on the unperturbed timeline (execution time of the
+    #: Base scheme minus I/O stalls).
+    total_compute_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        object.__setattr__(self, "directives", tuple(self.directives))
+        prev = 0.0
+        for r in self.requests:
+            if r.nominal_time_s < prev - 1e-12:
+                raise TraceError("requests must be ordered by nominal time")
+            prev = r.nominal_time_s
+        prev = 0.0
+        for d in self.directives:
+            if d.nominal_time_s < prev - 1e-12:
+                raise TraceError("directives must be ordered by nominal time")
+            prev = d.nominal_time_s
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.requests)
+
+    def merged(self) -> Iterator[IORequest | DirectiveRecord]:
+        """All records in replay order.
+
+        Ties at the same nominal time execute the directive first — the
+        compiler inserts calls *before* the iteration whose accesses follow.
+        """
+        ri, di = 0, 0
+        reqs, dirs = self.requests, self.directives
+        while ri < len(reqs) and di < len(dirs):
+            if dirs[di].nominal_time_s <= reqs[ri].nominal_time_s:
+                yield dirs[di]
+                di += 1
+            else:
+                yield reqs[ri]
+                ri += 1
+        yield from dirs[di:]
+        yield from reqs[ri:]
+
+    def with_directives(self, directives: Sequence[DirectiveRecord]) -> "Trace":
+        """A copy carrying a (sorted) directive stream — how the per-scheme
+        planners attach their calls to a shared base trace."""
+        ordered = tuple(sorted(directives, key=lambda d: d.nominal_time_s))
+        return Trace(
+            program_name=self.program_name,
+            layout=self.layout,
+            requests=self.requests,
+            directives=ordered,
+            total_compute_s=self.total_compute_s,
+        )

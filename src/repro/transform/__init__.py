@@ -1,0 +1,44 @@
+"""Disk-layout-aware code transformations (paper §6)."""
+
+from .disk_alloc import allocate_disks, group_layout
+from .fission import FissionResult, fission_nest, fission_program, fissionable
+from .grouping import ArrayGroup, UnionFind, array_groups, nest_statement_groups
+from .pdc import array_popularity, pdc_layout
+from .pipeline import VERSION_NAMES, TransformedVersion, make_version
+from .stripmine import strip_mine, strip_mine_with_call
+from .tiling import (
+    MultiTilingResult,
+    TilingResult,
+    apply_tiling,
+    apply_tiling_multi,
+    costliest_nest_index,
+    is_perfect_2d_nest,
+    tile_nest_loops,
+)
+
+__all__ = [
+    "allocate_disks",
+    "group_layout",
+    "FissionResult",
+    "fission_nest",
+    "fission_program",
+    "fissionable",
+    "ArrayGroup",
+    "UnionFind",
+    "array_groups",
+    "nest_statement_groups",
+    "array_popularity",
+    "pdc_layout",
+    "VERSION_NAMES",
+    "TransformedVersion",
+    "make_version",
+    "strip_mine",
+    "strip_mine_with_call",
+    "MultiTilingResult",
+    "TilingResult",
+    "apply_tiling",
+    "apply_tiling_multi",
+    "costliest_nest_index",
+    "is_perfect_2d_nest",
+    "tile_nest_loops",
+]

@@ -1,0 +1,85 @@
+"""Proportional disk allocation — the closing step of paper Fig. 11.
+
+"Allocate disks to array groups based on total data size in each group":
+every group receives a contiguous, **disjoint** range of disks, at least
+one each, remaining disks distributed by the largest-remainder method on
+group footprints.  Each array of a group is then striped over exactly its
+group's disks, so executing a loop that touches one group leaves every
+other group's disks untouched for the loop's whole duration — the long
+idle periods that make the **+DL** versions effective (paper §6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.arrays import Array
+from ..layout.files import SubsystemLayout, default_layout
+from ..layout.striping import Striping
+from ..util.errors import TransformError
+from .grouping import ArrayGroup
+
+__all__ = ["allocate_disks", "group_layout"]
+
+
+def allocate_disks(
+    groups: Sequence[ArrayGroup], num_disks: int
+) -> list[tuple[int, int]]:
+    """Assign each group a contiguous ``(starting_disk, count)`` range.
+
+    Proportional to group bytes with a one-disk floor; largest-remainder
+    rounding; deterministic (groups are pre-sorted by footprint).
+    """
+    k = len(groups)
+    if k == 0:
+        raise TransformError("no array groups to allocate")
+    if num_disks < k:
+        raise TransformError(
+            f"{k} array groups need at least {k} disks, have {num_disks}"
+        )
+    total = sum(g.total_bytes for g in groups)
+    spare = num_disks - k
+    if total <= 0:
+        extras = [0] * k
+        for i in range(spare):
+            extras[i % k] += 1
+    else:
+        quotas = [spare * g.total_bytes / total for g in groups]
+        extras = [int(q) for q in quotas]
+        remaining = spare - sum(extras)
+        order = sorted(
+            range(k), key=lambda i: (quotas[i] - extras[i]), reverse=True
+        )
+        for i in order[:remaining]:
+            extras[i] += 1
+    counts = [1 + e for e in extras]
+    out: list[tuple[int, int]] = []
+    start = 0
+    for c in counts:
+        out.append((start, c))
+        start += c
+    return out
+
+
+def group_layout(
+    arrays: Sequence[Array],
+    groups: Sequence[ArrayGroup],
+    num_disks: int,
+    stripe_size: int,
+) -> SubsystemLayout:
+    """Build the LF+DL disk layout: each array striped over exactly its
+    group's disk range (same stripe unit as the default layout)."""
+    ranges = allocate_disks(groups, num_disks)
+    striping_of: dict[str, Striping] = {}
+    for (start, count), group in zip(ranges, groups):
+        for name in group.arrays:
+            striping_of[name] = Striping(start, count, stripe_size)
+    base = default_layout(arrays, num_disks=num_disks, stripe_size=stripe_size)
+    missing = [
+        e.array_name for e in base.entries if e.array_name not in striping_of
+    ]
+    if missing:
+        # Arrays declared but never referenced keep the default striping.
+        for name in missing:
+            striping_of[name] = base.striping(name)
+    return base.with_striping(striping_of)

@@ -1,0 +1,146 @@
+"""Loop distribution (fission) — paper §6.1 and Fig. 11.
+
+Fission splits a nest whose statements touch disjoint array groups into one
+loop per group, so the groups execute one after another instead of
+interleaved.  On its own (the paper's **LF** version) this does *not* help
+disk energy — every group's arrays are still striped over every disk; the
+benefit appears when the fissioned loops are combined with the
+disk-allocation step (:mod:`repro.transform.disk_alloc`, giving **LF+DL**):
+while one group's loop runs, the disks holding the other groups stay idle
+for the whole loop — idle periods long enough to make even TPM viable
+(paper §6.2).
+
+Legality here is group-disjointness: statements in different groups share
+no arrays, hence no dependences, so reordering their iterations across
+loops preserves semantics.  A nest is *fissionable* when it contains
+statements from at least two groups — the paper notes wupwise and galgel
+contain no fissionable nests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.nodes import Loop, PowerCall, Statement
+from ..ir.program import Program
+from ..util.errors import TransformError
+from .grouping import ArrayGroup, array_groups
+
+__all__ = ["FissionResult", "fissionable", "fission_nest", "fission_program"]
+
+
+def _groups_in_nest(nest: Loop, groups: Sequence[ArrayGroup]) -> list[int]:
+    """Indices of the program-wide groups whose arrays this nest touches,
+    in order of first appearance in the nest body."""
+    index_of: dict[str, int] = {}
+    for gi, g in enumerate(groups):
+        for name in g.arrays:
+            index_of[name] = gi
+    seen: list[int] = []
+    for stmt in nest.statements():
+        for name in sorted(stmt.arrays):
+            gi = index_of[name]
+            if gi not in seen:
+                seen.append(gi)
+    return seen
+
+
+def fissionable(nest: Loop, groups: Sequence[ArrayGroup]) -> bool:
+    """True when the nest's statements split into >= 2 disjoint groups."""
+    return len(_groups_in_nest(nest, groups)) >= 2
+
+
+def _filter_loop(loop: Loop, keep: frozenset[str]) -> Loop | None:
+    """Copy of ``loop`` retaining only statements whose arrays are all in
+    ``keep``; prunes emptied inner loops.  Returns ``None`` if nothing
+    remains."""
+    body: list = []
+    for node in loop.body:
+        if isinstance(node, Loop):
+            inner = _filter_loop(node, keep)
+            if inner is not None:
+                body.append(inner)
+        elif isinstance(node, Statement):
+            if node.arrays <= keep:
+                body.append(node)
+        elif isinstance(node, PowerCall):  # pragma: no cover - pre-insertion
+            raise TransformError("cannot fission a loop with inserted power calls")
+    if not body:
+        return None
+    return loop.with_body(tuple(body))
+
+
+def fission_nest(
+    nest: Loop, groups: Sequence[ArrayGroup], var_suffixes: bool = True
+) -> list[Loop]:
+    """Distribute one nest into one loop per array group (Fig. 11's
+    "Generate fissioned loops" step).
+
+    The resulting loops appear in group-first-appearance order; loop
+    variables are suffixed (``i`` -> ``i_g0``) so the program stays
+    shadowing-free if nests are later merged.
+    """
+    order = _groups_in_nest(nest, groups)
+    if len(order) < 2:
+        return [nest]
+    out: list[Loop] = []
+    for k, gi in enumerate(order):
+        filtered = _filter_loop(nest, groups[gi].arrays)
+        if filtered is None:  # pragma: no cover - order guarantees content
+            continue
+        if var_suffixes:
+            mapping = {v: f"{v}_g{k}" for v in filtered.loop_variables()}
+            filtered = _rename_loop(filtered, mapping)
+        out.append(filtered)
+    return out
+
+
+def _rename_loop(loop: Loop, mapping: dict[str, str]) -> Loop:
+    body: list = []
+    for node in loop.body:
+        if isinstance(node, Loop):
+            body.append(_rename_loop(node, mapping))
+        elif isinstance(node, Statement):
+            body.append(node.rename(mapping))
+        else:
+            body.append(node)
+    return Loop(
+        var=mapping.get(loop.var, loop.var),
+        lower=loop.lower,
+        upper=loop.upper,
+        body=tuple(body),
+        step=loop.step,
+    )
+
+
+@dataclass(frozen=True)
+class FissionResult:
+    """Outcome of program-wide loop distribution."""
+
+    program: Program
+    groups: tuple[ArrayGroup, ...]
+    #: For each original nest index, the indices of the nests that replaced
+    #: it in the transformed program.
+    nest_mapping: tuple[tuple[int, ...], ...]
+
+    @property
+    def any_applied(self) -> bool:
+        return any(len(m) > 1 for m in self.nest_mapping)
+
+
+def fission_program(program: Program) -> FissionResult:
+    """Apply Fig. 11's loop distribution to every fissionable nest."""
+    groups = tuple(array_groups(program))
+    new_nests: list[Loop] = []
+    mapping: list[tuple[int, ...]] = []
+    for nest in program.nests:
+        pieces = fission_nest(nest, groups)
+        first = len(new_nests)
+        new_nests.extend(pieces)
+        mapping.append(tuple(range(first, len(new_nests))))
+    return FissionResult(
+        program=program.with_nests(tuple(new_nests)),
+        groups=groups,
+        nest_mapping=tuple(mapping),
+    )

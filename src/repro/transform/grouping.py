@@ -1,0 +1,111 @@
+"""Array grouping — the first half of the paper's Fig. 11 algorithm.
+
+Two arrays belong to the same *array group* when some statement accesses
+both (directly or transitively through shared arrays): the paper's example
+puts U2 and U5 in one group "as they are coupled via array U1".  Groups are
+computed with a union-find over the statements' array sets, visiting every
+statement of every nest exactly as Fig. 11's pseudo-code does.
+
+Disjoint groups are the fission/disk-allocation currency: statements whose
+groups differ can be distributed into separate loops, and each group can be
+assigned a disjoint set of disks so that running one group's loop lets the
+other groups' disks sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..ir.nodes import Loop, Statement
+from ..ir.program import Program
+
+__all__ = ["UnionFind", "array_groups", "nest_statement_groups", "ArrayGroup"]
+
+
+class UnionFind:
+    """Classic disjoint-set forest over hashable keys."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+        self._rank: dict[str, int] = {}
+
+    def add(self, key: str) -> None:
+        if key not in self._parent:
+            self._parent[key] = key
+            self._rank[key] = 0
+
+    def find(self, key: str) -> str:
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def groups(self) -> list[frozenset[str]]:
+        by_root: dict[str, set[str]] = {}
+        for key in self._parent:
+            by_root.setdefault(self.find(key), set()).add(key)
+        return [frozenset(members) for members in by_root.values()]
+
+
+@dataclass(frozen=True)
+class ArrayGroup:
+    """One array group with its total on-disk footprint."""
+
+    arrays: frozenset[str]
+    total_bytes: int
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+
+def array_groups(program: Program) -> list[ArrayGroup]:
+    """Fig. 11's AG set: array groups over the whole program, largest first.
+
+    Ordering (by descending footprint, ties by name) is deterministic so
+    disk allocation is reproducible.
+    """
+    uf = UnionFind()
+    for stmt in program.statements():
+        names = sorted(stmt.arrays)
+        for name in names:
+            uf.add(name)
+        for other in names[1:]:
+            uf.union(names[0], other)
+    amap = program.array_map
+    groups = [
+        ArrayGroup(g, sum(amap[n].size_bytes for n in g)) for g in uf.groups()
+    ]
+    groups.sort(key=lambda g: (-g.total_bytes, sorted(g.arrays)))
+    return groups
+
+
+def nest_statement_groups(
+    nest: Loop, groups: Sequence[ArrayGroup]
+) -> dict[int, list[Statement]]:
+    """Partition a nest's statements by the (program-wide) group index that
+    owns their arrays.  A statement's arrays always fall in exactly one
+    group by construction."""
+    index_of: dict[str, int] = {}
+    for gi, g in enumerate(groups):
+        for name in g.arrays:
+            index_of[name] = gi
+    out: dict[int, list[Statement]] = {}
+    for stmt in nest.statements():
+        gis = {index_of[name] for name in stmt.arrays}
+        assert len(gis) == 1, "statement spans multiple array groups"
+        out.setdefault(gis.pop(), []).append(stmt)
+    return out

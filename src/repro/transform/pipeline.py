@@ -1,0 +1,113 @@
+"""Transformation versions — paper §6.2's LF / TL / LF+DL / TL+DL.
+
+Each builder takes the original (program, layout) and returns the
+transformed pair plus a record of what was done.  The four versions:
+
+* **LF** — loop fission alone; arrays keep the default all-disk striping
+  (expected: no benefit — included, as in the paper, to show that
+  layout-oblivious restructuring does not lengthen disk inter-access
+  times);
+* **LF+DL** — fission plus Fig. 11's proportional disk allocation: each
+  array group striped over a disjoint disk range;
+* **TL** — tiling of the costliest nest alone (same expectation as LF);
+* **TL+DL** — tiling plus Fig. 12's layout transformation and band-sized
+  stripes (tile-to-disk mapping);
+* **TL*+DL** — *extension* (the paper's §6.1 future work): every perfect
+  2-deep nest is tiled, with per-array layout decisions reconciled across
+  nests.
+
+Any version may then be combined with any power-management scheme
+(TPM/DRPM, oracle, compiler-directed) by the experiment runner, exactly as
+the paper combines them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.program import Program
+from ..layout.files import SubsystemLayout
+from .disk_alloc import group_layout
+from .fission import fission_program
+from .tiling import apply_tiling, apply_tiling_multi
+
+__all__ = ["TransformedVersion", "make_version", "VERSION_NAMES"]
+
+#: The paper's versions plus one extension: ``TL*+DL`` is the paper's
+#: stated future work (tiling every nest rather than only the costliest).
+VERSION_NAMES: tuple[str, ...] = ("orig", "LF", "TL", "LF+DL", "TL+DL", "TL*+DL")
+
+
+@dataclass(frozen=True)
+class TransformedVersion:
+    """A (program, layout) pair produced by one transformation version."""
+
+    name: str
+    program: Program
+    layout: SubsystemLayout
+    #: Whether the transformation changed anything (galgel/wupwise have no
+    #: fissionable nests, so their LF versions are identity).
+    applied: bool
+    detail: str = ""
+
+
+def make_version(
+    name: str, program: Program, layout: SubsystemLayout
+) -> TransformedVersion:
+    """Build one of the paper's code-transformation versions."""
+    if name == "orig":
+        return TransformedVersion("orig", program, layout, applied=False)
+
+    if name in ("LF", "LF+DL"):
+        res = fission_program(program)
+        if not res.any_applied:
+            return TransformedVersion(
+                name, program, layout, applied=False, detail="no fissionable nests"
+            )
+        if name == "LF":
+            return TransformedVersion(
+                name,
+                res.program,
+                layout,
+                applied=True,
+                detail=f"{len(res.groups)} array groups, default striping",
+            )
+        stripe = layout.entries[0].striping.stripe_size if layout.entries else 65536
+        new_layout = group_layout(
+            res.program.arrays, res.groups, layout.num_disks, stripe
+        )
+        return TransformedVersion(
+            name,
+            res.program,
+            new_layout,
+            applied=True,
+            detail=f"{len(res.groups)} groups over {layout.num_disks} disks",
+        )
+
+    if name == "TL*+DL":
+        res = apply_tiling_multi(program, layout, with_layout=True)
+        detail = (
+            f"nests {list(res.tiled_nests)} tiled, "
+            f"transposed={list(res.transposed)}, "
+            f"band_striped={len(res.band_striped)} arrays, "
+            f"conflicts={list(res.conflicts)}"
+            if res.applied
+            else "no tileable nests"
+        )
+        return TransformedVersion(
+            name, res.program, res.layout, applied=res.applied, detail=detail
+        )
+
+    if name in ("TL", "TL+DL"):
+        res = apply_tiling(program, layout, with_layout=(name == "TL+DL"))
+        detail = (
+            f"nest {res.nest_index} tiled {res.tile_shape}, "
+            f"transposed={list(res.transposed)}, band_striped={list(res.band_striped)}"
+            if res.applied
+            else "costliest nest not tileable"
+        )
+        return TransformedVersion(
+            name, res.program, res.layout, applied=res.applied, detail=detail
+        )
+
+    raise ValueError(f"unknown version {name!r}; expected one of {VERSION_NAMES}")

@@ -1,0 +1,346 @@
+"""Layout-aware loop tiling — paper §6.1 and Fig. 12.
+
+Tiling restructures a (perfectly nested, 2-deep) loop nest into tile
+iterators over element iterators::
+
+    for i in [0,N1): for j in [0,N2): S(i,j)
+      -->
+    for ti in [0,B1): for tj in [0,B2):
+        for ei in [0,T1): for ej in [0,T2): S(T1*ti+ei, T2*tj+ej)
+
+On its own (the paper's **TL** version) this does not reduce disk energy —
+tiles are still scattered over every disk by the default 64 KB striping.
+The **DL** companion (``TL+DL``) makes it effective, per Fig. 12:
+
+* arrays whose access pattern does not conform to their storage pattern are
+  layout-transformed (row-major <-> column-major) — the paper's wupwise
+  case;
+* each array's stripe size is set to ``DS(i)``, the data the nest consumes
+  from that array per tile step, so one tile band lives on exactly one disk
+  and bands used together land on the *same* disk (the tile-to-disk mapping
+  of Fig. 10(c)).
+
+During a given ``ti`` the execution then touches only the disks holding the
+current bands; all others see idle periods of ``(num_disks - 1)`` band
+durations — long enough for deep RPM descents and even TPM spin-downs.
+
+Following the paper, tiling targets only the single most I/O-costly nest
+("in our current implementation, we applied it only to the most costly
+nest"); extending it to multiple nests is the paper's future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.access import analyze_nest
+from ..ir.arrays import Array, StorageOrder
+from ..ir.expr import Affine, var
+from ..ir.nodes import Loop, Statement
+from ..ir.program import Program
+from ..layout.files import SubsystemLayout
+from ..layout.striping import Striping
+from ..util.errors import TransformError
+
+__all__ = [
+    "TilingResult",
+    "MultiTilingResult",
+    "is_perfect_2d_nest",
+    "tile_nest_loops",
+    "costliest_nest_index",
+    "apply_tiling",
+    "apply_tiling_multi",
+]
+
+
+def is_perfect_2d_nest(nest: Loop) -> bool:
+    """True for ``for i { for j { statements... } }`` shapes with all
+    subscripts affine in (i, j) — the form Fig. 12 handles."""
+    if len(nest.body) != 1 or not isinstance(nest.body[0], Loop):
+        return False
+    inner = nest.body[0]
+    if not inner.body or not all(isinstance(n, Statement) for n in inner.body):
+        return False
+    allowed = {nest.var, inner.var}
+    for stmt in inner.body:
+        assert isinstance(stmt, Statement)
+        if not stmt.variables <= allowed:
+            return False
+    return True
+
+
+def _pick_tile(extent: int, target_bands: int) -> tuple[int, int]:
+    """Largest band count <= target that divides the extent; returns
+    (tile, bands)."""
+    bands = min(target_bands, extent)
+    while bands > 1 and extent % bands != 0:
+        bands -= 1
+    return extent // bands, bands
+
+
+def tile_nest_loops(nest: Loop, t1: int, t2: int) -> Loop:
+    """Rewrite a perfect 2-deep nest with tile sizes (t1, t2).
+
+    Tile sizes must divide the respective trip counts; loops must start at
+    zero with unit step (the benchmarks' normalized form).
+    """
+    if not is_perfect_2d_nest(nest):
+        raise TransformError("tiling requires a perfect 2-deep nest")
+    inner = nest.body[0]
+    assert isinstance(inner, Loop)
+    for loop in (nest, inner):
+        if loop.lower != 0 or loop.step != 1:
+            raise TransformError(
+                f"tiling requires normalized loops, got {loop}"
+            )
+    n1, n2 = nest.upper, inner.upper
+    if n1 % t1 or n2 % t2:
+        raise TransformError(
+            f"tile sizes ({t1}, {t2}) must divide trip counts ({n1}, {n2})"
+        )
+    ti, tj = f"{nest.var}_t", f"{inner.var}_t"
+    ei, ej = f"{nest.var}_e", f"{inner.var}_e"
+    sub_i = var(ti) * t1 + var(ei)
+    sub_j = var(tj) * t2 + var(ej)
+    stmts = []
+    for node in inner.body:
+        assert isinstance(node, Statement)
+        refs = tuple(
+            r.substitute(nest.var, sub_i).substitute(inner.var, sub_j)
+            for r in node.refs
+        )
+        stmts.append(Statement(refs=refs, cost_cycles=node.cost_cycles, label=node.label))
+    ej_loop = Loop(ej, 0, t2, tuple(stmts))
+    ei_loop = Loop(ei, 0, t1, (ej_loop,))
+    tj_loop = Loop(tj, 0, n2 // t2, (ei_loop,))
+    return Loop(ti, 0, n1 // t1, (tj_loop,))
+
+
+def costliest_nest_index(program: Program) -> int:
+    """The nest with the largest disk footprint (bytes referenced), the
+    paper's "most costly nest (as far as disk energy is concerned)"."""
+    amap = program.array_map
+    best, best_bytes = 0, -1
+    for i, nest in enumerate(program.nests):
+        total = sum(amap[name].size_bytes for name in nest.arrays)
+        if total > best_bytes:
+            best, best_bytes = i, total
+    return best
+
+
+@dataclass(frozen=True)
+class TilingResult:
+    """Outcome of (layout-aware) tiling."""
+
+    program: Program
+    layout: SubsystemLayout
+    nest_index: int
+    tile_shape: tuple[int, int] | None
+    #: Arrays whose storage order was flipped (the DL layout transformation).
+    transposed: tuple[str, ...]
+    #: Arrays re-striped to band-sized units (the DL tile-to-disk mapping).
+    band_striped: tuple[str, ...]
+    applied: bool
+
+
+def apply_tiling(
+    program: Program,
+    layout: SubsystemLayout,
+    with_layout: bool,
+    bands_per_disk: int = 2,
+) -> TilingResult:
+    """Tile the costliest nest; optionally apply the DL layout steps.
+
+    ``bands_per_disk`` sets the target outer band count as a multiple of
+    the disk count (Fig. 12's tile-size choice degree of freedom).
+    """
+    idx = costliest_nest_index(program)
+    nest = program.nests[idx]
+    if not is_perfect_2d_nest(nest):
+        return TilingResult(
+            program, layout, idx, None, (), (), applied=False
+        )
+    inner = nest.body[0]
+    assert isinstance(inner, Loop)
+    target = bands_per_disk * layout.num_disks
+    t1, b1 = _pick_tile(nest.trip_count, target)
+    t2, _ = _pick_tile(inner.trip_count, target)
+    tiled = tile_nest_loops(nest, t1, t2)
+    new_program = program.with_nest(idx, tiled)
+    if not with_layout:
+        return TilingResult(
+            new_program, layout, idx, (t1, t2), (), (), applied=True
+        )
+
+    # --- DL step 1: layout-transform non-conforming arrays --------------- #
+    transposed: dict[str, Array] = {}
+    amap = program.array_map
+    inner_var = inner.var
+    for stmt in inner.body:
+        assert isinstance(stmt, Statement)
+        for ref in stmt.refs:
+            arr = amap[ref.array.name]
+            if arr.rank != 2 or arr.name in transposed:
+                continue
+            fast_dim = 1 if arr.order is StorageOrder.ROW_MAJOR else 0
+            slow_dim = 1 - fast_dim
+            in_fast = inner_var in ref.subscripts[fast_dim].variables
+            in_slow = inner_var in ref.subscripts[slow_dim].variables
+            if in_slow and not in_fast:
+                transposed[arr.name] = arr.with_order(arr.order.transposed())
+    if transposed:
+        new_program = new_program.with_arrays(transposed)
+
+    # --- DL step 2: stripe size(i) <- DS(i) (band-sized stripes) --------- #
+    tiled_nest = new_program.nests[idx]
+    access = analyze_nest(tiled_nest, idx)
+    band_stripings: dict[str, Striping] = {}
+    new_amap = new_program.array_map
+    per_array_ds: dict[str, int] = {}
+    for fp in access.footprints:
+        name = fp.ref.array.name
+        ext = fp.base.flat_extents(new_amap[name])
+        if ext.num_runs != 1:
+            per_array_ds[name] = -1  # non-contiguous band: leave striping
+            continue
+        ds = ext.total_elements * new_amap[name].element_size
+        if per_array_ds.get(name, 0) >= 0:
+            per_array_ds[name] = max(per_array_ds.get(name, 0), ds)
+    for name, ds in per_array_ds.items():
+        if ds <= 0 or ds >= new_amap[name].size_bytes:
+            continue
+        band_stripings[name] = Striping(
+            starting_disk=0, stripe_factor=layout.num_disks, stripe_size=ds
+        )
+    new_layout = layout.with_striping(band_stripings) if band_stripings else layout
+    return TilingResult(
+        program=new_program,
+        layout=new_layout,
+        nest_index=idx,
+        tile_shape=(t1, t2),
+        transposed=tuple(sorted(transposed)),
+        band_striped=tuple(sorted(band_stripings)),
+        applied=True,
+    )
+
+
+@dataclass(frozen=True)
+class MultiTilingResult:
+    """Outcome of the multi-nest tiling extension."""
+
+    program: Program
+    layout: SubsystemLayout
+    #: Indices of the nests that were tiled.
+    tiled_nests: tuple[int, ...]
+    transposed: tuple[str, ...]
+    band_striped: tuple[str, ...]
+    #: Arrays whose nests disagreed on the preferred storage order (left
+    #: untransformed — the conservative resolution).
+    conflicts: tuple[str, ...]
+
+    @property
+    def applied(self) -> bool:
+        return bool(self.tiled_nests)
+
+
+def apply_tiling_multi(
+    program: Program,
+    layout: SubsystemLayout,
+    with_layout: bool = True,
+    bands_per_disk: int = 1,
+) -> MultiTilingResult:
+    """Tile **every** perfect 2-deep nest — the paper's stated future work
+    ("Extending this tiling approach to multiple nests is in our future
+    agenda", §6.1).
+
+    Per-array decisions are reconciled across nests:
+
+    * an array is layout-transformed only if every tiled nest that touches
+      it agrees it is non-conforming (disagreements are recorded in
+      :attr:`MultiTilingResult.conflicts` and left untouched — transposing
+      would simply move the scatter to the other nests);
+    * the band stripe size ``DS(i)`` is taken from the *costliest* tiled
+      nest touching the array, resolving the single-nest algorithm's
+      "may not be preferable for the remaining nests" caveat in the most
+      favourable direction.
+    """
+    target = bands_per_disk * layout.num_disks
+    tiled_nests: list[int] = []
+    new_program = program
+    # Pass 1: tile every perfect 2-deep nest, collecting per-nest
+    # conformance votes per array.
+    votes: dict[str, set[bool]] = {}
+    nest_of_array_cost: dict[str, tuple[int, int]] = {}  # name -> (bytes, nest)
+    amap = program.array_map
+    for idx, nest in enumerate(program.nests):
+        if not is_perfect_2d_nest(nest):
+            continue
+        if all(amap[n].memory_resident for n in nest.arrays):
+            continue  # in-memory compute nest: no disk behaviour to shape
+        inner = nest.body[0]
+        assert isinstance(inner, Loop)
+        t1, _ = _pick_tile(nest.trip_count, target)
+        t2, _ = _pick_tile(inner.trip_count, target)
+        new_program = new_program.with_nest(idx, tile_nest_loops(nest, t1, t2))
+        tiled_nests.append(idx)
+        nest_bytes = sum(
+            amap[n].size_bytes for n in nest.arrays if not amap[n].memory_resident
+        )
+        for stmt in inner.body:
+            assert isinstance(stmt, Statement)
+            for ref in stmt.refs:
+                arr = amap[ref.array.name]
+                if arr.rank != 2 or arr.memory_resident:
+                    continue
+                fast_dim = 1 if arr.order is StorageOrder.ROW_MAJOR else 0
+                in_fast = inner.var in ref.subscripts[fast_dim].variables
+                in_slow = inner.var in ref.subscripts[1 - fast_dim].variables
+                votes.setdefault(arr.name, set()).add(in_slow and not in_fast)
+                best = nest_of_array_cost.get(arr.name)
+                if best is None or nest_bytes > best[0]:
+                    nest_of_array_cost[arr.name] = (nest_bytes, idx)
+    if not tiled_nests:
+        return MultiTilingResult(program, layout, (), (), (), ())
+    if not with_layout:
+        return MultiTilingResult(
+            new_program, layout, tuple(tiled_nests), (), (), ()
+        )
+
+    # Pass 2: reconcile layout transformations.
+    transposed: dict[str, Array] = {}
+    conflicts: list[str] = []
+    for name, vote_set in votes.items():
+        if vote_set == {True}:
+            arr = amap[name]
+            transposed[name] = arr.with_order(arr.order.transposed())
+        elif len(vote_set) == 2:
+            conflicts.append(name)
+    if transposed:
+        new_program = new_program.with_arrays(transposed)
+
+    # Pass 3: band stripes from each array's costliest tiled nest.
+    new_amap = new_program.array_map
+    band_stripings: dict[str, Striping] = {}
+    for name, (_, idx) in nest_of_array_cost.items():
+        access = analyze_nest(new_program.nests[idx], idx)
+        ds = -1
+        for fp in access.footprints:
+            if fp.ref.array.name != name:
+                continue
+            ext = fp.base.flat_extents(new_amap[name])
+            if ext.num_runs != 1:
+                ds = -1
+                break
+            ds = max(ds, ext.total_elements * new_amap[name].element_size)
+        if ds <= 0 or ds >= new_amap[name].size_bytes:
+            continue
+        band_stripings[name] = Striping(0, layout.num_disks, ds)
+    new_layout = layout.with_striping(band_stripings) if band_stripings else layout
+    return MultiTilingResult(
+        program=new_program,
+        layout=new_layout,
+        tiled_nests=tuple(tiled_nests),
+        transposed=tuple(sorted(transposed)),
+        band_striped=tuple(sorted(band_stripings)),
+        conflicts=tuple(sorted(conflicts)),
+    )

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses discriminate the layer
+that failed: IR construction, compiler analysis, layout mapping, trace
+generation, simulation, or transformation legality.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad loop bounds, unknown arrays, non-affine subscripts."""
+
+
+class AnalysisError(ReproError):
+    """A compiler analysis could not be completed (e.g. unsupported access)."""
+
+
+class LayoutError(ReproError):
+    """Invalid disk layout: bad striping tuple, overlapping file extents."""
+
+
+class TraceError(ReproError):
+    """Trace generation or trace-file parsing failed."""
+
+
+class SimulationError(ReproError):
+    """The disk simulator was driven into an inconsistent state."""
+
+
+class TransformError(ReproError):
+    """A code transformation is illegal or inapplicable to the given nest."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration parameter value."""

@@ -1,0 +1,70 @@
+"""Unit helpers and conversion constants.
+
+The paper mixes units freely (milliseconds in traces, seconds in disk
+parameters, megabytes in tables, bytes in striping math, cycles in the
+compiler model).  All internal computation in this library uses **seconds,
+bytes, joules, and watts**; these helpers convert at the boundaries and give
+names to magic constants so call sites stay readable.
+"""
+
+from __future__ import annotations
+
+#: Bytes per kilobyte / megabyte / gigabyte (binary, as disk vendors of the
+#: era used for stripe sizes; the paper's "64 KB" stripe is 65536 bytes).
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+#: Disk sector size in bytes.  Trace "start block" numbers are sector
+#: indices, matching DiskSim conventions.
+SECTOR_BYTES: int = 512
+
+#: Seconds per millisecond / nanosecond.
+MS: float = 1e-3
+NS: float = 1e-9
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * MS
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s / MS
+
+
+def bytes_to_mb(n: int | float) -> float:
+    """Convert a byte count to (binary) megabytes."""
+    return n / MB
+
+
+def mb_to_bytes(mb: float) -> int:
+    """Convert (binary) megabytes to a byte count."""
+    return int(round(mb * MB))
+
+
+def bytes_to_sectors(n: int) -> int:
+    """Number of whole sectors needed to hold ``n`` bytes (ceiling)."""
+    return -(-n // SECTOR_BYTES)
+
+
+def rpm_to_rotation_time_s(rpm: float) -> float:
+    """Full-revolution time in seconds for a spindle speed in RPM."""
+    if rpm <= 0:
+        raise ValueError(f"rpm must be positive, got {rpm}")
+    return 60.0 / rpm
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds at a given clock rate."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to a cycle count at a given clock rate."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz

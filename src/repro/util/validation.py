@@ -1,0 +1,65 @@
+"""Small validation helpers used across configuration dataclasses.
+
+These raise :class:`repro.util.errors.ConfigError` with a message naming the
+offending field, so mis-configured experiments fail loudly at construction
+time instead of producing silently wrong energy numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+from .errors import ConfigError
+
+T = TypeVar("T")
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``cond`` holds."""
+    if not cond:
+        raise ConfigError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive; return it."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0; return it."""
+    if not value >= 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Validate that ``lo <= value <= hi``; return ``value``."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def require_int(value: object, name: str) -> int:
+    """Validate that ``value`` is an integer (bool excluded); return it."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an int, got {value!r}")
+    return value
+
+
+def require_nonempty(seq: Iterable[T], name: str) -> list[T]:
+    """Validate that ``seq`` has at least one element; return it as a list."""
+    items = list(seq)
+    if not items:
+        raise ConfigError(f"{name} must be non-empty")
+    return items
+
+
+def require_sorted_unique(seq: Iterable[float], name: str) -> list[float]:
+    """Validate that ``seq`` is strictly increasing; return it as a list."""
+    items = list(seq)
+    for a, b in zip(items, items[1:]):
+        if not a < b:
+            raise ConfigError(f"{name} must be strictly increasing, got {items!r}")
+    return items

@@ -1,0 +1,16 @@
+"""Benchmark workload models (the paper's Table 2 suite)."""
+
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase, io_sweep
+from .registry import WORKLOAD_NAMES, all_workloads, build_workload
+
+__all__ = [
+    "PaperCharacteristics",
+    "Workload",
+    "CLOCK_HZ",
+    "compute_phase",
+    "io_sweep",
+    "WORKLOAD_NAMES",
+    "all_workloads",
+    "build_workload",
+]

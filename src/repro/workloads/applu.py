@@ -1,0 +1,86 @@
+"""173.applu — parabolic/elliptic PDE solver (Table 2: 54.7 MB, 7 004
+requests, 5 875.11 J, 70 142.24 ms).
+
+Model: six 8 MB Jacobian blocks (1024 x 1024 doubles, 8 KB rows) plus a
+6.5 MB right-hand side (832 x 1024).  The two SSOR sweeps each carry
+statements over disjoint groups (fissionable — §6.2: applu benefits from
+LF+DL), and the lower-triangular solve is a perfect 2-deep nest over the
+three largest arrays — the tiling target (applu benefits from TL+DL too).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cycles import EstimationModel
+from ..ir.builder import ProgramBuilder
+from ..trace.generator import TraceOptions
+from ..util.units import KB, MB
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase, io_sweep
+
+__all__ = ["build"]
+
+PAPER = PaperCharacteristics(
+    data_size_mb=54.7,
+    num_disk_requests=7004,
+    base_energy_j=5875.11,
+    base_time_ms=70142.24,
+    fissionable=True,
+    tiling_benefits=True,
+    misprediction_pct=18.97,
+)
+
+ROWS, WIDTH = 1024, 1024  # 8 KB rows; 8 MB per array
+RHS_ROWS = 832  # 6.5 MB right-hand side
+
+
+def build() -> Workload:
+    b = ProgramBuilder("applu", clock_hz=CLOCK_HZ)
+    a = b.array("JA", (ROWS, WIDTH))
+    bb = b.array("JB", (ROWS, WIDTH))
+    c = b.array("JC", (ROWS, WIDTH))
+    d = b.array("JD", (ROWS, WIDTH))
+    e = b.array("JE", (ROWS, WIDTH))
+    f = b.array("JF", (ROWS, WIDTH))
+    rhs = b.array("RHS", (RHS_ROWS, WIDTH))
+    scratch = b.array("PIV", (4, 512), memory_resident=True)
+
+    # jacld: Jacobian assembly — three disjoint groups {JA}, {JB}, {JC};
+    # perfect 2-deep and largest footprint => also the tiling target.
+    io_sweep(
+        b, "jacld",
+        [[(a, False), (a, True)], [(bb, False), (bb, True)], [(c, False), (c, True)]],
+        ROWS, WIDTH, cyc_per_row=2.4e6,
+    )
+    compute_phase(b, "ssor1", scratch, duration_s=11.4)
+    # blts: lower-triangular solve — groups {JD, JE} and {JF}.
+    io_sweep(
+        b, "blts",
+        [[(d, False), (e, True)], [(f, False), (f, True)]],
+        ROWS, WIDTH, cyc_per_row=2.4e6,
+    )
+    compute_phase(b, "ssor2", scratch, duration_s=11.4)
+    # rhs update (single group {RHS}).
+    io_sweep(b, "rhs", [[(rhs, False), (rhs, True)]], RHS_ROWS, WIDTH, cyc_per_row=1.8e6)
+    compute_phase(b, "ssor3", scratch, duration_s=11.4)
+    # Pipeline boundary exchange between the two final SSOR half-steps —
+    # keeps the idle periods separate (each stays under the TPM break-even).
+    with b.nest("exch", 0, 64) as i:
+        with b.loop("ej", 0, WIDTH) as j:
+            b.stmt(reads=[bb[i, j]], cycles=2.0)
+    compute_phase(b, "ssor4", scratch, duration_s=11.2)
+    # l2norm over a fresh slice; execution ends on I/O.
+    with b.nest("norm", 0, 64) as i:
+        with b.loop("nj", 0, WIDTH) as j:
+            b.stmt(reads=[a[i, j]], cycles=2.0)
+
+    return Workload(
+        name="applu",
+        program=b.build(),
+        trace_options=TraceOptions(
+            buffer_cache_bytes=8 * MB,
+            cache_line_bytes=8 * KB,
+            max_request_bytes=8 * KB,
+        ),
+        estimation=EstimationModel(relative_error=0.24),
+        paper=PAPER,
+    )

@@ -1,0 +1,50 @@
+"""Workload specification types.
+
+Each benchmark module produces a :class:`Workload`: the IR program, its
+trace-generation options (request granularity differs per benchmark — the
+Table 2 request counts imply ~2 KB requests for mgrid but ~32 KB for swim),
+the compiler's estimation-error magnitude (which drives the Table 3
+misprediction rates), and the paper's published characteristics
+(:class:`PaperCharacteristics`) that the reproduction is checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.cycles import EstimationModel
+from ..ir.program import Program
+from ..trace.generator import TraceOptions
+
+__all__ = ["PaperCharacteristics", "Workload"]
+
+
+@dataclass(frozen=True)
+class PaperCharacteristics:
+    """Table 2's row for one benchmark, plus §6.2's transformation traits."""
+
+    data_size_mb: float
+    num_disk_requests: int
+    base_energy_j: float
+    base_time_ms: float
+    #: §6.2: does the benchmark contain fissionable nests?
+    fissionable: bool
+    #: §6.2: does TL+DL yield additional savings (wupwise, applu, mesa)?
+    tiling_benefits: bool
+    #: Table 3: percentage of mispredicted disk speeds for CMDRPM.
+    misprediction_pct: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark ready to run through the full pipeline."""
+
+    name: str
+    program: Program
+    trace_options: TraceOptions
+    estimation: EstimationModel
+    paper: PaperCharacteristics
+
+    @property
+    def data_size_mb(self) -> float:
+        return self.program.total_data_bytes / (1024 * 1024)

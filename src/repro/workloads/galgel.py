@@ -1,0 +1,72 @@
+"""178.galgel — Galerkin fluid dynamics (Table 2: 16.0 MB, 2 048 requests,
+1 715.37 J, 20 478.80 ms).
+
+Model: two 8 MB Galerkin-coefficient matrices (1024 x 1024 doubles, 8 KB
+rows — 16 MB / 2 048 requests = 8 KB each), swept by statements that read
+one and write the other, which couples both arrays into a *single* array
+group — so no nest is fissionable, exactly as §6.2 states.  The sweep
+nests carry an additional per-row reduction statement at the outer level,
+making them imperfect and hence untileable; and the row-wise access
+already conforms to the row-major layout.  galgel therefore gains nothing
+from any of the LF/TL/LF+DL/TL+DL versions — the paper's negative control.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cycles import EstimationModel
+from ..ir.builder import ProgramBuilder
+from ..trace.generator import TraceOptions
+from ..util.units import KB, MB
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase
+
+__all__ = ["build"]
+
+PAPER = PaperCharacteristics(
+    data_size_mb=16.0,
+    num_disk_requests=2048,
+    base_energy_j=1715.37,
+    base_time_ms=20478.80,
+    fissionable=False,
+    tiling_benefits=False,
+    misprediction_pct=15.9,
+)
+
+ROWS, WIDTH = 1024, 1024  # 8 KB rows; 8 MB per array
+
+
+def build() -> Workload:
+    b = ProgramBuilder("galgel", clock_hz=CLOCK_HZ)
+    g1 = b.array("G1", (ROWS, WIDTH))
+    g2 = b.array("G2", (ROWS, WIDTH))
+    scratch = b.array("EIG", (4, 512), memory_resident=True)
+
+    # Each sweep nest is *imperfect* (a row-level reduction statement at the
+    # outer level plus the element-wise inner loop) and couples G1 with G2
+    # in every statement: one array group, nothing to fission or tile.
+    def half(tag: str, lo: int, hi: int) -> None:
+        with b.nest(f"i_{tag}", lo, hi) as i:
+            b.stmt(reads=[g1[i, 0]], writes=[g2[i, 0]], cycles=200)
+            with b.loop(f"j_{tag}", 0, WIDTH) as j:
+                b.stmt(reads=[g1[i, j]], writes=[g2[i, j]], cycles=2.3)
+
+    half("gal1", 0, ROWS // 2)
+    compute_phase(b, "spectral1", scratch, duration_s=7.6)
+    half("gal2", ROWS // 2, ROWS)
+    compute_phase(b, "spectral2", scratch, duration_s=7.2)
+    # Closing residual check over a fresh slice so execution ends on I/O.
+    with b.nest("i_fin", 0, 64) as i:
+        with b.loop("j_fin", 0, WIDTH) as j:
+            b.stmt(reads=[g2[i, j]], cycles=2.0)
+
+    return Workload(
+        name="galgel",
+        program=b.build(),
+        trace_options=TraceOptions(
+            buffer_cache_bytes=8 * MB,
+            cache_line_bytes=8 * KB,
+            max_request_bytes=8 * KB,
+        ),
+        estimation=EstimationModel(relative_error=0.03),
+        paper=PAPER,
+    )

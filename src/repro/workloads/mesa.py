@@ -1,0 +1,70 @@
+"""177.mesa — 3-D graphics library (Table 2: 24.0 MB, 3 072 requests,
+2 667.00 J, 31 869.54 ms).
+
+Model: three 8 MB buffers — vertex, texture, and frame buffer
+(1024 x 1024 doubles, 8 KB rows; 24 MB / 3 072 requests = 8 KB each).
+The geometry nest processes the vertex and texture streams with two
+disjoint-group statements (fissionable — §6.2: mesa benefits from LF+DL)
+and, being a perfect 2-deep nest over the two largest arrays, it is also
+the tiling target (mesa benefits from TL+DL too).  Rasterization and
+shading run in-cache between the streaming phases.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cycles import EstimationModel
+from ..ir.builder import ProgramBuilder
+from ..trace.generator import TraceOptions
+from ..util.units import KB, MB
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase, io_sweep
+
+__all__ = ["build"]
+
+PAPER = PaperCharacteristics(
+    data_size_mb=24.0,
+    num_disk_requests=3072,
+    base_energy_j=2667.00,
+    base_time_ms=31869.54,
+    fissionable=True,
+    tiling_benefits=True,
+    misprediction_pct=27.35,
+)
+
+ROWS, WIDTH = 1024, 1024  # 8 KB rows; 8 MB per array
+
+
+def build() -> Workload:
+    b = ProgramBuilder("mesa", clock_hz=CLOCK_HZ)
+    vtx = b.array("VTX", (ROWS, WIDTH))
+    tex = b.array("TEX", (ROWS, WIDTH))
+    fb = b.array("FB", (ROWS, WIDTH))
+    scratch = b.array("TILEBUF", (4, 512), memory_resident=True)
+
+    # geometry: vertex transform + texture fetch, disjoint groups
+    # {VTX} and {TEX}; perfect 2-deep nest => the tiling target.
+    io_sweep(
+        b, "geom",
+        [[(vtx, False), (vtx, True)], [(tex, False), (tex, True)]],
+        ROWS, WIDTH, cyc_per_row=4.0e6,
+    )
+    compute_phase(b, "raster1", scratch, duration_s=8.1)
+    # writeback: shaded fragments stream to the frame buffer ({FB}).
+    io_sweep(b, "writeback", [[(fb, True)]], ROWS, WIDTH, cyc_per_row=2.2e6)
+    compute_phase(b, "raster2", scratch, duration_s=7.9)
+    # Final swap touches a fresh frame-buffer slice; execution ends on I/O.
+    with b.nest("swap", 0, 64) as i:
+        with b.loop("sj", 0, WIDTH) as j:
+            b.stmt(reads=[vtx[i, j]], cycles=2.0)
+
+    return Workload(
+        name="mesa",
+        program=b.build(),
+        trace_options=TraceOptions(
+            buffer_cache_bytes=8 * MB,
+            cache_line_bytes=8 * KB,
+            max_request_bytes=8 * KB,
+        ),
+        estimation=EstimationModel(relative_error=0.22),
+        paper=PAPER,
+    )

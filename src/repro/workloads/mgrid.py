@@ -1,0 +1,86 @@
+"""172.mgrid — multigrid solver (Table 2: 24.7 MB, 12 288 requests,
+10 600.54 J, 126 651.12 ms).
+
+Model: three 8 MB fine-grid arrays (4096 x 256 doubles; Table 2's
+24.7 MB / 12 288 requests imply ~2 KB requests) plus a small cached
+coarse-grid hierarchy.  The residual nest sweeps the fine grid and the
+residual array with two disjoint-group statements (fissionable; §6.2:
+mgrid benefits from LF+DL); the long V-cycle relaxations on the cached
+coarse grids account for the dominant compute time (mgrid runs 126 s on
+the paper's machine — 4x swim on a quarter of the data).  Each V-cycle
+ends with a small boundary-exchange sweep over a fresh slice of the fine
+grid, so consecutive relaxations remain *separate* idle periods of ~12 s
+each — below the ~15.2 s TPM break-even, as the paper's §5.1 requires.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cycles import EstimationModel
+from ..ir.builder import ProgramBuilder
+from ..trace.generator import TraceOptions
+from ..util.units import KB, MB
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase, io_sweep
+
+__all__ = ["build"]
+
+PAPER = PaperCharacteristics(
+    data_size_mb=24.7,
+    num_disk_requests=12288,
+    base_energy_j=10600.54,
+    base_time_ms=126651.12,
+    fissionable=True,
+    tiling_benefits=False,
+    misprediction_pct=13.02,
+)
+
+ROWS, WIDTH = 4096, 256  # 2 KB rows; 8 MB per array
+TOUCH_ROWS = 256  # boundary-exchange slice (512 KB = one full stripe rotation)
+
+
+def build() -> Workload:
+    b = ProgramBuilder("mgrid", clock_hz=CLOCK_HZ)
+    u1 = b.array("U1", (ROWS, WIDTH))
+    r1 = b.array("R1", (ROWS, WIDTH))
+    u2 = b.array("U2", (ROWS, WIDTH))
+    coarse = b.array("COARSE", (8, 512), memory_resident=True)  # cached multigrid hierarchy
+
+    # resid: fine-grid sweep; two disjoint groups {U1} and {R1}.
+    io_sweep(
+        b, "resid",
+        [[(u1, False), (u1, True)], [(r1, False), (r1, True)]],
+        ROWS, WIDTH, cyc_per_row=5.0e3, perfect=False,
+    )
+
+    def vcycle(k: int, duration_s: float) -> None:
+        compute_phase(b, f"vcycle{k}", coarse, duration_s=duration_s, iters=600)
+        # Boundary exchange over a fresh fine-grid slice (misses the cache:
+        # the preceding big sweeps evicted it).
+        lo = (k * TOUCH_ROWS) % (ROWS - TOUCH_ROWS)
+        with b.nest(f"bx{k}", lo, lo + TOUCH_ROWS) as i:
+            with b.loop(f"bj{k}", 0, WIDTH) as j:
+                b.stmt(reads=[u1[i, j]], cycles=4.0)
+
+    for k in range(4):
+        vcycle(k, 11.9)
+    # psinv: smoother over the correction array (single group {U2}).
+    io_sweep(b, "psinv", [[(u2, False), (u2, True)]], 1536, WIDTH, cyc_per_row=5.0e3, perfect=False)
+    for k in range(4, 8):
+        vcycle(k, 11.9)
+    # Final residual check: re-sweep a slice of R1 so execution ends on I/O
+    # (no exploitable trailing idle gap, matching the paper's flat TPM bars).
+    with b.nest("final", 0, 512) as i:
+        with b.loop("fj", 0, WIDTH) as j:
+            b.stmt(reads=[r1[i, j]], cycles=4.0)
+
+    return Workload(
+        name="mgrid",
+        program=b.build(),
+        trace_options=TraceOptions(
+            buffer_cache_bytes=8 * MB,
+            cache_line_bytes=2 * KB,
+            max_request_bytes=2 * KB,
+        ),
+        estimation=EstimationModel(relative_error=0.04),
+        paper=PAPER,
+    )

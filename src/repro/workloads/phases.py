@@ -1,0 +1,98 @@
+"""Shared phase builders for the benchmark models.
+
+The six Specfp2000 codes are modeled (DESIGN.md §3, substitution 2) as
+interleavings of two phase archetypes the array-intensive originals
+exhibit:
+
+* :func:`io_sweep` — a nest streaming one or more disk-resident arrays
+  row by row (the dominant I/O behaviour of stencil/solver codes);
+  multiple *disjoint-group* statements in the same sweep make the nest
+  fissionable, matching §6.2's per-benchmark traits;
+* :func:`compute_phase` — a nest iterating over a small, buffer-cached
+  working set with a large per-iteration CPU cost (relaxations on coarse
+  grids, in-cache FFT stages, rasterization, ...), which produces the
+  multi-second all-disk idle gaps whose length distribution determines
+  every scheme's savings.
+
+Costs are expressed in cycles at the paper's 750 MHz clock; helper
+``seconds_to_cycles`` conversions keep call sites readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import ArrayHandle, ProgramBuilder
+
+__all__ = ["io_sweep", "compute_phase", "CLOCK_HZ"]
+
+#: UltraSPARC-III clock (paper §4.1).
+CLOCK_HZ: float = 750e6
+
+
+def io_sweep(
+    b: ProgramBuilder,
+    tag: str,
+    stmt_arrays: Sequence[Sequence[tuple[ArrayHandle, bool]]],
+    rows: int,
+    width: int,
+    cyc_per_row: float,
+    perfect: bool = True,
+) -> None:
+    """Emit one streaming sweep nest.
+
+    ``stmt_arrays`` is a list of statements; each statement is a list of
+    ``(array, is_write)`` pairs it references.  All arrays must be
+    ``(rows, width)``-shaped (or wider).  Each statement reads/writes its
+    arrays' row ``i`` element-wise in the inner loop; statements touching
+    disjoint array sets make the nest fissionable.
+
+    ``cyc_per_row`` is the *total* compute cost of one outer iteration,
+    split evenly across the statements.
+
+    ``perfect=False`` adds a row-level reduction statement at the outer
+    level (reading the first statement's first array), making the nest
+    *imperfect* and therefore not a tiling candidate — how the models
+    encode §6.2's "benchmarks that do not benefit from TL+DL".  The
+    reduction touches the row's first element, which the inner loop reads
+    anyway, so the I/O trace is unchanged.
+    """
+    per_stmt = cyc_per_row / max(1, len(stmt_arrays)) / max(1, width)
+    with b.nest(f"i_{tag}", 0, rows) as i:
+        if not perfect:
+            first = stmt_arrays[0][0][0]
+            b.stmt(reads=[first[i, 0]], cycles=0.0, label=f"rowred_{tag}")
+        with b.loop(f"j_{tag}", 0, width) as j:
+            for arrs in stmt_arrays:
+                reads = [h[i, j] for h, w in arrs if not w]
+                writes = [h[i, j] for h, w in arrs if w]
+                b.stmt(reads=reads, writes=writes, cycles=per_stmt)
+
+
+def compute_phase(
+    b: ProgramBuilder,
+    tag: str,
+    scratch: ArrayHandle,
+    duration_s: float,
+    iters: int = 400,
+) -> None:
+    """Emit one cache-resident compute nest lasting ``duration_s`` seconds.
+
+    The scratch array (an in-memory temporary: declare it with
+    ``memory_resident=True``) is touched every iteration so the phase is an
+    honest loop nest, but it generates no disk traffic — the whole
+    subsystem idles for the phase.
+    ``iters`` controls the directive-placement granularity inside the phase
+    (finer = more precise pre-activation).
+    """
+    rows, width = scratch.shape
+    total_cycles = duration_s * CLOCK_HZ
+    per_iter = total_cycles / iters / width
+    with b.nest(f"c_{tag}", 0, iters) as i:
+        with b.loop(f"k_{tag}", 0, width) as k:
+            b.stmt(
+                reads=[scratch[0, k]],
+                writes=[scratch[rows - 1 if rows > 1 else 0, k]],
+                cycles=per_iter,
+            )
+

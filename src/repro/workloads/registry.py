@@ -1,0 +1,47 @@
+"""Benchmark registry — the paper's Table 2 suite.
+
+The six benchmarks "were selected randomly from the Specfp2000 benchmark
+suite" (§4.1) and made disk-resident; our models (DESIGN.md §3,
+substitution 2) reproduce each benchmark's footprint, request count/size,
+runtime, and transformation traits.  Access them by name::
+
+    from repro.workloads import build_workload, WORKLOAD_NAMES
+    wl = build_workload("swim")
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import applu, galgel, mesa, mgrid, swim, wupwise
+from .base import Workload
+
+__all__ = ["WORKLOAD_NAMES", "build_workload", "all_workloads"]
+
+_BUILDERS: dict[str, Callable[[], Workload]] = {
+    "wupwise": wupwise.build,
+    "swim": swim.build,
+    "mgrid": mgrid.build,
+    "applu": applu.build,
+    "mesa": mesa.build,
+    "galgel": galgel.build,
+}
+
+#: Table 2 order.
+WORKLOAD_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_workload(name: str) -> Workload:
+    """Build one benchmark model by its Specfp2000 short name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+    return builder()
+
+
+def all_workloads() -> list[Workload]:
+    """Build the whole suite, in Table 2 order."""
+    return [build_workload(n) for n in WORKLOAD_NAMES]

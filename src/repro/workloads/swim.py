@@ -1,0 +1,85 @@
+"""171.swim — shallow-water model (Table 2: 96.0 MB, 3 159 requests,
+2 686.79 J, 32 088.98 ms).
+
+Model: twelve 8 MB grids (256 x 4096 doubles, 32 KB rows — Table 2's
+96 MB / 3 159 requests imply ~32 KB per request) swept once each across
+three sweep nests, interleaved with three in-cache relaxation phases.
+Each sweep nest carries two statements over *disjoint* array pairs, so the
+nests are fissionable (§6.2: swim benefits from LF+DL); the six resulting
+array groups map onto disjoint disk ranges under Fig. 11's allocation.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cycles import EstimationModel
+from ..ir.builder import ProgramBuilder
+from ..trace.generator import TraceOptions
+from ..util.units import KB, MB
+from .base import PaperCharacteristics, Workload
+from .phases import CLOCK_HZ, compute_phase, io_sweep
+
+__all__ = ["build"]
+
+PAPER = PaperCharacteristics(
+    data_size_mb=96.0,
+    num_disk_requests=3159,
+    base_energy_j=2686.79,
+    base_time_ms=32088.98,
+    fissionable=True,
+    tiling_benefits=False,
+    misprediction_pct=5.14,
+)
+
+ROWS, WIDTH = 256, 4096  # 32 KB rows; 8 MB per array
+
+
+def build() -> Workload:
+    b = ProgramBuilder("swim", clock_hz=CLOCK_HZ)
+    names = [
+        "U", "V", "P", "CU", "CV", "Z",
+        "H", "UNEW", "VNEW", "PNEW", "UOLD", "VOLD",
+    ]
+    h = {n: b.array(n, (ROWS, WIDTH)) for n in names}
+    scratch = b.array("WRK", (4, 512), memory_resident=True)
+
+    sweep_cyc = 0.6e6  # ~0.8 ms of compute per 32 KB row
+
+    # calc1: groups {U, V} and {P, CU}.
+    io_sweep(
+        b, "calc1",
+        [[(h["U"], False), (h["V"], True)], [(h["P"], False), (h["CU"], True)]],
+        ROWS, WIDTH, cyc_per_row=sweep_cyc, perfect=False,
+    )
+    compute_phase(b, "relax1", scratch, duration_s=6.0)
+    # calc2: groups {CV, Z} and {H, UNEW}.
+    io_sweep(
+        b, "calc2",
+        [[(h["CV"], False), (h["Z"], True)], [(h["H"], False), (h["UNEW"], True)]],
+        ROWS, WIDTH, cyc_per_row=sweep_cyc, perfect=False,
+    )
+    compute_phase(b, "relax2", scratch, duration_s=6.0)
+    # calc3: groups {VNEW, PNEW} and {UOLD, VOLD}.
+    io_sweep(
+        b, "calc3",
+        [[(h["VNEW"], False), (h["PNEW"], True)], [(h["UOLD"], False), (h["VOLD"], True)]],
+        ROWS, WIDTH, cyc_per_row=sweep_cyc, perfect=False,
+    )
+    compute_phase(b, "relax3", scratch, duration_s=5.6)
+    # Checkpoint: re-read a fresh slice of the state so execution ends on
+    # I/O (every benchmark does; a long all-disk trailing idle period would
+    # otherwise hand ITPM a spin-down opportunity the paper's codes lack).
+    with b.nest("ckpt", 0, 64) as i:
+        with b.loop("cj", 0, WIDTH) as j:
+            b.stmt(reads=[h["UOLD"][i, j]], cycles=2.0)
+
+    return Workload(
+        name="swim",
+        program=b.build(),
+        trace_options=TraceOptions(
+            buffer_cache_bytes=8 * MB,
+            cache_line_bytes=32 * KB,
+            max_request_bytes=32 * KB,
+        ),
+        estimation=EstimationModel(relative_error=0.12),
+        paper=PAPER,
+    )

@@ -1,0 +1,154 @@
+"""Access-pattern extraction (footprints and disk-activity matrices)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.access import analyze_nest, analyze_program
+from repro.ir.builder import ProgramBuilder
+from repro.layout.files import default_layout
+from repro.util.units import KB
+
+
+def _sweep_program(rows=16, width=8192):
+    """Row sweep of a 2-D array; one row is exactly one 64 KB stripe."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (rows, width))  # width*8 bytes per row = 64 KB
+    with b.nest("i", 0, rows) as i:
+        with b.loop("j", 0, width) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    return b.build()
+
+
+def test_footprint_base_and_coeffs():
+    prog = _sweep_program()
+    acc = analyze_nest(prog.nest(0))
+    assert len(acc.footprints) == 1
+    fp = acc.footprints[0]
+    assert fp.outer_coeffs == (1, 0)
+    assert fp.base.intervals == ((0, 1), (0, 8192))
+    assert fp.executions_per_outer_iter == 8192
+
+
+def test_region_at_translates():
+    prog = _sweep_program()
+    fp = analyze_nest(prog.nest(0)).footprints[0]
+    r5 = fp.region_at(5)
+    assert r5.intervals == ((5, 6), (0, 8192))
+
+
+def test_region_over_range():
+    prog = _sweep_program()
+    fp = analyze_nest(prog.nest(0)).footprints[0]
+    assert fp.region_over(2, 5).intervals == ((2, 6), (0, 8192))
+    with pytest.raises(Exception):
+        fp.region_over(5, 2)
+
+
+def test_flat_shift_per_outer_iter():
+    prog = _sweep_program()
+    fp = analyze_nest(prog.nest(0)).footprints[0]
+    assert fp.flat_shift_per_outer_iter() == 8192  # one row of elements
+
+
+def test_total_region():
+    prog = _sweep_program()
+    acc = analyze_nest(prog.nest(0))
+    assert acc.total_region("A").num_elements == 16 * 8192
+    assert acc.total_region("missing") is None
+
+
+def test_active_disk_matrix_round_robin():
+    """One row == one stripe: iteration i touches exactly disk i mod 4."""
+    prog = _sweep_program()
+    lay = default_layout(prog.arrays, num_disks=4)
+    mat = analyze_nest(prog.nest(0)).active_disk_matrix(lay)
+    assert mat.shape == (16, 4)
+    for i in range(16):
+        expected = np.zeros(4, dtype=bool)
+        expected[i % 4] = True
+        assert np.array_equal(mat[i], expected), f"iteration {i}"
+
+
+def test_active_disk_matrix_wide_rows_hit_all_disks():
+    """A row spanning >= factor stripes touches every disk each iteration."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (4, 4 * 8192))  # 256 KB rows over 4x64 KB stripes
+    with b.nest("i", 0, 4) as i:
+        with b.loop("j", 0, 4 * 8192) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    mat = analyze_nest(prog.nest(0)).active_disk_matrix(lay)
+    assert mat.all()
+
+
+def test_active_disk_matrix_matches_bruteforce():
+    """Cross-check the vectorized kernel against per-element enumeration."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 96))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 48) as j:
+            b.stmt(reads=[A[i, 2 * j + 1]], cycles=1)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4, stripe_size=128)
+    acc = analyze_nest(prog.nest(0))
+    mat = acc.active_disk_matrix(lay)
+    striping = lay.striping("A")
+    arr = prog.array("A")
+    for i in range(8):
+        disks = set()
+        for j in range(48):
+            flat = int(arr.linearize((i, 2 * j + 1)))
+            disks |= striping.disks_for_extent(flat * 8, 8)
+        expected = np.zeros(4, dtype=bool)
+        expected[list(disks)] = True
+        assert np.array_equal(mat[i], expected), f"iteration {i}"
+
+
+def test_analyze_program_covers_all_nests(tiny_program):
+    accs = analyze_program(tiny_program)
+    assert [a.nest_index for a in accs] == [0, 1]
+    assert accs[0].arrays == {"A", "B"}
+    assert accs[1].arrays == {"B"}
+
+
+def test_column_access_footprint_is_column():
+    b = ProgramBuilder("p")
+    A = b.array("A", (16, 16))
+    with b.nest("c", 0, 16) as c:
+        with b.loop("r", 0, 16) as r:
+            b.stmt(reads=[A[r, c]], cycles=1)
+    fp = analyze_nest(b.build().nest(0)).footprints[0]
+    assert fp.outer_coeffs == (0, 1)
+    assert fp.base.intervals == ((0, 16), (0, 1))
+    assert fp.flat_shift_per_outer_iter() == 1
+
+
+def test_footprint_exactness_predicate():
+    """is_exact distinguishes separable references (exact rectangles) from
+    dimension-correlated ones (bounding boxes)."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (64, 64))
+    with b.nest("i", 0, 16) as i:
+        with b.loop("j", 0, 16) as j:
+            b.stmt(reads=[A[i, j]], cycles=1, label="sep")
+            b.stmt(reads=[A[i + j, j]], cycles=1, label="coupled")
+    acc = analyze_nest(b.build().nest(0))
+    by_label = {fp.ref.array.name + str(fp.base): fp for fp in acc.footprints}
+    exact = [fp.is_exact for fp in acc.footprints]
+    assert exact == [True, False]
+
+
+def test_coupled_footprint_is_safe_overapproximation():
+    """The bounding-box footprint of A[i+j][j] contains every accessed
+    element (never misses one) — the safety direction the compiler needs."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (64, 64))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i + j, j]], cycles=1)
+    fp = analyze_nest(b.build().nest(0)).footprints[0]
+    for v in range(8):
+        region = fp.region_at(v)
+        for j in range(8):
+            assert region.contains_point((v + j, j))

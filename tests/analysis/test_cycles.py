@@ -1,0 +1,119 @@
+"""Cycle/timing model: actual, measured, and estimated timelines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cycles import (
+    EstimationModel,
+    compute_timing,
+    loop_body_cycles,
+    measured_timing,
+    scale_timing,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.nodes import Loop, PowerAction, PowerCall, Statement
+from repro.util.errors import AnalysisError
+
+
+def _prog():
+    b = ProgramBuilder("p", clock_hz=1000.0)  # 1 kHz for round numbers
+    A = b.array("A", (8, 4))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 4) as j:
+            b.stmt(reads=[A[i, j]], cycles=10)  # 40 cycles per outer iter
+    with b.nest("k", 0, 2) as k:
+        b.stmt(reads=[A[k, 0]], cycles=100)
+    return b.build()
+
+
+def test_loop_body_cycles_nested():
+    prog = _prog()
+    assert loop_body_cycles(prog.nest(0)) == 40
+    assert loop_body_cycles(prog.nest(1)) == 100
+
+
+def test_loop_body_cycles_includes_power_call_overhead():
+    stmt = Statement((), cost_cycles=0) if False else None
+    loop = Loop("i", 0, 4, (PowerCall(PowerAction.SPIN_DOWN, 0, overhead_cycles=25),))
+    assert loop_body_cycles(loop) == 25
+
+
+def test_compute_timing_timeline():
+    t = compute_timing(_prog())
+    n0, n1 = t.nests
+    assert n0.seconds_per_iteration == pytest.approx(0.04)
+    assert n0.total_seconds == pytest.approx(0.32)
+    assert n1.start_s == pytest.approx(0.32)
+    assert t.total_seconds == pytest.approx(0.32 + 0.2)
+    assert n0.iteration_start_s(3) == pytest.approx(0.12)
+    with pytest.raises(AnalysisError):
+        n0.iteration_start_s(9)
+
+
+def test_compute_timing_with_scale():
+    t = compute_timing(_prog(), scale=np.array([2.0, 0.5]))
+    assert t.nests[0].total_seconds == pytest.approx(0.64)
+    assert t.nests[1].total_seconds == pytest.approx(0.1)
+
+
+def test_scale_timing_rebuilds_starts():
+    base = compute_timing(_prog())
+    scaled = scale_timing(base, np.array([2.0, 1.0]))
+    assert scaled.nests[1].start_s == pytest.approx(0.64)
+    with pytest.raises(AnalysisError):
+        scale_timing(base, np.array([1.0]))
+
+
+def test_measured_timing_adds_io_per_nest():
+    prog = _prog()
+    nests = [0, 0, 1]
+    responses = [0.01, 0.03, 0.5]
+    t = measured_timing(prog, nests, responses)
+    assert t.nests[0].total_seconds == pytest.approx(0.32 + 0.04)
+    assert t.nests[1].total_seconds == pytest.approx(0.2 + 0.5)
+    # Per-iteration smearing.
+    assert t.nests[0].seconds_per_iteration == pytest.approx(0.36 / 8)
+
+
+def test_measured_timing_validates():
+    prog = _prog()
+    with pytest.raises(AnalysisError):
+        measured_timing(prog, [0, 1], [0.1])
+    with pytest.raises(AnalysisError):
+        measured_timing(prog, [7], [0.1])
+
+
+def test_estimation_model_deterministic_and_bounded():
+    prog = _prog()
+    m = EstimationModel(relative_error=0.2)
+    f1, f2 = m.scale_factors(prog), m.scale_factors(prog)
+    assert np.array_equal(f1, f2)
+    assert ((f1 >= 0.8) & (f1 <= 1.2)).all()
+
+
+def test_estimation_model_zero_error_is_exact():
+    prog = _prog()
+    m = EstimationModel(relative_error=0.0)
+    assert np.array_equal(m.scale_factors(prog), np.ones(2))
+    est = m.estimated_timing(prog)
+    act = compute_timing(prog)
+    assert est.total_seconds == pytest.approx(act.total_seconds)
+
+
+def test_estimation_model_varies_by_program_name():
+    m = EstimationModel(relative_error=0.2)
+    b1 = _prog()
+    b2 = ProgramBuilder("other", clock_hz=1000.0)
+    A = b2.array("A", (4,))
+    with b2.nest("i", 0, 4) as i:
+        b2.stmt(reads=[A[i]], cycles=1)
+    with b2.nest("j", 0, 4) as j:
+        b2.stmt(reads=[A[j]], cycles=1)
+    assert not np.array_equal(m.scale_factors(b1), m.scale_factors(b2.build()))
+
+
+def test_estimation_model_rejects_bad_error():
+    with pytest.raises(AnalysisError):
+        EstimationModel(relative_error=1.0)
+    with pytest.raises(AnalysisError):
+        EstimationModel(relative_error=-0.1)

@@ -1,0 +1,153 @@
+"""Rectangular region algebra and flat-extent computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.regions import Region
+from repro.ir.arrays import Array, StorageOrder
+from repro.util.errors import AnalysisError
+
+
+def test_basic_queries():
+    r = Region(((0, 4), (2, 6)))
+    assert r.rank == 2
+    assert not r.is_empty
+    assert r.num_elements == 16
+    assert r.contains_point((3, 5))
+    assert not r.contains_point((4, 2))
+    assert Region(((2, 2),)).is_empty
+    assert Region(((2, 2),)).num_elements == 0
+
+
+def test_from_inclusive():
+    assert Region.from_inclusive(((0, 3),)) == Region(((0, 4),))
+
+
+def test_whole_and_empty():
+    a = Array("A", (3, 5))
+    assert Region.whole(a).num_elements == 15
+    assert Region.empty(2).is_empty
+
+
+def test_intersect_and_overlap():
+    a = Region(((0, 4), (0, 4)))
+    b = Region(((2, 6), (3, 8)))
+    i = a.intersect(b)
+    assert i == Region(((2, 4), (3, 4)))
+    assert a.overlaps(b)
+    assert not a.overlaps(Region(((4, 8), (0, 4))))
+    with pytest.raises(AnalysisError):
+        a.intersect(Region(((0, 1),)))
+
+
+def test_contains_region():
+    big = Region(((0, 10), (0, 10)))
+    assert big.contains_region(Region(((2, 3), (4, 9))))
+    assert big.contains_region(Region.empty(2))
+    assert not big.contains_region(Region(((0, 11), (0, 1))))
+
+
+def test_bounding_union():
+    a = Region(((0, 2), (0, 2)))
+    b = Region(((5, 6), (1, 3)))
+    assert a.bounding_union(b) == Region(((0, 6), (0, 3)))
+    assert a.bounding_union(Region.empty(2)) == a
+
+
+def test_translate():
+    r = Region(((0, 2), (1, 3))).translate((10, -1))
+    assert r == Region(((10, 12), (0, 2)))
+
+
+def test_flat_extents_full_rows_collapse():
+    a = Array("A", (4, 8))
+    ext = Region(((1, 3), (0, 8))).flat_extents(a)
+    assert ext.num_runs == 1
+    assert ext.starts.tolist() == [8]
+    assert ext.lengths.tolist() == [16]
+
+
+def test_flat_extents_partial_rows():
+    a = Array("A", (4, 8))
+    ext = Region(((1, 3), (2, 5))).flat_extents(a)
+    assert ext.starts.tolist() == [10, 18]
+    assert ext.lengths.tolist() == [3, 3]
+
+
+def test_flat_extents_column_major():
+    a = Array("A", (4, 8), order=StorageOrder.COLUMN_MAJOR)
+    # A full column band is contiguous in column-major storage.
+    ext = Region(((0, 4), (2, 5))).flat_extents(a)
+    assert ext.num_runs == 1
+    assert ext.starts.tolist() == [8]
+    assert ext.lengths.tolist() == [12]
+
+
+def test_flat_extents_single_column_of_row_major():
+    a = Array("A", (4, 8))
+    ext = Region(((0, 4), (3, 4))).flat_extents(a)
+    assert ext.starts.tolist() == [3, 11, 19, 27]
+    assert (ext.lengths == 1).all()
+
+
+def test_flat_extents_whole_array():
+    a = Array("A", (4, 8))
+    ext = Region.whole(a).flat_extents(a)
+    assert ext.num_runs == 1
+    assert ext.total_elements == 32
+
+
+def test_flat_extents_out_of_bounds():
+    a = Array("A", (4, 8))
+    with pytest.raises(AnalysisError):
+        Region(((0, 5), (0, 8))).flat_extents(a)
+
+
+def test_byte_extents_scale():
+    a = Array("A", (4, 8), element_size=8)
+    ext = Region(((0, 1), (0, 8))).flat_extents(a).byte_extents(8)
+    assert ext.starts.tolist() == [0]
+    assert ext.lengths.tolist() == [64]
+
+
+regions_2d = st.tuples(
+    st.integers(0, 5), st.integers(0, 5), st.integers(0, 7), st.integers(0, 7)
+).map(lambda t: Region(((min(t[0], t[1]), max(t[0], t[1])),
+                        (min(t[2], t[3]), max(t[2], t[3])))))
+
+
+@given(regions_2d, regions_2d)
+def test_intersection_element_sets(r1, r2):
+    """Property: region intersection == set intersection of element tuples."""
+    def points(r):
+        (l0, h0), (l1, h1) = r.intervals
+        return {(i, j) for i in range(l0, h0) for j in range(l1, h1)}
+
+    assert points(r1.intersect(r2)) == points(r1) & points(r2)
+
+
+@given(
+    regions_2d,
+    st.sampled_from([StorageOrder.ROW_MAJOR, StorageOrder.COLUMN_MAJOR]),
+)
+def test_flat_extents_cover_exactly_the_region(r, order):
+    """Property: flat extents enumerate exactly the region's linearized
+    elements, disjointly and in order."""
+    a = Array("A", (6, 8), order=order)
+    ext = r.flat_extents(a)
+    covered = set()
+    for s, ln in zip(ext.starts.tolist(), ext.lengths.tolist()):
+        run = set(range(s, s + ln))
+        assert not (covered & run), "runs overlap"
+        covered |= run
+    (l0, h0), (l1, h1) = r.intervals
+    expected = {
+        int(a.linearize((i, j)))
+        for i in range(l0, h0)
+        for j in range(l1, h1)
+    }
+    assert covered == expected
+    assert ext.total_elements == r.num_elements
+    assert np.all(np.diff(ext.starts) > 0) if ext.num_runs > 1 else True

@@ -1,0 +1,75 @@
+"""Controller interface defaults and oracle directive conversion."""
+
+import pytest
+
+from repro.analysis.idle import IdleGap
+from repro.controllers.base import Controller, TimedDirective
+from repro.controllers.oracle import decisions_to_directives
+from repro.disksim.params import DiskParams, DRPMParams
+from repro.disksim.powermodel import PowerModel
+from repro.ir.nodes import PowerAction
+from repro.power.planner import plan_drpm_gap, plan_tpm_gap
+
+
+@pytest.fixture()
+def pm():
+    return PowerModel(DiskParams(), DRPMParams())
+
+
+def test_base_controller_is_inert(pm):
+    c = Controller()
+    assert c.name == "Base"
+    assert c.auto_spindown_threshold_s is None
+    assert list(c.timed_directives()) == []
+    # The hook is a no-op and must accept the full signature.
+    c.prepare(4, pm)
+    c.on_request_complete(None, 0.0, 0.0, 1.0, 4096, "seq")  # type: ignore[arg-type]
+
+
+def test_decisions_to_directives_tpm(pm):
+    gap = IdleGap(disk=2, start_s=10.0, end_s=40.0)
+    dec = plan_tpm_gap(gap, pm)
+    assert dec.acts
+    directives = decisions_to_directives([dec], pm)
+    assert [d.call.action for d in directives] == [
+        PowerAction.SPIN_DOWN,
+        PowerAction.SPIN_UP,
+    ]
+    assert directives[0].time_s == pytest.approx(10.0)
+    assert directives[1].time_s == pytest.approx(40.0 - pm.spin_up_time_s)
+    assert all(d.call.disk == 2 for d in directives)
+
+
+def test_decisions_to_directives_drpm_trailing(pm):
+    gap = IdleGap(disk=1, start_s=5.0, end_s=60.0, trailing=True)
+    dec = plan_drpm_gap(gap, pm)
+    directives = decisions_to_directives([dec], pm)
+    assert len(directives) == 1  # no return transition for a trailing gap
+    assert directives[0].call.action is PowerAction.SET_RPM
+    assert directives[0].call.rpm == 3000
+
+
+def test_decisions_to_directives_skips_inert(pm):
+    gap = IdleGap(disk=0, start_s=0.0, end_s=0.01)
+    dec = plan_drpm_gap(gap, pm)
+    assert not dec.acts
+    assert decisions_to_directives([dec], pm) == []
+
+
+def test_directives_sorted_across_disks(pm):
+    gaps = [
+        IdleGap(disk=0, start_s=50.0, end_s=80.0),
+        IdleGap(disk=1, start_s=10.0, end_s=40.0),
+    ]
+    decisions = [plan_drpm_gap(g, pm) for g in gaps]
+    directives = decisions_to_directives(decisions, pm)
+    times = [d.time_s for d in directives]
+    assert times == sorted(times)
+
+
+def test_timed_directive_is_frozen():
+    from repro.ir.nodes import PowerCall
+
+    td = TimedDirective(1.0, PowerCall(PowerAction.SPIN_UP, 0))
+    with pytest.raises(Exception):
+        td.time_s = 2.0  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Parameter objects (paper Table 1 values and derived quantities)."""
+
+import pytest
+
+from repro.disksim.params import DiskParams, DRPMParams, SubsystemParams
+from repro.util.errors import ConfigError
+from repro.util.units import MB
+
+
+def test_table1_defaults():
+    d = DiskParams()
+    assert d.model == "IBM Ultrastar 36Z15"
+    assert d.rpm == 15_000
+    assert d.avg_seek_s == pytest.approx(3.4e-3)
+    assert d.avg_rotation_s == pytest.approx(2.0e-3)
+    assert d.transfer_rate_bps == pytest.approx(55 * MB)
+    assert (d.power_active_w, d.power_idle_w, d.power_standby_w) == (13.5, 10.2, 2.5)
+    assert (d.spin_down_energy_j, d.spin_down_time_s) == (13.0, 1.5)
+    assert (d.spin_up_energy_j, d.spin_up_time_s) == (135.0, 10.9)
+
+
+def test_tpm_breakeven_matches_formula():
+    d = DiskParams()
+    # (13 + 135 - 2.5*12.4) / (10.2 - 2.5) = 15.19...
+    expected = (148.0 - 2.5 * 12.4) / 7.7
+    assert d.tpm_breakeven_s == pytest.approx(expected)
+    assert d.tpm_breakeven_s > d.spin_down_time_s + d.spin_up_time_s
+
+
+def test_breakeven_floors_at_transition_time():
+    d = DiskParams(spin_down_energy_j=0.0, spin_up_energy_j=0.0)
+    assert d.tpm_breakeven_s == pytest.approx(12.4)
+
+
+def test_power_ordering_enforced():
+    with pytest.raises(ConfigError):
+        DiskParams(power_idle_w=14.0)  # idle above active
+    with pytest.raises(ConfigError):
+        DiskParams(power_standby_w=11.0)  # standby above idle
+
+
+def test_drpm_levels():
+    r = DRPMParams()
+    levels = r.levels
+    assert levels[0] == 3000 and levels[-1] == 15000
+    assert len(levels) == 11
+    assert all(b - a == 1200 for a, b in zip(levels, levels[1:]))
+    assert r.level_index(3000) == 0
+    assert r.level_index(15000) == 10
+    assert r.steps_between(15000, 3000) == 10
+    with pytest.raises(ValueError):
+        r.level_index(3100)
+    with pytest.raises(ValueError):
+        r.level_index(16200)
+
+
+def test_drpm_validation():
+    with pytest.raises(ConfigError):
+        DRPMParams(min_rpm=4000, max_rpm=15000, step_rpm=1200)  # not divisible
+    with pytest.raises(ConfigError):
+        DRPMParams(lower_tolerance=0.2, upper_tolerance=0.1)
+
+
+def test_subsystem_threshold_defaults_to_breakeven():
+    p = SubsystemParams()
+    assert p.effective_tpm_threshold_s == pytest.approx(p.disk.tpm_breakeven_s)
+    p2 = SubsystemParams(tpm_idleness_threshold_s=5.0)
+    assert p2.effective_tpm_threshold_s == 5.0
+
+
+def test_subsystem_requires_matching_max_rpm():
+    with pytest.raises(ConfigError):
+        SubsystemParams(disk=DiskParams(rpm=10_000))

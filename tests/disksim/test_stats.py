@@ -1,0 +1,73 @@
+"""Result containers and normalization."""
+
+import pytest
+
+from repro.disksim.disk import DiskStats
+from repro.disksim.stats import ResponseSummary, SimulationResult
+from repro.util.errors import SimulationError
+
+
+def _result(energy_per_disk=(10.0, 20.0), time=2.0, scheme="X"):
+    stats = []
+    for e in energy_per_disk:
+        ds = DiskStats()
+        ds.add("idle", time, e / time)
+        stats.append(ds)
+    return SimulationResult(
+        scheme=scheme,
+        program_name="p",
+        execution_time_s=time,
+        disk_stats=tuple(stats),
+        responses=ResponseSummary.from_samples([0.01, 0.02, 0.03]),
+        num_requests=3,
+        num_directives=0,
+    )
+
+
+def test_totals_and_breakdown():
+    r = _result()
+    assert r.num_disks == 2
+    assert r.total_energy_j == pytest.approx(30.0)
+    assert r.energy_breakdown_j()["idle"] == pytest.approx(30.0)
+    assert r.time_breakdown_s()["idle"] == pytest.approx(4.0)
+
+
+def test_normalization():
+    base = _result((10.0, 20.0), time=2.0, scheme="Base")
+    half = _result((5.0, 10.0), time=1.0)
+    assert half.normalized_energy(base) == pytest.approx(0.5)
+    assert half.normalized_time(base) == pytest.approx(0.5)
+
+
+def test_normalization_requires_positive_base():
+    base = _result((0.0, 0.0))
+    with pytest.raises(SimulationError):
+        _result().normalized_energy(base)
+
+
+def test_response_summary_stats():
+    s = ResponseSummary.from_samples([0.01, 0.02, 0.03, 0.04])
+    assert s.count == 4
+    assert s.mean_s == pytest.approx(0.025)
+    assert s.max_s == pytest.approx(0.04)
+    assert s.total_s == pytest.approx(0.10)
+    assert 0.03 <= s.p95_s <= 0.04
+
+
+def test_response_summary_empty():
+    s = ResponseSummary.from_samples([])
+    assert s.count == 0
+    assert s.mean_s == 0.0
+
+
+def test_negative_execution_time_rejected():
+    with pytest.raises(SimulationError):
+        SimulationResult(
+            scheme="X",
+            program_name="p",
+            execution_time_s=-1.0,
+            disk_stats=(),
+            responses=ResponseSummary.from_samples([]),
+            num_requests=0,
+            num_directives=0,
+        )

@@ -1,0 +1,107 @@
+"""Ablation and extension experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    estimation_error_sweep,
+    preactivation_ablation,
+    transition_speed_ablation,
+)
+from repro.experiments.extensions import multi_nest_tiling
+from repro.experiments.pdc_experiment import run as run_pdc
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+def test_preactivation_is_worth_it(ctx):
+    """Dropping Eq. (1) must cost execution time (the paper's 'we incur the
+    associated spin-up delay fully') and with it most of the savings."""
+    rep = preactivation_ablation(ctx, benchmarks=("swim", "galgel"))
+    for name in ("swim", "galgel"):
+        assert rep.value(name, "T_preact") <= 1.005
+        assert rep.value(name, "T_lazy") > 1.2
+        assert rep.value(name, "E_lazy") > rep.value(name, "E_preact")
+
+
+def test_estimation_error_sweep_monotone_zone(ctx):
+    """Zero error tracks the oracle best; large error can only be worse or
+    equal; time never degrades materially (placements are code positions)."""
+    rep = estimation_error_sweep(ctx, benchmark="galgel", errors=(0.0, 0.2, 0.4))
+    e0 = rep.value("err=0.00", "energy")
+    e4 = rep.value("err=0.40", "energy")
+    assert e0 <= e4 + 0.02
+    for row in rep.rows:
+        assert rep.value(row, "time") < 1.05
+        assert rep.value(row, "energy") < 1.0
+
+
+def test_transition_speed_ablation_monotone(ctx):
+    rep = transition_speed_ablation(
+        ctx, benchmark="galgel", per_step_s=(0.05, 0.4)
+    )
+    fast = rep.value("0.05s/step", "CMDRPM")
+    slow = rep.value("0.40s/step", "CMDRPM")
+    assert fast < slow  # slower hardware, smaller savings
+    # The compiler stays ordered with the oracle at both speeds.
+    for row in rep.rows:
+        assert rep.value(row, "IDRPM") <= rep.value(row, "CMDRPM") + 0.03
+
+
+def test_multi_nest_tiling_extends_single_nest(ctx):
+    rep = multi_nest_tiling(ctx, benchmarks=("mesa",))
+    assert rep.value("mesa", "TL*+DL/CMDRPM") < rep.value("mesa", "TL+DL/CMDRPM")
+    assert rep.value("mesa", "TL+DL/CMDRPM") < rep.value("mesa", "orig/CMDRPM")
+
+
+def test_pdc_composes_with_compiler_scheme(ctx):
+    rep = run_pdc(ctx, benchmarks=("galgel",))
+    # PDC + CMDRPM beats either alone.
+    assert rep.value("galgel", "PDC/CMDRPM") < rep.value("galgel", "CMDRPM")
+    # The adaptive threshold never produces a fixed-TPM-style blowup.
+    assert rep.value("galgel", "PDC/ATPM") < 3.0
+
+
+def test_summary_edp(ctx):
+    from repro.experiments.summary import run as run_summary
+
+    rep = run_summary(ctx)
+    for name in ("swim", "galgel"):
+        # CMDRPM's EDP == its energy ratio (no slowdown) and beats DRPM's.
+        e = ctx.suite(name).normalized_energy("CMDRPM")
+        assert rep.value(name, "CMDRPM") == pytest.approx(e, rel=1e-3)
+        assert rep.value(name, "CMDRPM") < rep.value(name, "DRPM")
+    assert rep.value("average", "Base") == pytest.approx(1.0)
+
+
+def test_gap_anatomy(ctx):
+    from repro.experiments.gaps import run as run_gaps
+    from repro.workloads.registry import WORKLOAD_NAMES
+
+    rep = run_gaps(ctx)
+    for name in WORKLOAD_NAMES:
+        assert rep.value(name, "tpm_frac") == pytest.approx(0.0, abs=0.01)
+        assert rep.value(name, "drpm_frac") > 0.95
+        assert rep.value(name, "max_s") < 15.2
+
+
+def test_fig2_worked_example():
+    """The paper's Figure 2: layouts, DAP disk sets, and the modified code
+    with disk 3 spun down and pre-activated."""
+    from repro.experiments.fig2 import run as run_fig2
+
+    rep = run_fig2()
+    assert rep.value("layout U1", "entries") == "(0, 4, 65536)"
+    assert "disk0" not in rep.value("DAP disk3", "entries")
+    # Paper: U1 -> disks 0 and 1 during nest 1; U2 -> disk 2 only.
+    assert "Nest 0, iteration 0, active" in rep.value("DAP disk0", "entries")
+    assert "Nest 0, iteration 0, active" in rep.value("DAP disk2", "entries")
+    assert "Nest 1, iteration 0, active" in rep.value("DAP disk3", "entries")
+    calls = [v[0] for k, v in rep.rows.items() if k.startswith("call")]
+    assert any("spin_down(disk3)" in c for c in calls)
+    assert any("spin_up(disk3)" in c for c in calls)
+    rendering = rep.notes[-1]
+    assert "spin_up(disk3)" in rendering

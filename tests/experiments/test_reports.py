@@ -1,0 +1,54 @@
+"""Report containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentReport, format_table, geometric_mean
+
+
+def test_format_table_alignment():
+    text = format_table("T", ("a", "b"), {"row1": (1.0, 2.5), "row2": (0.125, 3.0)})
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "1.000" in lines[2] and "2.500" in lines[2]
+
+
+def test_report_add_and_query():
+    rep = ExperimentReport("x", "title", ("c1", "c2"))
+    rep.add_row("r", (1.0, "n/a"))
+    assert rep.value("r", "c1") == 1.0
+    assert rep.value("r", "c2") == "n/a"
+    with pytest.raises(ValueError):
+        rep.add_row("bad", (1.0,))
+
+
+def test_column_mean_skips_strings():
+    rep = ExperimentReport("x", "t", ("c",))
+    rep.add_row("a", (2.0,))
+    rep.add_row("b", (4.0,))
+    rep.add_row("c", ("skip",))
+    assert rep.column_mean("c") == pytest.approx(3.0)
+    assert rep.column_mean("c", rows=["a"]) == pytest.approx(2.0)
+
+
+def test_column_mean_all_strings_raises():
+    rep = ExperimentReport("x", "t", ("c",))
+    rep.add_row("a", ("s",))
+    with pytest.raises(ValueError):
+        rep.column_mean("c")
+
+
+def test_render_includes_notes():
+    rep = ExperimentReport("fig0", "demo", ("c",))
+    rep.add_row("a", (1.0,))
+    rep.notes.append("hello")
+    out = rep.render()
+    assert "[fig0] demo" in out
+    assert "note: hello" in out
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    import math
+
+    assert math.isnan(geometric_mean([]))

@@ -1,0 +1,71 @@
+"""Scheme-suite runner on a small phase-structured program."""
+
+import pytest
+
+from repro.analysis.cycles import EstimationModel
+from repro.disksim.params import SubsystemParams
+from repro.experiments.schemes import SCHEME_NAMES, run_schemes
+from repro.util.errors import ReproError
+
+
+@pytest.fixture()
+def suite(phase_program, phase_layout, small_trace_options):
+    return run_schemes(
+        phase_program,
+        phase_layout,
+        SubsystemParams(num_disks=4),
+        small_trace_options,
+        EstimationModel(relative_error=0.05),
+    )
+
+
+def test_all_schemes_present(suite):
+    assert set(suite.results) == set(SCHEME_NAMES)
+
+
+def test_base_is_reference(suite):
+    assert suite.normalized_energy("Base") == pytest.approx(1.0)
+    assert suite.normalized_time("Base") == pytest.approx(1.0)
+
+
+def test_paper_ordering_holds(suite):
+    """IDRPM <= CMDRPM < Base on energy; TPM family inert; only the
+    reactive DRPM pays a time penalty."""
+    e = suite.energy_row()
+    assert e["IDRPM"] <= e["CMDRPM"] + 0.02
+    assert e["CMDRPM"] < 0.95
+    assert e["TPM"] == pytest.approx(1.0, abs=1e-6)
+    assert e["ITPM"] == pytest.approx(1.0, abs=1e-6)
+    assert e["CMTPM"] == pytest.approx(1.0, abs=1e-6)
+    t = suite.time_row()
+    assert t["CMDRPM"] <= 1.01
+    assert t["IDRPM"] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_plans_recorded_for_compiler_schemes(suite):
+    assert set(suite.plans) == {"CMTPM", "CMDRPM"}
+    assert suite.plans["CMDRPM"].num_calls > 0
+
+
+def test_unknown_scheme_rejected(phase_program, phase_layout, small_trace_options):
+    with pytest.raises(ReproError):
+        run_schemes(
+            phase_program,
+            phase_layout,
+            SubsystemParams(num_disks=4),
+            small_trace_options,
+            EstimationModel(),
+            schemes=("Base", "MAGIC"),
+        )
+
+
+def test_subset_of_schemes(phase_program, phase_layout, small_trace_options):
+    suite = run_schemes(
+        phase_program,
+        phase_layout,
+        SubsystemParams(num_disks=4),
+        small_trace_options,
+        EstimationModel(),
+        schemes=("Base", "DRPM"),
+    )
+    assert set(suite.results) == {"Base", "DRPM"}

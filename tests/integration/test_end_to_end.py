@@ -1,0 +1,65 @@
+"""End-to-end pipeline sanity on a small program, plus sweep shapes."""
+
+import pytest
+
+from repro.experiments.fig5_6 import run as run_fig5_6
+from repro.experiments.fig7_8 import run as run_fig7_8
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.table1 import run as run_table1
+from repro.experiments.table2 import run as run_table2
+from repro.util.units import KB
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+def test_table1_reflects_live_parameters(ctx):
+    rep = run_table1(ctx.params)
+    assert rep.value("RPM", "value") == 15000.0
+    assert rep.value("Power idle (W)", "value") == 10.2
+    assert rep.value("Stripe factor (disks)", "value") == 8.0
+
+
+def test_table2_reports_all_benchmarks(ctx):
+    rep = run_table2(ctx)
+    assert set(rep.rows) == {
+        "wupwise", "swim", "mgrid", "applu", "mesa", "galgel",
+    }
+    for name in rep.rows:
+        measured_mb = rep.value(name, "MB")
+        paper_mb = rep.value(name, "MB(p)")
+        assert measured_mb == pytest.approx(paper_mb, rel=0.03)
+
+
+def test_stripe_size_sweep_shapes(ctx):
+    """Fig 5/6: CMDRPM consistent and penalty-free across stripe sizes;
+    DRPM's slowdown grows from the default toward large stripes."""
+    energy, time = run_fig5_6(ctx, stripe_sizes=(32 * KB, 64 * KB, 256 * KB))
+    for row in energy.rows:
+        assert energy.value(row, "CMDRPM") < 0.8
+        assert time.value(row, "CMDRPM") == pytest.approx(1.0, abs=0.01)
+        assert energy.value(row, "TPM") == pytest.approx(1.0, abs=0.01)
+    assert time.value("256KB", "DRPM") > time.value("64KB", "DRPM")
+
+
+def test_stripe_factor_sweep_shapes(ctx):
+    """Fig 7/8: CMDRPM's savings grow with the disk count and track IDRPM."""
+    energy, time = run_fig7_8(ctx, factors=(2, 8, 16))
+    assert energy.value("16 disks", "CMDRPM") < energy.value("2 disks", "CMDRPM")
+    for row in energy.rows:
+        gap = energy.value(row, "CMDRPM") - energy.value(row, "IDRPM")
+        assert gap < 0.20
+        assert time.value(row, "CMDRPM") == pytest.approx(1.0, abs=0.01)
+
+
+def test_cli_runs_selected_experiments(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(["table1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "IBM Ultrastar 36Z15" in out
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

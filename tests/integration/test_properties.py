@@ -1,0 +1,229 @@
+"""Cross-module property tests over randomly generated programs.
+
+These are the strongest invariants the library offers — each one couples
+two independently implemented layers and must hold for *any* valid affine
+program the strategy in ``tests/strategies.py`` can produce.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from strategies import perfect_2d_nests, programs  # noqa: E402
+
+from repro.analysis.access import analyze_nest, analyze_program
+from repro.analysis.cycles import compute_timing
+from repro.analysis.dap import build_dap
+from repro.disksim.params import SubsystemParams
+from repro.disksim.simulator import simulate
+from repro.disksim.timeline import TimelineRecorder
+from repro.ir.validate import validate_program
+from repro.layout.files import default_layout
+from repro.trace.generator import TraceOptions, generate_trace
+from repro.util.units import KB
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+OPTS = TraceOptions(
+    buffer_cache_bytes=0,  # no cache: every access reaches the disks
+    cache_line_bytes=64,
+    max_request_bytes=4 * KB,
+)
+
+
+def _pipeline(prog, num_disks=3, stripe=256):
+    layout = default_layout(prog.arrays, num_disks=num_disks, stripe_size=stripe)
+    trace = generate_trace(prog, layout, OPTS)
+    return layout, trace
+
+
+@settings(**SETTINGS)
+@given(programs())
+def test_generated_programs_validate(prog):
+    """Meta-check: the strategy only produces valid programs."""
+    stats = validate_program(prog)
+    assert stats.num_statements >= 1
+
+
+@settings(**SETTINGS)
+@given(programs())
+def test_trace_requests_within_dap(prog):
+    """Every request's disks are a subset of the DAP's active set for the
+    request's (nest, iteration) — the compiler's view over-approximates the
+    runtime's, never the reverse."""
+    layout, trace = _pipeline(prog)
+    dap = build_dap(prog, layout)
+    ordinals = {
+        (n, v): t
+        for n, nest in enumerate(prog.nests)
+        for t, v in enumerate(nest.iter_values())
+    }
+    for req in trace.requests:
+        disks = layout.striping(req.array).disks_for_extent(req.offset, req.nbytes)
+        t = ordinals[(req.nest, req.iteration)]
+        active = dap.activity[req.nest][t]
+        for d in disks:
+            assert active[d], (
+                f"request to disk {d} at nest {req.nest} iter {req.iteration} "
+                f"not in the DAP"
+            )
+
+
+@settings(**SETTINGS)
+@given(programs())
+def test_total_bytes_invariant_under_striping(prog):
+    """Without a cache, the bytes requested are a property of the program,
+    not of the layout: any stripe size / disk count yields the same total."""
+    totals = set()
+    for num_disks, stripe in ((1, 128), (3, 256), (5, 1024)):
+        _, trace = _pipeline(prog, num_disks=num_disks, stripe=stripe)
+        totals.add(trace.total_bytes)
+    assert len(totals) == 1
+
+
+@settings(**SETTINGS)
+@given(programs())
+def test_simulation_energy_identity_and_time(prog):
+    """Base replay: per-state energies sum to the total; state residencies
+    fill each disk's timeline; execution >= pure compute time."""
+    layout, trace = _pipeline(prog)
+    params = SubsystemParams(num_disks=3)
+    rec = TimelineRecorder()
+    res = simulate(trace, params, recorder=rec)
+    assert sum(res.energy_breakdown_j().values()) == pytest.approx(
+        res.total_energy_j, rel=1e-9
+    )
+    assert res.execution_time_s >= compute_timing(prog).total_seconds - 1e-12
+    rec.verify()
+    assert rec.total_energy_j() == pytest.approx(res.total_energy_j, rel=1e-9)
+
+
+@settings(**SETTINGS)
+@given(programs())
+def test_simulation_deterministic(prog):
+    layout, trace = _pipeline(prog)
+    params = SubsystemParams(num_disks=3)
+    a = simulate(trace, params)
+    b = simulate(trace, params)
+    assert a.total_energy_j == b.total_energy_j
+    assert a.request_responses == b.request_responses
+
+
+@settings(**SETTINGS)
+@given(programs(max_nests=2))
+def test_fission_preserves_footprints_on_random_programs(prog):
+    """Fission legality property: per-array whole-program footprints are
+    unchanged, statement multiset is preserved, and the result validates."""
+    from repro.transform.fission import fission_program
+
+    res = fission_program(prog)
+    validate_program(res.program)
+    assert len(list(res.program.statements())) == len(list(prog.statements()))
+
+    def footprints(p):
+        out = {}
+        for n, nest in enumerate(p.nests):
+            acc = analyze_nest(nest, n)
+            for name in acc.arrays:
+                region = acc.total_region(name)
+                out.setdefault(name, []).append(region)
+        return out
+
+    before, after = footprints(prog), footprints(res.program)
+    assert set(before) == set(after)
+    for name in before:
+        # Union-of-regions equality via element counts and bounding boxes
+        # (regions may be re-distributed across more nests after fission).
+        bb_before = before[name][0]
+        for r in before[name][1:]:
+            bb_before = bb_before.bounding_union(r)
+        bb_after = after[name][0]
+        for r in after[name][1:]:
+            bb_after = bb_after.bounding_union(r)
+        assert bb_before == bb_after
+
+
+def _coverage(trace):
+    """Per-array set of covered byte intervals (merged).  Coverage is
+    invariant under re-indexing; request *counts* are not (miss coalescing
+    operates at outer-iteration granularity, so collapsing or splitting
+    iterations changes how re-accesses are counted)."""
+    by_array: dict[str, list[tuple[int, int]]] = {}
+    for r in trace.requests:
+        by_array.setdefault(r.array, []).append((r.offset, r.offset + r.nbytes))
+    merged = {}
+    for name, spans in by_array.items():
+        spans.sort()
+        out = [list(spans[0])]
+        for lo, hi in spans[1:]:
+            if lo <= out[-1][1]:
+                out[-1][1] = max(out[-1][1], hi)
+            else:
+                out.append([lo, hi])
+        merged[name] = [tuple(x) for x in out]
+    return merged
+
+
+@settings(**SETTINGS)
+@given(perfect_2d_nests())
+def test_strip_mining_preserves_coverage(prog):
+    """Strip-mining is a pure re-indexing: the bytes each array contributes
+    to the trace are identical."""
+    from repro.transform.stripmine import strip_mine
+
+    nest = prog.nests[0]
+    for strip in (2, nest.trip_count):
+        if nest.trip_count % strip:
+            continue
+        mined_prog = prog.with_nest(0, strip_mine(nest, strip))
+        validate_program(mined_prog)
+        _, t1 = _pipeline(prog)
+        _, t2 = _pipeline(mined_prog)
+        assert _coverage(t1) == _coverage(t2)
+
+
+@settings(**SETTINGS)
+@given(perfect_2d_nests())
+def test_tiling_preserves_coverage_and_validates(prog):
+    """Tiling permutes the iteration order: per-array byte coverage and
+    footprints survive (request order and re-access counts legitimately
+    change)."""
+    from repro.transform.tiling import apply_tiling
+
+    layout = default_layout(prog.arrays, num_disks=3, stripe_size=256)
+    res = apply_tiling(prog, layout, with_layout=False, bands_per_disk=1)
+    if not res.applied:
+        return
+    validate_program(res.program)
+    _, t1 = _pipeline(prog)
+    trace2 = generate_trace(res.program, layout, OPTS)
+    assert _coverage(t1) == _coverage(trace2)
+    before = analyze_program(prog)
+    after = analyze_program(res.program)
+    for name in prog.referenced_arrays:
+        b = next((a.total_region(name) for a in before if a.total_region(name)), None)
+        a_ = next((a.total_region(name) for a in after if a.total_region(name)), None)
+        assert b == a_
+
+
+@settings(**SETTINGS)
+@given(programs(max_nests=2, max_arrays=2))
+def test_oracle_never_slows_or_costs(prog):
+    """IDRPM property: for any program, the oracle's replay matches Base
+    execution time and never uses more energy."""
+    from repro.controllers.oracle import OracleDRPM
+
+    layout, trace = _pipeline(prog)
+    params = SubsystemParams(num_disks=3)
+    base = simulate(trace, params, collect_busy_intervals=True)
+    oracle = simulate(trace, params, OracleDRPM(base, params))
+    assert oracle.execution_time_s == pytest.approx(base.execution_time_s, rel=1e-9)
+    assert oracle.total_energy_j <= base.total_energy_j + 1e-6

@@ -1,0 +1,93 @@
+"""Integration: §6.2's transformation results (Figure 13 shapes)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.schemes import run_schemes
+from repro.transform.pipeline import make_version
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+def _transformed_energy(ctx, name, version, scheme):
+    wl = ctx.workload(name)
+    orig = ctx.suite(name)
+    lay = ctx.default_layout_for(wl)
+    tv = make_version(version, wl.program, lay)
+    if not tv.applied:
+        return orig.normalized_energy(scheme), False
+    suite = run_schemes(
+        tv.program,
+        tv.layout,
+        ctx.params,
+        wl.trace_options,
+        wl.estimation,
+        schemes=("Base", scheme),
+    )
+    return (
+        suite.results[scheme].total_energy_j / orig.base.total_energy_j,
+        True,
+    )
+
+
+def test_lf_alone_is_useless(ctx):
+    """Layout-oblivious fission barely moves the needle (paper: 'the LF and
+    TL versions do not perform well')."""
+    e, applied = _transformed_energy(ctx, "swim", "LF", "CMDRPM")
+    assert applied
+    orig = ctx.suite("swim").normalized_energy("CMDRPM")
+    assert abs(e - orig) < 0.08
+
+
+def test_lfdl_makes_tpm_viable_on_swim(ctx):
+    """Paper: 'our code transformations make the TPM strategy a viable
+    option... it reduces the energy consumption of the base case by 31%'."""
+    e, applied = _transformed_energy(ctx, "swim", "LF+DL", "CMTPM")
+    assert applied
+    assert e < 0.75  # CMTPM goes from 1.00 to deep savings
+    assert ctx.suite("swim").normalized_energy("CMTPM") == pytest.approx(1.0, abs=0.01)
+
+
+def test_lfdl_improves_cmdrpm_on_fissionable_benchmarks(ctx):
+    for name in ("swim", "mgrid", "applu", "mesa"):
+        e, applied = _transformed_energy(ctx, name, "LF+DL", "CMDRPM")
+        assert applied, name
+        assert e < ctx.suite(name).normalized_energy("CMDRPM") + 1e-6, name
+
+
+def test_tldl_improves_wupwise(ctx):
+    """wupwise has no fissionable nests but benefits from TL+DL (the
+    non-conforming ZP access is layout-transformed)."""
+    lf, applied_lf = _transformed_energy(ctx, "wupwise", "LF+DL", "CMDRPM")
+    assert not applied_lf
+    tl, applied_tl = _transformed_energy(ctx, "wupwise", "TL+DL", "CMDRPM")
+    assert applied_tl
+    assert tl < ctx.suite("wupwise").normalized_energy("CMDRPM") - 0.02
+
+
+def test_galgel_gains_nothing(ctx):
+    """The paper's negative control."""
+    for version in ("LF", "TL", "LF+DL", "TL+DL"):
+        _, applied = _transformed_energy(ctx, "galgel", version, "CMDRPM")
+        assert not applied
+
+
+def test_transformed_average_cmtpm_savings(ctx):
+    """Across the benchmarks where a +DL version applies, CMTPM averages
+    deep savings (paper: 31 %)."""
+    energies = []
+    for name, version in (
+        ("swim", "LF+DL"),
+        ("mgrid", "LF+DL"),
+        ("applu", "LF+DL"),
+        ("mesa", "LF+DL"),
+        ("wupwise", "TL+DL"),
+    ):
+        e, applied = _transformed_energy(ctx, name, version, "CMTPM")
+        assert applied, name
+        energies.append(e)
+    avg = sum(energies) / len(energies)
+    assert 0.5 < avg < 0.85  # paper: 0.69

@@ -1,0 +1,104 @@
+"""Array declarations: shapes, strides, linearization, layout transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.arrays import Array, StorageOrder
+from repro.util.errors import IRError
+
+
+def test_basic_properties():
+    a = Array("A", (4, 8), element_size=8)
+    assert a.rank == 2
+    assert a.num_elements == 32
+    assert a.size_bytes == 256
+
+
+def test_invalid_declarations():
+    with pytest.raises(IRError):
+        Array("", (4,))
+    with pytest.raises(IRError):
+        Array("A", ())
+    with pytest.raises(IRError):
+        Array("A", (0, 4))
+    with pytest.raises(IRError):
+        Array("A", (4,), element_size=0)
+
+
+def test_strides_row_major():
+    a = Array("A", (3, 4, 5))
+    assert a.strides_elements() == (20, 5, 1)
+
+
+def test_strides_column_major():
+    a = Array("A", (3, 4, 5), order=StorageOrder.COLUMN_MAJOR)
+    assert a.strides_elements() == (1, 3, 12)
+
+
+def test_linearize_matches_numpy():
+    a = Array("A", (3, 4))
+    np_idx = np.arange(12).reshape(3, 4)
+    for i in range(3):
+        for j in range(4):
+            assert a.linearize((i, j)) == np_idx[i, j]
+
+
+def test_linearize_column_major_matches_fortran():
+    a = Array("A", (3, 4), order=StorageOrder.COLUMN_MAJOR)
+    np_idx = np.arange(12).reshape(3, 4, order="F")
+    for i in range(3):
+        for j in range(4):
+            assert a.linearize((i, j)) == np_idx[i, j]
+
+
+def test_linearize_vectorized():
+    a = Array("A", (8, 8))
+    i = np.arange(8)
+    flat = a.linearize((i, np.zeros(8, dtype=int)))
+    assert np.array_equal(flat, i * 8)
+
+
+def test_linearize_rank_mismatch():
+    with pytest.raises(IRError):
+        Array("A", (3, 4)).linearize((1,))
+
+
+def test_contains():
+    a = Array("A", (3, 4))
+    assert a.contains((2, 3))
+    assert not a.contains((3, 0))
+    assert not a.contains((0, -1))
+    assert not a.contains((0,))
+
+
+def test_with_order_transposes_storage_only():
+    a = Array("A", (3, 4))
+    t = a.with_order(a.order.transposed())
+    assert t.order is StorageOrder.COLUMN_MAJOR
+    assert t.shape == a.shape
+    assert t.name == a.name
+    assert StorageOrder.COLUMN_MAJOR.transposed() is StorageOrder.ROW_MAJOR
+
+
+def test_byte_extent():
+    a = Array("A", (10,), element_size=8)
+    assert a.byte_extent(2, 5) == (16, 40)
+    with pytest.raises(IRError):
+        a.byte_extent(5, 11)
+    with pytest.raises(IRError):
+        a.byte_extent(-1, 2)
+
+
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=3),
+    st.sampled_from([StorageOrder.ROW_MAJOR, StorageOrder.COLUMN_MAJOR]),
+)
+def test_linearize_is_bijective_over_domain(shape, order):
+    """Property: linearization is a bijection [0, N) over the index lattice."""
+    a = Array("A", tuple(shape), order=order)
+    grids = np.meshgrid(*[np.arange(s) for s in shape], indexing="ij")
+    flats = a.linearize(tuple(g for g in grids))
+    flat_set = set(np.asarray(flats).ravel().tolist())
+    assert flat_set == set(range(a.num_elements))

@@ -1,0 +1,106 @@
+"""Program builder DSL."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.nodes import AccessMode, Loop, PowerAction, PowerCall
+from repro.util.errors import IRError
+
+
+def test_builds_nested_structure():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], cycles=3)
+    prog = b.build()
+    assert prog.num_nests == 1
+    nest = prog.nest(0)
+    assert nest.var == "i"
+    inner = nest.body[0]
+    assert isinstance(inner, Loop) and inner.var == "j"
+    stmt = inner.body[0]
+    assert stmt.refs[0].mode is AccessMode.READ
+    assert stmt.cost_cycles == 3
+
+
+def test_reads_and_writes():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8,))
+    B = b.array("B", (8,))
+    with b.nest("i", 0, 8) as i:
+        s = b.stmt(reads=[A[i]], writes=[B[i]], cycles=1)
+    assert {r.array.name for r in s.reads} == {"A"}
+    assert {w.array.name for w in s.writes} == {"B"}
+
+
+def test_duplicate_array_rejected():
+    b = ProgramBuilder("p")
+    b.array("A", (4,))
+    with pytest.raises(IRError):
+        b.array("A", (8,))
+
+
+def test_loop_requires_nest():
+    b = ProgramBuilder("p")
+    b.array("A", (4,))
+    with pytest.raises(IRError):
+        with b.loop("i", 0, 4):
+            pass
+
+
+def test_nest_rejects_nesting():
+    b = ProgramBuilder("p")
+    A = b.array("A", (4,))
+    with pytest.raises(IRError):
+        with b.nest("i", 0, 4) as i:
+            with b.nest("j", 0, 4):
+                pass
+
+
+def test_variable_shadowing_rejected():
+    b = ProgramBuilder("p")
+    A = b.array("A", (4, 4))
+    with pytest.raises(IRError):
+        with b.nest("i", 0, 4) as i:
+            with b.loop("i", 0, 4):
+                pass
+
+
+def test_stmt_outside_loop_rejected():
+    b = ProgramBuilder("p")
+    A = b.array("A", (4,))
+    with pytest.raises(IRError):
+        b.stmt(reads=[A[0]])
+
+
+def test_empty_statement_rejected():
+    b = ProgramBuilder("p")
+    b.array("A", (4,))
+    with pytest.raises(IRError):
+        with b.nest("i", 0, 4):
+            b.stmt()
+
+
+def test_power_call_insertion():
+    b = ProgramBuilder("p")
+    A = b.array("A", (4,))
+    with b.nest("i", 0, 4) as i:
+        b.stmt(reads=[A[i]])
+        b.power_call(PowerCall(PowerAction.SPIN_DOWN, 0))
+    nest = b.build().nest(0)
+    assert isinstance(nest.body[1], PowerCall)
+
+
+def test_build_requires_a_nest():
+    b = ProgramBuilder("p")
+    b.array("A", (4,))
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_array_handle_exposes_metadata():
+    b = ProgramBuilder("p")
+    A = b.array("A", (4, 8))
+    assert A.name == "A"
+    assert A.shape == (4, 8)

@@ -1,0 +1,121 @@
+"""Affine expression algebra, evaluation, and range analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.expr import Affine, const, var
+from repro.util.errors import IRError
+
+
+def test_construction_normalizes_zero_coeffs():
+    assert Affine((("i", 0),), 3) == const(3)
+    assert var("i").coeff_map == {"i": 1}
+
+
+def test_equality_is_structural():
+    assert var("i") * 2 + 1 == Affine((("i", 2),), 1)
+    assert var("i") + var("j") == var("j") + var("i")
+    assert hash(var("i") + 1) == hash(1 + var("i"))
+
+
+def test_arithmetic():
+    e = 2 * var("i") - var("j") + 5
+    assert e.coefficient("i") == 2
+    assert e.coefficient("j") == -1
+    assert e.constant == 5
+    assert (e - e).is_constant
+    assert (e * 3).constant == 15
+    assert (-e).coefficient("i") == -2
+
+
+def test_mul_requires_int():
+    with pytest.raises(IRError):
+        var("i") * 1.5  # type: ignore[operator]
+    with pytest.raises(IRError):
+        var("i") * var("j")
+
+
+def test_mul_by_constant_affine_allowed():
+    assert var("i") * const(3) == var("i") * 3
+
+
+def test_evaluate_scalar_and_vector():
+    e = 2 * var("i") + var("j") - 1
+    assert e.evaluate({"i": 3, "j": 4}) == 9
+    out = e.evaluate({"i": np.arange(4), "j": np.zeros(4, dtype=int)})
+    assert np.array_equal(out, np.array([-1, 1, 3, 5]))
+
+
+def test_evaluate_unbound_raises():
+    with pytest.raises(IRError, match="unbound"):
+        var("i").evaluate({})
+
+
+def test_value_range_signs():
+    e = 2 * var("i") - 3 * var("j") + 1
+    lo, hi = e.value_range({"i": (0, 10), "j": (0, 4)})
+    assert lo == 2 * 0 - 3 * 4 + 1 == -11
+    assert hi == 2 * 10 - 3 * 0 + 1 == 21
+
+
+def test_value_range_empty_bound_raises():
+    with pytest.raises(IRError):
+        var("i").value_range({"i": (5, 4)})
+
+
+def test_substitute():
+    e = 2 * var("i") + var("j")
+    s = e.substitute("i", 4 * var("t") + var("e"))
+    assert s == 8 * var("t") + 2 * var("e") + var("j")
+    assert e.substitute("missing", 5) == e
+
+
+def test_rename():
+    e = var("i") + 2 * var("j")
+    assert e.rename({"i": "i_g0"}) == var("i_g0") + 2 * var("j")
+
+
+def test_str_rendering():
+    assert str(2 * var("i") - var("j") + 1) == "2*i - j + 1"
+    assert str(const(0)) == "0"
+    assert str(-var("k")) == "-k"
+
+
+@given(
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(-50, 50),
+    st.tuples(st.integers(-10, 10), st.integers(-10, 10)).map(
+        lambda p: (min(p), max(p))
+    ),
+    st.tuples(st.integers(-10, 10), st.integers(-10, 10)).map(
+        lambda p: (min(p), max(p))
+    ),
+)
+def test_value_range_is_tight_bound(ci, cj, c0, bi, bj):
+    """Property: range analysis returns exactly min/max over the domain."""
+    e = ci * var("i") + cj * var("j") + c0
+    lo, hi = e.value_range({"i": bi, "j": bj})
+    ii, jj = np.meshgrid(
+        np.arange(bi[0], bi[1] + 1), np.arange(bj[0], bj[1] + 1)
+    )
+    vals = e.evaluate({"i": ii, "j": jj})
+    vals = np.asarray(vals) if not np.isscalar(vals) else np.array([vals])
+    assert lo == vals.min()
+    assert hi == vals.max()
+
+
+@given(
+    st.integers(-20, 20), st.integers(-20, 20), st.integers(-5, 5),
+    st.integers(-100, 100), st.integers(-100, 100),
+)
+def test_arithmetic_matches_pointwise_semantics(a, b, k, vi, vj):
+    """Property: algebra on Affine == algebra on evaluated values."""
+    e1 = a * var("i") + 3
+    e2 = b * var("j") - 7
+    env = {"i": vi, "j": vj}
+    assert (e1 + e2).evaluate(env) == e1.evaluate(env) + e2.evaluate(env)
+    assert (e1 - e2).evaluate(env) == e1.evaluate(env) - e2.evaluate(env)
+    assert (e1 * k).evaluate(env) == e1.evaluate(env) * k

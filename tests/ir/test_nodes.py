@@ -1,0 +1,119 @@
+"""IR node invariants: refs, statements, power calls, loops."""
+
+import pytest
+
+from repro.ir.arrays import Array
+from repro.ir.expr import var
+from repro.ir.nodes import (
+    AccessMode,
+    ArrayRef,
+    Loop,
+    PowerAction,
+    PowerCall,
+    Statement,
+)
+from repro.util.errors import IRError
+
+A = Array("A", (16, 16))
+B = Array("B", (256,))
+
+
+def _ref(mode=AccessMode.READ):
+    return ArrayRef(A, (var("i"), var("j")), mode)
+
+
+def test_ref_rank_checked():
+    with pytest.raises(IRError):
+        ArrayRef(A, (var("i"),))
+
+
+def test_ref_lifts_int_subscripts():
+    r = ArrayRef(A, (var("i"), 3))
+    assert r.subscripts[1].is_constant
+
+
+def test_ref_variables_and_rename():
+    r = _ref()
+    assert r.variables == {"i", "j"}
+    rr = r.rename({"i": "i2"})
+    assert rr.variables == {"i2", "j"}
+
+
+def test_ref_substitute_and_transpose():
+    r = _ref()
+    s = r.substitute("i", 2 * var("t"))
+    assert s.subscripts[0] == 2 * var("t")
+    t = r.transposed()
+    assert t.subscripts == tuple(reversed(r.subscripts))
+
+
+def test_statement_reads_writes_split():
+    s = Statement(
+        refs=(_ref(AccessMode.READ), _ref(AccessMode.WRITE)), cost_cycles=10
+    )
+    assert len(s.reads) == 1
+    assert len(s.writes) == 1
+    assert s.arrays == {"A"}
+    assert s.variables == {"i", "j"}
+
+
+def test_statement_negative_cost_rejected():
+    with pytest.raises(IRError):
+        Statement(refs=(_ref(),), cost_cycles=-1)
+
+
+def test_power_call_validation():
+    PowerCall(PowerAction.SPIN_DOWN, 0)
+    PowerCall(PowerAction.SET_RPM, 1, rpm=3000)
+    with pytest.raises(IRError):
+        PowerCall(PowerAction.SET_RPM, 0)  # missing level
+    with pytest.raises(IRError):
+        PowerCall(PowerAction.SPIN_UP, 0, rpm=3000)  # spurious level
+    with pytest.raises(IRError):
+        PowerCall(PowerAction.SPIN_DOWN, -1)
+
+
+def test_power_call_str_matches_paper_syntax():
+    assert str(PowerCall(PowerAction.SPIN_DOWN, 2)) == "spin_down(disk2)"
+    assert str(PowerCall(PowerAction.SPIN_UP, 0)) == "spin_up(disk0)"
+    assert str(PowerCall(PowerAction.SET_RPM, 1, rpm=4200)) == "set_RPM(4200, disk1)"
+
+
+def test_loop_trip_count_and_values():
+    l = Loop("i", 0, 10, (), step=3)
+    assert l.trip_count == 4
+    assert list(l.iter_values()) == [0, 3, 6, 9]
+    assert l.bounds_inclusive == (0, 9)
+
+
+def test_loop_zero_trip_bounds_raise():
+    l = Loop("i", 5, 5, ())
+    assert l.trip_count == 0
+    with pytest.raises(IRError):
+        l.bounds_inclusive
+
+
+def test_loop_validation():
+    with pytest.raises(IRError):
+        Loop("i", 0, 10, (), step=0)
+    with pytest.raises(IRError):
+        Loop("i", 10, 0, ())
+    with pytest.raises(IRError):
+        Loop("", 0, 1, ())
+
+
+def test_loop_statement_iteration_and_arrays():
+    inner = Loop("j", 0, 4, (Statement((_ref(),), 5),))
+    outer = Loop("i", 0, 8, (inner, Statement((ArrayRef(B, (var("i"),)),), 2)))
+    stmts = list(outer.statements())
+    assert len(stmts) == 2
+    assert outer.arrays == {"A", "B"}
+    assert [l.var for l in outer.inner_loops()] == ["j"]
+    assert outer.loop_variables() == ["i", "j"]
+
+
+def test_total_statement_executions():
+    inner = Loop("j", 0, 4, (Statement((_ref(),), 5),))
+    outer = Loop("i", 0, 8, (inner, Statement((ArrayRef(B, (var("i"),)),), 2)))
+    # inner statement runs 8*4 = 32 times; outer-level statement 8 times.
+    assert outer.total_statement_executions() == 40

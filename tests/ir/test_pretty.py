@@ -1,0 +1,42 @@
+"""Pretty printer output."""
+
+from repro.ir.builder import ProgramBuilder
+from repro.ir.nodes import PowerAction, PowerCall
+from repro.ir.pretty import format_loop, format_program
+
+
+def _program():
+    b = ProgramBuilder("demo")
+    A = b.array("A", (4, 4))
+    with b.nest("i", 0, 4) as i:
+        with b.loop("j", 0, 4, step=2) as j:
+            b.stmt(reads=[A[i, j]], cycles=7, label="load")
+        b.power_call(PowerCall(PowerAction.SPIN_UP, 3))
+    return b.build()
+
+
+def test_program_rendering_contains_structure():
+    text = format_program(_program())
+    assert "program demo:" in text
+    assert "declare A[4][4]:C" in text
+    assert "for i in [0, 4):" in text
+    assert "for j in [0, 4) step 2:" in text
+    assert "A[i, j]:R" in text
+    assert "# load" in text
+    assert "spin_up(disk3)" in text
+
+
+def test_rendering_is_deterministic():
+    assert format_program(_program()) == format_program(_program())
+
+
+def test_empty_loop_renders_pass():
+    from repro.ir.nodes import Loop
+
+    assert format_loop(Loop("i", 0, 3, ())).splitlines()[1].strip() == "pass"
+
+
+def test_indentation_tracks_depth():
+    text = format_program(_program())
+    lines = [l for l in text.splitlines() if "compute[" in l]
+    assert lines[0].startswith(" " * 16)  # nest(2) + loop + loop => depth 4

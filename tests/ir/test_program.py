@@ -1,0 +1,81 @@
+"""Program container semantics."""
+
+import pytest
+
+from repro.ir.arrays import StorageOrder
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.util.errors import IRError
+
+
+def _two_nest_program():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    B = b.array("B", (8, 8))
+    b.array("UNUSED", (4,))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    with b.nest("k", 0, 8) as k:
+        with b.loop("l", 0, 8) as l:
+            b.stmt(reads=[B[k, l]], cycles=1)
+    return b.build()
+
+
+def test_lookup_and_errors():
+    p = _two_nest_program()
+    assert p.array("A").shape == (8, 8)
+    with pytest.raises(IRError):
+        p.array("missing")
+    assert p.nest(1).var == "k"
+    with pytest.raises(IRError):
+        p.nest(2)
+
+
+def test_referenced_arrays_excludes_unused():
+    p = _two_nest_program()
+    assert p.referenced_arrays == {"A", "B"}
+    # 2 arrays of 8*8*8 bytes each; UNUSED not counted.
+    assert p.total_data_bytes == 2 * 8 * 8 * 8
+
+
+def test_duplicate_arrays_rejected():
+    p = _two_nest_program()
+    with pytest.raises(IRError):
+        Program("bad", arrays=(p.arrays[0], p.arrays[0]), nests=p.nests)
+
+
+def test_with_nest_replaces_one():
+    p = _two_nest_program()
+    p2 = p.with_nest(0, p.nest(1))
+    assert p2.nest(0).var == "k"
+    assert p2.nest(1).var == "k"
+    assert p.nest(0).var == "i"  # original untouched
+    with pytest.raises(IRError):
+        p.with_nest(5, p.nest(0))
+
+
+def test_with_arrays_rewrites_declarations_and_refs():
+    p = _two_nest_program()
+    newA = p.array("A").with_order(StorageOrder.COLUMN_MAJOR)
+    p2 = p.with_arrays({"A": newA})
+    assert p2.array("A").order is StorageOrder.COLUMN_MAJOR
+    # Every reference to A now points at the transformed declaration.
+    for stmt in p2.statements():
+        for ref in stmt.refs:
+            if ref.array.name == "A":
+                assert ref.array.order is StorageOrder.COLUMN_MAJOR
+    # B untouched.
+    assert p2.array("B").order is StorageOrder.ROW_MAJOR
+
+
+def test_statements_in_program_order():
+    p = _two_nest_program()
+    arrays = [next(iter(s.arrays)) for s in p.statements()]
+    assert arrays == ["A", "B"]
+
+
+def test_clock_must_be_positive():
+    p = _two_nest_program()
+    with pytest.raises(IRError):
+        Program("bad", p.arrays, p.nests, clock_hz=0)

@@ -1,0 +1,95 @@
+"""Static program validation."""
+
+import pytest
+
+from repro.ir.arrays import Array
+from repro.ir.builder import ProgramBuilder
+from repro.ir.expr import var
+from repro.ir.nodes import ArrayRef, Loop, Statement
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.util.errors import IRError
+
+
+def test_valid_program_stats(tiny_program):
+    stats = validate_program(tiny_program)
+    assert stats.num_nests == 2
+    assert stats.num_loops == 2
+    assert stats.num_statements == 2
+    assert stats.num_power_calls == 0
+    assert stats.max_depth == 1
+    assert stats.total_statement_executions == 3 * 8192
+
+
+def test_out_of_bounds_subscript_detected():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8,))
+    with b.nest("i", 0, 8) as i:
+        b.stmt(reads=[A[i + 1]])  # i=7 -> A[8] out of bounds
+    with pytest.raises(IRError, match="ranges over"):
+        validate_program(b.build())
+
+
+def test_negative_subscript_detected():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8,))
+    with b.nest("i", 0, 8) as i:
+        b.stmt(reads=[A[i - 1]])
+    with pytest.raises(IRError, match="ranges over"):
+        validate_program(b.build())
+
+
+def test_undeclared_array_detected():
+    ghost = Array("GHOST", (8,))
+    stmt = Statement((ArrayRef(ghost, (var("i"),)),))
+    nest = Loop("i", 0, 8, (stmt,))
+    prog = Program("p", arrays=(), nests=(nest,))
+    with pytest.raises(IRError, match="undeclared"):
+        validate_program(prog)
+
+
+def test_stale_declaration_detected():
+    """A ref pointing at a different declaration object of the same name
+    (shape mismatch) is caught — guards the with_arrays rewrite path."""
+    b = ProgramBuilder("p")
+    A = b.array("A", (8,))
+    with b.nest("i", 0, 8) as i:
+        b.stmt(reads=[A[i]])
+    prog = b.build()
+    bigger = Array("A", (16,))
+    broken = Program("p", arrays=(bigger,), nests=prog.nests)
+    with pytest.raises(IRError, match="stale"):
+        validate_program(broken)
+
+
+def test_unbound_variable_detected():
+    ghost = Statement((ArrayRef(Array("A", (8,)), (var("z"),)),))
+    nest = Loop("i", 0, 8, (ghost,))
+    prog = Program("p", arrays=(Array("A", (8,)),), nests=(nest,))
+    with pytest.raises(IRError, match="unbound"):
+        validate_program(prog)
+
+
+def test_shadowing_detected():
+    inner = Loop("i", 0, 4, ())
+    outer = Loop("i", 0, 4, (inner,))
+    prog = Program("p", arrays=(), nests=(outer,))
+    with pytest.raises(IRError, match="shadows"):
+        validate_program(prog)
+
+
+def test_zero_trip_loop_is_tolerated():
+    nest = Loop("i", 0, 0, ())
+    prog = Program("p", arrays=(), nests=(nest,))
+    stats = validate_program(prog)
+    assert stats.num_loops == 1
+    assert stats.total_statement_executions == 0
+
+
+def test_workload_models_validate():
+    """Every Table 2 benchmark model passes static validation."""
+    from repro.workloads import all_workloads
+
+    for wl in all_workloads():
+        stats = validate_program(wl.program)
+        assert stats.num_statements > 0

@@ -1,0 +1,97 @@
+"""File map / subsystem layout."""
+
+import pytest
+
+from repro.ir.arrays import Array
+from repro.layout.files import FileEntry, SubsystemLayout, default_layout
+from repro.layout.striping import Striping
+from repro.util.errors import LayoutError
+from repro.util.units import KB, SECTOR_BYTES
+
+ARRS = (Array("A", (8192,)), Array("B", (16384,)))  # 64 KB and 128 KB
+
+
+def test_default_layout_packs_files():
+    lay = default_layout(ARRS, num_disks=4)
+    a, b = lay.entry("A"), lay.entry("B")
+    assert a.base_block == 0
+    assert b.base_block == a.num_blocks
+    assert a.striping.as_tuple() == (0, 4, 64 * KB)
+    assert lay.layout_tuple("B") == (0, 4, 64 * KB)
+
+
+def test_blocks_round_trip():
+    lay = default_layout(ARRS, num_disks=4)
+    e = lay.entry("B")
+    for off in (0, SECTOR_BYTES, e.size_bytes - 1):
+        block = e.offset_to_block(off)
+        assert e.block_to_offset(block) == (off // SECTOR_BYTES) * SECTOR_BYTES
+    with pytest.raises(LayoutError):
+        e.offset_to_block(e.size_bytes)
+    with pytest.raises(LayoutError):
+        e.block_to_offset(e.base_block - 1)
+
+
+def test_resolve_block():
+    lay = default_layout(ARRS, num_disks=4)
+    b = lay.entry("B")
+    assert lay.resolve_block(b.base_block).array_name == "B"
+    assert lay.resolve_block(0).array_name == "A"
+    with pytest.raises(LayoutError):
+        lay.resolve_block(b.block_range[1])
+
+
+def test_striping_must_fit_subsystem():
+    entry = FileEntry("A", 1024, Striping(3, 4, 512), 0)
+    with pytest.raises(LayoutError, match="subsystem has"):
+        SubsystemLayout(num_disks=4, entries=(entry,))
+
+
+def test_overlapping_block_ranges_rejected():
+    e1 = FileEntry("A", 1024, Striping(0, 2, 512), 0)
+    e2 = FileEntry("B", 1024, Striping(0, 2, 512), 1)  # overlaps A's 2 blocks
+    with pytest.raises(LayoutError, match="overlaps"):
+        SubsystemLayout(num_disks=2, entries=(e1, e2))
+
+
+def test_duplicate_file_rejected():
+    e1 = FileEntry("A", 1024, Striping(0, 2, 512), 0)
+    e2 = FileEntry("A", 1024, Striping(0, 2, 512), 10)
+    with pytest.raises(LayoutError, match="duplicate"):
+        SubsystemLayout(num_disks=2, entries=(e1, e2))
+
+
+def test_split_request_bounds_checked():
+    lay = default_layout(ARRS, num_disks=4)
+    with pytest.raises(LayoutError, match="exceeds"):
+        lay.split_request("A", 0, ARRS[0].size_bytes + 1)
+    subs = lay.split_request("A", 0, 1024)
+    assert sum(x.length for x in subs) == 1024
+
+
+def test_with_striping_preserves_blocks():
+    lay = default_layout(ARRS, num_disks=4)
+    new = lay.with_striping({"A": Striping(2, 2, 32 * KB)})
+    assert new.layout_tuple("A") == (2, 2, 32 * KB)
+    assert new.layout_tuple("B") == (0, 4, 64 * KB)
+    assert new.entry("A").base_block == lay.entry("A").base_block
+
+
+def test_with_file_sizes_repacks():
+    lay = default_layout(ARRS, num_disks=4)
+    new = lay.with_file_sizes({"A": 128 * KB})
+    assert new.entry("A").size_bytes == 128 * KB
+    assert new.entry("B").base_block == new.entry("A").num_blocks
+
+
+def test_unknown_array_raises():
+    lay = default_layout(ARRS, num_disks=4)
+    with pytest.raises(LayoutError):
+        lay.entry("missing")
+
+
+def test_default_layout_custom_stripe():
+    lay = default_layout(ARRS, num_disks=8, stripe_size=16 * KB, stripe_factor=2,
+                         starting_disk=3)
+    assert lay.layout_tuple("A") == (3, 2, 16 * KB)
+    assert lay.disks_of_array("A") == (3, 4)

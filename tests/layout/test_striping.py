@@ -1,0 +1,116 @@
+"""Striping math: the (starting disk, stripe factor, stripe size) 3-tuple."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout.striping import Striping
+from repro.util.errors import LayoutError
+from repro.util.units import KB
+
+
+def test_paper_figure2_example():
+    """Figure 2(b): U1 striped over all four disks as (0, 4, S)."""
+    S = 64 * KB
+    s = Striping(0, 4, S)
+    assert s.as_tuple() == (0, 4, S)
+    assert s.disks == (0, 1, 2, 3)
+    # First 2S bytes (the first loop nest's U1 accesses) hit disks 0 and 1.
+    assert s.disks_for_extent(0, 2 * S) == {0, 1}
+    # The third stripe (U2's accessed region in the example) is disk 2.
+    assert s.disks_for_extent(2 * S, S) == {2}
+
+
+def test_validation():
+    with pytest.raises(LayoutError):
+        Striping(-1, 4, 1024)
+    with pytest.raises(LayoutError):
+        Striping(0, 0, 1024)
+    with pytest.raises(LayoutError):
+        Striping(0, 4, 0)
+
+
+def test_disk_of_offset_round_robin():
+    s = Striping(2, 3, 100)
+    assert s.disk_of_offset(0) == 2
+    assert s.disk_of_offset(100) == 3
+    assert s.disk_of_offset(200) == 4
+    assert s.disk_of_offset(300) == 2
+    assert s.disk_of_offset(99) == 2
+
+
+def test_disk_offset_of():
+    s = Striping(0, 4, 100)
+    # Stripe 5 lives on disk 1, slot 1 of that disk.
+    assert s.disk_offset_of(510) == 1 * 100 + 10
+
+
+def test_disks_for_extent_empty_and_wide():
+    s = Striping(0, 4, 100)
+    assert s.disks_for_extent(0, 0) == frozenset()
+    assert s.disks_for_extent(50, 400) == {0, 1, 2, 3}
+    with pytest.raises(LayoutError):
+        s.disks_for_extent(-1, 10)
+
+
+def test_split_extent_structure():
+    s = Striping(1, 2, 100)
+    subs = s.split_extent(150, 200)  # bytes [150, 350): stripes 1,2,3
+    assert [x.disk for x in subs] == [2, 1, 2]
+    assert [x.length for x in subs] == [50, 100, 50]
+    assert [x.file_offset for x in subs] == [150, 200, 300]
+    assert subs[0].disk_offset == 0 * 100 + 50
+    assert subs[1].disk_offset == 1 * 100 + 0
+
+
+def test_per_disk_bytes_simple():
+    s = Striping(0, 4, 100)
+    out = s.per_disk_bytes(50, 400)
+    # [50, 450): stripe 0 tail (50 B) and stripe 4 head (50 B) both on disk 0.
+    assert out == {0: 100, 1: 100, 2: 100, 3: 100}
+    assert sum(out.values()) == 400
+
+
+extent_strategy = st.tuples(
+    st.integers(0, 5000),  # offset
+    st.integers(1, 5000),  # length
+    st.integers(0, 3),  # starting disk
+    st.integers(1, 8),  # factor
+    st.integers(1, 700),  # stripe size
+)
+
+
+@given(extent_strategy)
+def test_split_extent_partitions_the_extent(args):
+    """Property: the sub-extents exactly tile [offset, offset+length)."""
+    off, length, start, factor, size = args
+    s = Striping(start, factor, size)
+    subs = s.split_extent(off, length)
+    assert sum(x.length for x in subs) == length
+    pos = off
+    for x in subs:
+        assert x.file_offset == pos
+        assert x.disk == s.disk_of_offset(pos)
+        pos += x.length
+    assert pos == off + length
+
+
+@given(extent_strategy)
+def test_per_disk_bytes_matches_split(args):
+    """Property: the closed-form per-disk histogram equals the explicit
+    split (independent implementations must agree)."""
+    off, length, start, factor, size = args
+    s = Striping(start, factor, size)
+    expected: dict[int, int] = {}
+    for x in s.split_extent(off, length):
+        expected[x.disk] = expected.get(x.disk, 0) + x.length
+    assert s.per_disk_bytes(off, length) == expected
+
+
+@given(extent_strategy)
+def test_disks_for_extent_matches_split(args):
+    off, length, start, factor, size = args
+    s = Striping(start, factor, size)
+    assert s.disks_for_extent(off, length) == {
+        x.disk for x in s.split_extent(off, length)
+    }

@@ -1,0 +1,69 @@
+"""Break-even formulas."""
+
+import pytest
+
+from repro.disksim.params import DiskParams, DRPMParams
+from repro.disksim.powermodel import PowerModel
+from repro.power.breakeven import (
+    drpm_breakeven_s,
+    drpm_breakeven_table,
+    drpm_cycle_energy_j,
+    tpm_breakeven_s,
+    tpm_cycle_energy_j,
+)
+
+
+@pytest.fixture()
+def pm():
+    return PowerModel(DiskParams(), DRPMParams())
+
+
+def test_tpm_breakeven_about_15s(pm):
+    be = tpm_breakeven_s(pm)
+    assert 15.0 < be < 15.5
+
+
+def test_tpm_cycle_energy_neutral_at_breakeven(pm):
+    be = tpm_breakeven_s(pm)
+    idle_cost = pm.idle_power_w(15000) * be
+    assert tpm_cycle_energy_j(pm, be) == pytest.approx(idle_cost, rel=1e-9)
+    # Longer gaps save; shorter gaps lose.
+    assert tpm_cycle_energy_j(pm, be + 10) < pm.idle_power_w(15000) * (be + 10)
+    assert tpm_cycle_energy_j(pm, be - 1) > pm.idle_power_w(15000) * (be - 1)
+
+
+def test_tpm_cycle_requires_fitting_transitions(pm):
+    with pytest.raises(ValueError):
+        tpm_cycle_energy_j(pm, 12.0)  # < 1.5 + 10.9
+
+
+def test_drpm_cycle_energy(pm):
+    gap = 10.0
+    e = drpm_cycle_energy_j(pm, gap, 3000)
+    t_trans = 2 * pm.transition_time_s(15000, 3000)
+    expected = 2 * pm.transition_energy_j(15000, 3000) + pm.idle_power_w(3000) * (
+        gap - t_trans
+    )
+    assert e == pytest.approx(expected)
+    with pytest.raises(ValueError):
+        drpm_cycle_energy_j(pm, 0.5 * t_trans, 3000)
+
+
+def test_drpm_breakeven_neutrality(pm):
+    for rpm in (3000, 9000, 13800):
+        be = drpm_breakeven_s(pm, rpm)
+        idle_cost = pm.idle_power_w(15000) * be
+        assert drpm_cycle_energy_j(pm, be, rpm) == pytest.approx(idle_cost, rel=1e-6)
+
+
+def test_drpm_breakeven_zero_at_top(pm):
+    assert drpm_breakeven_s(pm, 15000) == 0.0
+
+
+def test_breakeven_table_is_small_vs_tpm(pm):
+    """The whole point of DRPM for servers: every level's break-even is far
+    below TPM's ~15 s, so second-scale gaps become exploitable."""
+    table = drpm_breakeven_table(pm)
+    assert set(table) == set(pm.levels)
+    assert all(v < 2.5 for v in table.values())
+    assert max(table.values()) < tpm_breakeven_s(pm)

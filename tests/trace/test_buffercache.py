@@ -1,0 +1,99 @@
+"""LRU buffer cache."""
+
+import pytest
+
+from repro.trace.buffercache import BufferCache
+from repro.util.errors import TraceError
+from repro.util.units import KB
+
+
+def test_validation():
+    with pytest.raises(TraceError):
+        BufferCache(-1)
+    with pytest.raises(TraceError):
+        BufferCache(1024, line_bytes=0)
+
+
+def test_miss_then_hit():
+    c = BufferCache(64 * KB, line_bytes=8 * KB)
+    missing = c.access_extents("f", [0], [8 * KB])
+    assert missing == [(0, 8 * KB)]
+    assert c.access_extents("f", [0], [8 * KB]) == []
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_extents_coalesce_adjacent_miss_lines():
+    c = BufferCache(1024 * KB, line_bytes=8 * KB)
+    missing = c.access_extents("f", [0], [32 * KB])
+    assert missing == [(0, 32 * KB)]
+
+
+def test_partial_hits_split_runs():
+    c = BufferCache(1024 * KB, line_bytes=8 * KB)
+    c.access_extents("f", [8 * KB], [8 * KB])  # warm line 1
+    missing = c.access_extents("f", [0], [32 * KB])  # lines 0..3, line 1 hot
+    assert missing == [(0, 8 * KB), (16 * KB, 16 * KB)]
+
+
+def test_line_alignment():
+    c = BufferCache(1024 * KB, line_bytes=8 * KB)
+    missing = c.access_extents("f", [4096], [100])
+    assert missing == [(0, 8 * KB)]  # whole containing line fetched
+
+
+def test_lru_eviction_order():
+    c = BufferCache(2 * 8 * KB, line_bytes=8 * KB)  # 2 lines
+    c.access_extents("f", [0], [8 * KB])          # line 0
+    c.access_extents("f", [8 * KB], [8 * KB])     # line 1
+    c.access_extents("f", [0], [8 * KB])          # touch line 0 (MRU)
+    c.access_extents("f", [16 * KB], [8 * KB])    # evicts line 1
+    assert c.contains("f", 0)
+    assert not c.contains("f", 8 * KB)
+    assert c.contains("f", 16 * KB)
+
+
+def test_zero_capacity_always_misses():
+    c = BufferCache(0, line_bytes=8 * KB)
+    for _ in range(3):
+        assert c.access_extents("f", [0], [8 * KB]) == [(0, 8 * KB)]
+    assert c.hits == 0
+    assert c.occupancy_lines == 0
+
+
+def test_files_are_disjoint_namespaces():
+    c = BufferCache(1024 * KB, line_bytes=8 * KB)
+    c.access_extents("f1", [0], [8 * KB])
+    assert c.access_extents("f2", [0], [8 * KB]) == [(0, 8 * KB)]
+    assert c.contains("f1", 0) and c.contains("f2", 0)
+    assert not c.contains("f3", 0)
+
+
+def test_multiple_extents_in_one_call():
+    c = BufferCache(1024 * KB, line_bytes=8 * KB)
+    missing = c.access_extents("f", [0, 32 * KB], [8 * KB, 8 * KB])
+    assert missing == [(0, 8 * KB), (32 * KB, 8 * KB)]
+
+
+def test_empty_and_zero_length_extents():
+    c = BufferCache(1024 * KB)
+    assert c.access_extents("f", [], []) == []
+    assert c.access_extents("f", [0], [0]) == []
+
+
+def test_clear_resets():
+    c = BufferCache(1024 * KB)
+    c.access_extents("f", [0], [1])
+    c.clear()
+    assert c.occupancy_lines == 0
+    assert c.misses == 0
+    assert not c.contains("f", 0)
+
+
+def test_working_set_larger_than_cache_thrashes():
+    """Streaming twice over 2x the cache size misses everything twice."""
+    c = BufferCache(4 * 8 * KB, line_bytes=8 * KB)  # 4 lines
+    for _ in range(2):
+        for line in range(8):
+            c.access_extents("f", [line * 8 * KB], [8 * KB])
+    assert c.misses == 16
+    assert c.hits == 0

@@ -1,0 +1,94 @@
+"""Trace file round-trips in the paper's four-field format."""
+
+import pytest
+
+from repro.layout.files import default_layout
+from repro.trace.generator import generate_trace
+from repro.trace.request import IORequest, Trace
+from repro.trace.tracefile import format_trace, parse_trace, read_trace, write_trace
+from repro.util.errors import TraceError
+from repro.util.units import KB
+from repro.ir.builder import ProgramBuilder
+
+
+def _trace():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 1024))
+    B = b.array("B", (8, 1024))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 1024) as j:
+            b.stmt(reads=[A[i, j]], writes=[B[i, j]], cycles=100)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    return generate_trace(prog, lay)
+
+
+def test_format_contains_paper_fields():
+    trace = _trace()
+    text = format_trace(trace)
+    lines = [l for l in text.splitlines() if not l.startswith("#")]
+    assert len(lines) == trace.num_requests
+    first = lines[0].split()
+    assert len(first) == 4
+    float(first[0])  # arrival ms
+    int(first[1])  # start block
+    int(first[2])  # size
+    assert first[3] in ("R", "W")
+
+
+def test_round_trip_preserves_requests():
+    trace = _trace()
+    back = parse_trace(format_trace(trace), trace.layout)
+    assert back.program_name == trace.program_name
+    assert back.num_requests == trace.num_requests
+    assert back.total_compute_s == pytest.approx(trace.total_compute_s)
+    for a, b in zip(trace.requests, back.requests):
+        assert (a.array, a.offset, a.nbytes, a.is_write) == (
+            b.array,
+            b.offset,
+            b.nbytes,
+            b.is_write,
+        )
+        assert b.nominal_time_s == pytest.approx(a.nominal_time_s, abs=1e-6)
+
+
+def test_file_round_trip(tmp_path):
+    trace = _trace()
+    path = tmp_path / "trace.txt"
+    write_trace(trace, path)
+    back = read_trace(path, trace.layout)
+    assert back.num_requests == trace.num_requests
+
+
+def test_block_numbers_are_global(tmp_path):
+    """B's blocks start after A's, so request lines disambiguate files."""
+    trace = _trace()
+    text = format_trace(trace)
+    blocks = [int(l.split()[1]) for l in text.splitlines() if not l.startswith("#")]
+    a_blocks = trace.layout.entry("A").block_range
+    b_blocks = trace.layout.entry("B").block_range
+    assert any(a_blocks[0] <= b < a_blocks[1] for b in blocks)
+    assert any(b_blocks[0] <= b < b_blocks[1] for b in blocks)
+
+
+def test_parse_rejects_malformed():
+    trace = _trace()
+    with pytest.raises(TraceError, match="4 fields"):
+        parse_trace("1.0 2 3", trace.layout)
+    with pytest.raises(TraceError, match="request type"):
+        parse_trace("1.0 0 512 X", trace.layout)
+    with pytest.raises(TraceError):
+        parse_trace("abc 0 512 R", trace.layout)
+
+
+def test_trace_ordering_enforced():
+    trace = _trace()
+    with pytest.raises(TraceError, match="ordered"):
+        Trace(
+            "t",
+            trace.layout,
+            (
+                IORequest(2.0, "A", 0, 512, False),
+                IORequest(1.0, "A", 0, 512, False),
+            ),
+        )

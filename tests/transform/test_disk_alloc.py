@@ -1,0 +1,78 @@
+"""Proportional disk allocation (Fig. 11's closing step)."""
+
+import pytest
+
+from repro.ir.arrays import Array
+from repro.transform.disk_alloc import allocate_disks, group_layout
+from repro.transform.grouping import ArrayGroup
+from repro.util.errors import TransformError
+from repro.util.units import KB, MB
+
+
+def _groups(*sizes):
+    return [
+        ArrayGroup(frozenset({f"G{i}_{j}" for j in range(2)}), s)
+        for i, s in enumerate(sizes)
+    ]
+
+
+def test_ranges_are_disjoint_and_cover():
+    ranges = allocate_disks(_groups(100, 100, 100, 100), 8)
+    assert len(ranges) == 4
+    covered = []
+    for start, count in ranges:
+        assert count >= 1
+        covered.extend(range(start, start + count))
+    assert covered == list(range(8))
+
+
+def test_proportionality():
+    # One group holds 3/4 of the data: it gets the most disks.
+    ranges = allocate_disks(_groups(600, 100, 100), 8)
+    counts = [c for _, c in ranges]
+    assert counts[0] == max(counts)
+    assert sum(counts) == 8
+    assert all(c >= 1 for c in counts)
+
+
+def test_one_disk_floor():
+    ranges = allocate_disks(_groups(10_000, 1), 2)
+    assert [c for _, c in ranges] == [1, 1]
+
+
+def test_too_many_groups_rejected():
+    with pytest.raises(TransformError):
+        allocate_disks(_groups(1, 1, 1), 2)
+    with pytest.raises(TransformError):
+        allocate_disks([], 4)
+
+
+def test_zero_bytes_groups_still_allocated():
+    ranges = allocate_disks(_groups(0, 0), 4)
+    assert sum(c for _, c in ranges) == 4
+
+
+def test_group_layout_stripes_within_group_range():
+    arrays = (
+        Array("A", (128 * KB // 8,)),
+        Array("B", (128 * KB // 8,)),
+        Array("C", (128 * KB // 8,)),
+    )
+    groups = [
+        ArrayGroup(frozenset({"A", "B"}), 2 * MB),
+        ArrayGroup(frozenset({"C"}), 1 * MB),
+    ]
+    lay = group_layout(arrays, groups, num_disks=8, stripe_size=64 * KB)
+    sa, sb, sc = lay.striping("A"), lay.striping("B"), lay.striping("C")
+    assert sa.as_tuple() == sb.as_tuple()
+    a_disks = set(sa.disks)
+    c_disks = set(sc.disks)
+    assert a_disks.isdisjoint(c_disks)
+    assert a_disks | c_disks == set(range(8))
+
+
+def test_group_layout_keeps_unreferenced_arrays():
+    arrays = (Array("A", (1024,)), Array("X", (1024,)))
+    groups = [ArrayGroup(frozenset({"A"}), 8192)]
+    lay = group_layout(arrays, groups, num_disks=4, stripe_size=64 * KB)
+    assert lay.striping("X").as_tuple() == (0, 4, 64 * KB)

@@ -1,0 +1,122 @@
+"""Loop distribution (Fig. 11)."""
+
+import pytest
+
+from repro.analysis.access import analyze_nest
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import validate_program
+from repro.transform.fission import fission_nest, fission_program, fissionable
+from repro.transform.grouping import array_groups
+
+
+def _two_group_program():
+    b = ProgramBuilder("p")
+    A = b.array("A", (16, 16))
+    B = b.array("B", (16, 16))
+    C = b.array("C", (16, 16))
+    D = b.array("D", (16, 16))
+    with b.nest("i", 0, 16) as i:
+        with b.loop("j", 0, 16) as j:
+            b.stmt(reads=[A[i, j]], writes=[B[i, j]], cycles=3)
+            b.stmt(reads=[C[i, j]], writes=[D[i, j]], cycles=5)
+    return b.build()
+
+
+def test_fissionable_detection():
+    prog = _two_group_program()
+    groups = array_groups(prog)
+    assert fissionable(prog.nest(0), groups)
+
+
+def test_not_fissionable_single_group():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    B = b.array("B", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], writes=[B[i, j]], cycles=1)
+    prog = b.build()
+    groups = array_groups(prog)
+    assert not fissionable(prog.nest(0), groups)
+    assert fission_nest(prog.nest(0), groups) == [prog.nest(0)]
+
+
+def test_fission_splits_by_group():
+    prog = _two_group_program()
+    res = fission_program(prog)
+    assert res.any_applied
+    assert len(res.program.nests) == 2
+    assert res.nest_mapping == ((0, 1),)
+    first, second = res.program.nests
+    assert first.arrays == {"A", "B"}
+    assert second.arrays == {"C", "D"}
+
+
+def test_fission_preserves_statement_count_and_cost():
+    prog = _two_group_program()
+    res = fission_program(prog)
+    orig_stmts = list(prog.statements())
+    new_stmts = list(res.program.statements())
+    assert len(new_stmts) == len(orig_stmts)
+    assert sum(s.cost_cycles for s in new_stmts) == pytest.approx(
+        sum(s.cost_cycles for s in orig_stmts)
+    )
+
+
+def test_fission_preserves_per_array_footprints():
+    """Semantics preservation (group-disjointness legality): every array's
+    total accessed region is identical before and after distribution."""
+    prog = _two_group_program()
+    res = fission_program(prog)
+    before = analyze_nest(prog.nest(0))
+    for name in ("A", "B", "C", "D"):
+        region_before = before.total_region(name)
+        region_after = None
+        for k, nest in enumerate(res.program.nests):
+            acc = analyze_nest(nest, k)
+            r = acc.total_region(name)
+            if r is not None:
+                assert region_after is None, "array split across loops"
+                region_after = r
+        assert region_after == region_before
+
+
+def test_fissioned_program_validates():
+    res = fission_program(_two_group_program())
+    validate_program(res.program)
+
+
+def test_fission_renames_loop_variables():
+    res = fission_program(_two_group_program())
+    vars_ = [n.var for n in res.program.nests]
+    assert len(set(vars_)) == len(vars_)
+
+
+def test_fission_keeps_statement_order_within_groups():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    C = b.array("C", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], cycles=1, label="a1")
+            b.stmt(reads=[C[i, j]], cycles=1, label="c1")
+            b.stmt(writes=[A[i, j]], cycles=1, label="a2")
+    res = fission_program(b.build())
+    a_nest = next(n for n in res.program.nests if "A" in n.arrays)
+    labels = [s.label for s in a_nest.statements()]
+    assert labels == ["a1", "a2"]
+
+
+def test_multi_nest_mapping():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    B = b.array("B", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+            b.stmt(reads=[B[i, j]], cycles=1)
+    with b.nest("k", 0, 8) as k:
+        with b.loop("l", 0, 8) as l:
+            b.stmt(reads=[A[k, l]], cycles=1)
+    res = fission_program(b.build())
+    assert res.nest_mapping == ((0, 1), (2,))

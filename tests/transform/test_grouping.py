@@ -1,0 +1,79 @@
+"""Array grouping (Fig. 11, first half)."""
+
+from repro.ir.builder import ProgramBuilder
+from repro.transform.grouping import UnionFind, array_groups, nest_statement_groups
+
+
+def test_union_find_basics():
+    uf = UnionFind()
+    for k in "abcd":
+        uf.add(k)
+    uf.union("a", "b")
+    uf.union("c", "d")
+    assert uf.find("a") == uf.find("b")
+    assert uf.find("a") != uf.find("c")
+    groups = {frozenset(g) for g in uf.groups()}
+    assert groups == {frozenset("ab"), frozenset("cd")}
+    uf.union("b", "c")
+    assert len(uf.groups()) == 1
+
+
+def _paper_fig9_program():
+    """The paper's Figure 9 example: three nests over ten arrays yielding
+    the groups {U1,U2,U5}, {U3,U4,U8}, {U6,U7}, {U9,U10}."""
+    b = ProgramBuilder("fig9")
+    U = {k: b.array(f"U{k}", (64, 64)) for k in range(1, 11)}
+    with b.nest("i1", 0, 64) as i:
+        with b.loop("j1", 0, 64) as j:
+            b.stmt(reads=[U[2][i, j]], writes=[U[1][i, j]], cycles=1)
+            b.stmt(reads=[U[4][i, j]], writes=[U[3][i, j]], cycles=1)
+    with b.nest("i2", 0, 64) as i:
+        with b.loop("j2", 0, 64) as j:
+            b.stmt(reads=[U[5][i, j]], writes=[U[1][i, j]], cycles=1)  # couples U5-U1
+            b.stmt(reads=[U[7][i, j]], writes=[U[6][i, j]], cycles=1)
+    with b.nest("i3", 0, 64) as i:
+        with b.loop("j3", 0, 64) as j:
+            b.stmt(reads=[U[8][i, j]], writes=[U[3][i, j]], cycles=1)  # couples U8-U3
+            b.stmt(reads=[U[10][i, j]], writes=[U[9][i, j]], cycles=1)
+    return b.build()
+
+
+def test_paper_figure9_groups():
+    groups = array_groups(_paper_fig9_program())
+    sets = {g.arrays for g in groups}
+    assert sets == {
+        frozenset({"U1", "U2", "U5"}),
+        frozenset({"U3", "U4", "U8"}),
+        frozenset({"U6", "U7"}),
+        frozenset({"U9", "U10"}),
+    }
+
+
+def test_group_bytes_and_ordering():
+    groups = array_groups(_paper_fig9_program())
+    # Deterministic: sorted by footprint desc then names.
+    sizes = [g.total_bytes for g in groups]
+    assert sizes == sorted(sizes, reverse=True)
+    assert groups[0].total_bytes == 3 * 64 * 64 * 8
+    assert "U1" in groups[0] or "U3" in groups[0]
+
+
+def test_nest_statement_groups_partition():
+    prog = _paper_fig9_program()
+    groups = array_groups(prog)
+    by_group = nest_statement_groups(prog.nest(0), groups)
+    assert len(by_group) == 2
+    total = sum(len(v) for v in by_group.values())
+    assert total == 2
+
+
+def test_single_group_when_all_coupled():
+    b = ProgramBuilder("p")
+    A = b.array("A", (8, 8))
+    B = b.array("B", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], writes=[B[i, j]], cycles=1)
+    groups = array_groups(b.build())
+    assert len(groups) == 1
+    assert groups[0].arrays == {"A", "B"}

@@ -1,0 +1,93 @@
+"""PDC layout baseline (related work [16])."""
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder
+from repro.layout.files import default_layout
+from repro.transform.pdc import array_popularity, pdc_layout
+
+
+def _skewed_program():
+    """HOT is swept three times, WARM once, COLD referenced barely."""
+    b = ProgramBuilder("p")
+    hot = b.array("HOT", (64, 1024))
+    warm = b.array("WARM", (64, 1024))
+    cold = b.array("COLD", (64, 1024))
+    mem = b.array("MEM", (2, 64), memory_resident=True)
+    for k in range(3):
+        with b.nest(f"h{k}", 0, 64) as i:
+            with b.loop(f"hj{k}", 0, 1024) as j:
+                b.stmt(reads=[hot[i, j]], cycles=1)
+    with b.nest("w", 0, 64) as i:
+        with b.loop("wj", 0, 1024) as j:
+            b.stmt(reads=[warm[i, j]], cycles=1)
+    with b.nest("c", 0, 4) as i:
+        with b.loop("cj", 0, 1024) as j:
+            b.stmt(reads=[cold[i, j]], writes=[mem[0, 0]], cycles=1)
+    return b.build()
+
+
+def test_popularity_counts_reaccesses():
+    prog = _skewed_program()
+    pop = array_popularity(prog)
+    assert pop["HOT"] == 3 * pop["WARM"]
+    assert pop["WARM"] > pop["COLD"]
+    assert "MEM" not in pop  # memory-resident arrays carry no disk volume
+
+
+def test_pdc_concentrates_hot_data_first():
+    prog = _skewed_program()
+    lay = default_layout(prog.arrays, num_disks=4)
+    new = pdc_layout(prog, lay)
+    hot = new.striping("HOT")
+    cold = new.striping("COLD")
+    assert hot.stripe_factor == 1  # unstriped: concentration is the point
+    assert hot.starting_disk == 0  # most popular goes first
+    assert cold.starting_disk >= hot.starting_disk
+    # The popularity order is respected: HOT <= WARM <= COLD disk indices.
+    warm = new.striping("WARM")
+    assert hot.starting_disk <= warm.starting_disk <= cold.starting_disk
+
+
+def test_pdc_layout_stays_valid_and_simulable():
+    from repro.analysis.cycles import EstimationModel
+    from repro.disksim.params import SubsystemParams
+    from repro.experiments.schemes import run_schemes
+    from repro.trace.generator import TraceOptions
+
+    prog = _skewed_program()
+    lay = default_layout(prog.arrays, num_disks=4)
+    new = pdc_layout(prog, lay)
+    suite = run_schemes(
+        prog,
+        new,
+        SubsystemParams(num_disks=4),
+        TraceOptions(),
+        EstimationModel(relative_error=0.0),
+        schemes=("Base", "CMDRPM"),
+    )
+    assert suite.base.num_requests > 0
+    assert suite.normalized_energy("CMDRPM") < 1.0
+
+
+def test_pdc_unreferenced_arrays_are_coldest():
+    b = ProgramBuilder("p")
+    used = b.array("USED", (64, 1024))
+    b.array("UNUSED", (64, 1024))
+    with b.nest("i", 0, 64) as i:
+        with b.loop("j", 0, 1024) as j:
+            b.stmt(reads=[used[i, j]], cycles=1)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=2)
+    new = pdc_layout(prog, lay)
+    assert new.striping("USED").starting_disk <= new.striping("UNUSED").starting_disk
+
+
+def test_pdc_respects_subsystem_bounds():
+    prog = _skewed_program()
+    for disks in (1, 2, 8):
+        lay = default_layout(prog.arrays, num_disks=disks)
+        new = pdc_layout(prog, lay)  # __post_init__ validates placement
+        assert new.num_disks == disks
+        for e in new.entries:
+            assert e.striping.starting_disk < disks

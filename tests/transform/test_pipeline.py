@@ -1,0 +1,91 @@
+"""Transformation version builders (LF / TL / LF+DL / TL+DL)."""
+
+import pytest
+
+from repro.layout.files import default_layout
+from repro.transform.pipeline import VERSION_NAMES, make_version
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture(scope="module")
+def swim():
+    wl = build_workload("swim")
+    return wl.program, default_layout(wl.program.arrays, num_disks=8)
+
+
+@pytest.fixture(scope="module")
+def galgel():
+    wl = build_workload("galgel")
+    return wl.program, default_layout(wl.program.arrays, num_disks=8)
+
+
+def test_orig_is_identity(swim):
+    prog, lay = swim
+    v = make_version("orig", prog, lay)
+    assert v.program is prog and v.layout is lay and not v.applied
+
+
+def test_unknown_version_rejected(swim):
+    prog, lay = swim
+    with pytest.raises(ValueError):
+        make_version("LF+TL", prog, lay)
+
+
+def test_swim_lf_applies_without_restriping(swim):
+    prog, lay = swim
+    v = make_version("LF", prog, lay)
+    assert v.applied
+    assert len(v.program.nests) > len(prog.nests)
+    assert v.layout is lay
+
+
+def test_swim_lfdl_restripes_groups_disjointly(swim):
+    prog, lay = swim
+    v = make_version("LF+DL", prog, lay)
+    assert v.applied
+    # The six 2-array groups occupy disjoint disk ranges.
+    seen: dict[tuple[int, int], set[str]] = {}
+    for e in v.layout.entries:
+        key = (e.striping.starting_disk, e.striping.stripe_factor)
+        seen.setdefault(key, set()).add(e.array_name)
+    disk_sets = [
+        set(range(s, s + c)) for (s, c) in seen
+    ]
+    for i, a in enumerate(disk_sets):
+        for b_ in disk_sets[i + 1:]:
+            assert a.isdisjoint(b_)
+
+
+def test_swim_tl_not_applicable(swim):
+    """swim's sweeps are imperfect nests (row reductions): no tiling —
+    matching §6.2's list of TL+DL beneficiaries."""
+    prog, lay = swim
+    assert not make_version("TL", prog, lay).applied
+    assert not make_version("TL+DL", prog, lay).applied
+
+
+def test_galgel_no_version_applies(galgel):
+    """galgel is the paper's negative control: not fissionable, untileable."""
+    prog, lay = galgel
+    for name in ("LF", "TL", "LF+DL", "TL+DL"):
+        assert not make_version(name, prog, lay).applied
+
+
+def test_wupwise_tiling_applies_with_transpose():
+    wl = build_workload("wupwise")
+    lay = default_layout(wl.program.arrays, num_disks=8)
+    assert not make_version("LF", wl.program, lay).applied  # not fissionable
+    v = make_version("TL+DL", wl.program, lay)
+    assert v.applied
+    assert "ZP" in v.detail  # the propagator matrix was transformed
+
+
+def test_applu_gets_both():
+    wl = build_workload("applu")
+    lay = default_layout(wl.program.arrays, num_disks=8)
+    assert make_version("LF+DL", wl.program, lay).applied
+    assert make_version("TL+DL", wl.program, lay).applied
+
+
+def test_version_names_constant():
+    assert VERSION_NAMES == ("orig", "LF", "TL", "LF+DL", "TL+DL", "TL*+DL")

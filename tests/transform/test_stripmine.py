@@ -1,0 +1,68 @@
+"""Strip-mining (paper §3's loop restructuring for call insertion)."""
+
+import pytest
+
+from repro.analysis.access import analyze_nest
+from repro.ir.builder import ProgramBuilder
+from repro.ir.nodes import PowerAction, PowerCall
+from repro.transform.stripmine import strip_mine, strip_mine_with_call
+from repro.util.errors import TransformError
+
+
+def _loop():
+    b = ProgramBuilder("p")
+    A = b.array("A", (64,))
+    with b.nest("i", 0, 64) as i:
+        b.stmt(reads=[A[i]], cycles=2)
+    return b.build().nest(0), b
+
+
+def test_strip_mine_structure():
+    loop, _ = _loop()
+    mined = strip_mine(loop, 16)
+    assert mined.var == "i_s"
+    assert mined.trip_count == 4
+    inner = mined.body[0]
+    assert inner.var == "i_e"
+    assert inner.trip_count == 16
+    assert mined.total_statement_executions() == 64
+
+
+def test_strip_mine_preserves_footprint():
+    loop, _ = _loop()
+    mined = strip_mine(loop, 8)
+    assert analyze_nest(mined).total_region("A") == analyze_nest(loop).total_region("A")
+
+
+def test_strip_mine_validation():
+    loop, _ = _loop()
+    with pytest.raises(TransformError):
+        strip_mine(loop, 7)  # does not divide 64
+    from repro.ir.nodes import Loop
+
+    with pytest.raises(TransformError):
+        strip_mine(Loop("i", 1, 65, loop.body), 8)  # non-normalized
+
+
+def test_strip_mine_with_call_peels():
+    loop, _ = _loop()
+    call = PowerCall(PowerAction.SPIN_UP, 3)
+    nodes = strip_mine_with_call(loop, 16, call, at_strip=2)
+    assert len(nodes) == 3
+    head, mid, tail = nodes
+    assert head.trip_count == 2
+    assert mid is call
+    assert tail.trip_count == 2
+    total = head.total_statement_executions() + tail.total_statement_executions()
+    assert total == 64
+
+
+def test_strip_mine_with_call_at_edges():
+    loop, _ = _loop()
+    call = PowerCall(PowerAction.SPIN_DOWN, 0)
+    at_start = strip_mine_with_call(loop, 16, call, at_strip=0)
+    assert at_start[0] is call
+    at_end = strip_mine_with_call(loop, 16, call, at_strip=4)
+    assert at_end[-1] is call
+    with pytest.raises(TransformError):
+        strip_mine_with_call(loop, 16, call, at_strip=5)

@@ -1,0 +1,241 @@
+"""Layout-aware loop tiling (Fig. 12)."""
+
+import pytest
+
+from repro.analysis.access import analyze_nest
+from repro.ir.arrays import StorageOrder
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import validate_program
+from repro.layout.files import default_layout
+from repro.transform.tiling import (
+    apply_tiling,
+    costliest_nest_index,
+    is_perfect_2d_nest,
+    tile_nest_loops,
+)
+from repro.util.errors import TransformError
+
+
+def _fig10_program(n=64):
+    """The paper's Figure 10 shape: U1[i][j] (conforming) and U2[j][i]
+    (non-conforming: the inner variable indexes U2's slow dimension)."""
+    b = ProgramBuilder("fig10")
+    U1 = b.array("U1", (n, n))
+    U2 = b.array("U2", (n, n))
+    with b.nest("i", 0, n) as i:
+        with b.loop("j", 0, n) as j:
+            b.stmt(reads=[U1[i, j], U2[j, i]], cycles=2)
+    return b.build()
+
+
+def test_perfect_2d_detection():
+    prog = _fig10_program()
+    assert is_perfect_2d_nest(prog.nest(0))
+    b = ProgramBuilder("imp")
+    A = b.array("A", (8, 8))
+    with b.nest("i", 0, 8) as i:
+        b.stmt(reads=[A[i, 0]], cycles=1)  # outer-level statement
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    assert not is_perfect_2d_nest(b.build().nest(0))
+
+
+def test_tile_nest_loops_structure():
+    prog = _fig10_program(64)
+    tiled = tile_nest_loops(prog.nest(0), 16, 16)
+    assert tiled.var == "i_t" and tiled.trip_count == 4
+    tj = tiled.body[0]
+    ei = tj.body[0]
+    ej = ei.body[0]
+    assert (tj.var, ei.var, ej.var) == ("j_t", "i_e", "j_e")
+    assert (tj.trip_count, ei.trip_count, ej.trip_count) == (4, 16, 16)
+
+
+def test_tiling_preserves_semantics():
+    """Total executions, cost, and per-array footprints are invariant."""
+    prog = _fig10_program(32)
+    tiled = tile_nest_loops(prog.nest(0), 8, 8)
+    assert (
+        tiled.total_statement_executions()
+        == prog.nest(0).total_statement_executions()
+    )
+    new_prog = prog.with_nest(0, tiled)
+    validate_program(new_prog)
+    before = analyze_nest(prog.nest(0))
+    after = analyze_nest(tiled)
+    for name in ("U1", "U2"):
+        assert after.total_region(name) == before.total_region(name)
+
+
+def test_tile_size_must_divide():
+    prog = _fig10_program(64)
+    with pytest.raises(TransformError):
+        tile_nest_loops(prog.nest(0), 48, 16)
+
+
+def test_costliest_nest_selection():
+    b = ProgramBuilder("p")
+    small = b.array("S", (8, 8))
+    big = b.array("B", (64, 64))
+    with b.nest("i", 0, 8) as i:
+        with b.loop("j", 0, 8) as j:
+            b.stmt(reads=[small[i, j]], cycles=1)
+    with b.nest("k", 0, 64) as k:
+        with b.loop("l", 0, 64) as l:
+            b.stmt(reads=[big[k, l]], cycles=1)
+    assert costliest_nest_index(b.build()) == 1
+
+
+def test_apply_tiling_without_layout_keeps_layout():
+    prog = _fig10_program(64)
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling(prog, lay, with_layout=False)
+    assert res.applied
+    assert res.layout is lay
+    assert res.transposed == ()
+    assert res.band_striped == ()
+
+
+def test_apply_tiling_with_layout_transposes_nonconforming():
+    prog = _fig10_program(64)
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling(prog, lay, with_layout=True)
+    assert res.applied
+    # U2 is accessed U2[j][i]: inner var j in its slow dim => transposed.
+    assert res.transposed == ("U2",)
+    assert res.program.array("U2").order is StorageOrder.COLUMN_MAJOR
+    assert res.program.array("U1").order is StorageOrder.ROW_MAJOR
+    validate_program(res.program)
+
+
+def test_apply_tiling_band_stripes_confine_activity():
+    """After TL+DL, each outer tile iteration touches only the disk holding
+    its band — the paper's tile-to-disk mapping."""
+    prog = _fig10_program(512)  # 512x512 doubles = 2 MB per array
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling(prog, lay, with_layout=True, bands_per_disk=2)
+    assert set(res.band_striped) == {"U1", "U2"}
+    acc = analyze_nest(res.program.nests[res.nest_index], res.nest_index)
+    mat = acc.active_disk_matrix(res.layout)
+    # Exactly one disk active per outer (band) iteration.
+    assert (mat.sum(axis=1) == 1).all()
+    # Collocation: U1's band k and U2's band k share the disk (same column
+    # active for the iterations that touch band k).
+    before = analyze_nest(prog.nest(0)).active_disk_matrix(lay)
+    assert (before.sum(axis=1) == 4).all()  # original: every disk, always
+
+
+def test_apply_tiling_not_applicable_returns_identity():
+    b = ProgramBuilder("imp")
+    A = b.array("A", (64, 64))
+    with b.nest("i", 0, 64) as i:
+        b.stmt(reads=[A[i, 0]], cycles=1)
+        with b.loop("j", 0, 64) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling(prog, lay, with_layout=True)
+    assert not res.applied
+    assert res.program is prog
+
+
+# ----------------------------------------------------------------------- #
+# Multi-nest tiling (the paper's §6.1 future work, implemented here)
+# ----------------------------------------------------------------------- #
+def test_multi_tiling_tiles_every_perfect_nest():
+    from repro.transform.tiling import apply_tiling_multi
+
+    b = ProgramBuilder("p")
+    A = b.array("A", (256, 512))  # 1 MB
+    Bm = b.array("B", (512, 256))
+    with b.nest("i", 0, 256) as i:
+        with b.loop("j", 0, 512) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    with b.nest("k", 0, 256) as k:
+        with b.loop("l", 0, 512) as l:
+            b.stmt(reads=[Bm[l, k]], cycles=1)  # column-of-B walk
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling_multi(prog, lay, with_layout=True)
+    assert res.tiled_nests == (0, 1)
+    # B is walked column-wise (inner var l in its slow dim): transposed.
+    assert res.transposed == ("B",)
+    assert set(res.band_striped) == {"A", "B"}
+    validate_program(res.program)
+
+
+def test_multi_tiling_conflict_resolution():
+    """An array accessed row-wise in one nest and column-wise in another is
+    left untransformed (conservative) and recorded as a conflict."""
+    from repro.transform.tiling import apply_tiling_multi
+
+    b = ProgramBuilder("p")
+    A = b.array("A", (128, 128))
+    with b.nest("i", 0, 128) as i:
+        with b.loop("j", 0, 128) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)  # conforming
+    with b.nest("k", 0, 128) as k:
+        with b.loop("l", 0, 128) as l:
+            b.stmt(reads=[A[l, k]], cycles=1)  # non-conforming
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling_multi(prog, lay, with_layout=True)
+    assert res.conflicts == ("A",)
+    assert res.transposed == ()
+    assert res.program.array("A").order is StorageOrder.ROW_MAJOR
+
+
+def test_multi_tiling_skips_memory_nests():
+    from repro.transform.tiling import apply_tiling_multi
+
+    b = ProgramBuilder("p")
+    A = b.array("A", (128, 512))
+    W = b.array("W", (4, 64), memory_resident=True)
+    with b.nest("i", 0, 128) as i:
+        with b.loop("j", 0, 512) as j:
+            b.stmt(reads=[A[i, j]], cycles=1)
+    with b.nest("c", 0, 64) as c:
+        with b.loop("m", 0, 64) as m:
+            b.stmt(reads=[W[0, m]], cycles=100)
+    prog = b.build()
+    lay = default_layout(prog.arrays, num_disks=4)
+    res = apply_tiling_multi(prog, lay, with_layout=True)
+    assert res.tiled_nests == (0,)
+
+
+def test_multi_tiling_identity_when_nothing_tileable():
+    from repro.transform.tiling import apply_tiling_multi
+    from repro.workloads.registry import build_workload
+
+    wl = build_workload("galgel")
+    lay = default_layout(wl.program.arrays, num_disks=8)
+    # galgel's sweep nests are imperfect; only the tiny final slice nest is
+    # perfect — multi-tiling may tile it, but the program must validate and
+    # stay semantically equivalent either way.
+    res = apply_tiling_multi(wl.program, lay, with_layout=True)
+    validate_program(res.program)
+    assert res.program.total_data_bytes == wl.program.total_data_bytes
+
+
+def test_multi_tiling_beats_single_on_applu():
+    """The extension's raison d'etre: tiling every nest confines more of
+    the run, so CMDRPM saves strictly more than with single-nest TL+DL."""
+    from repro.disksim.params import SubsystemParams
+    from repro.experiments.schemes import run_schemes
+    from repro.transform.pipeline import make_version
+    from repro.workloads.registry import build_workload
+
+    wl = build_workload("applu")
+    params = SubsystemParams()
+    lay = default_layout(wl.program.arrays, num_disks=8)
+
+    def cmdrpm_energy(version):
+        tv = make_version(version, wl.program, lay)
+        assert tv.applied
+        suite = run_schemes(
+            tv.program, tv.layout, params, wl.trace_options, wl.estimation,
+            schemes=("Base", "CMDRPM"),
+        )
+        return suite.results["CMDRPM"].total_energy_j
+
+    assert cmdrpm_energy("TL*+DL") < cmdrpm_energy("TL+DL")

@@ -1,0 +1,54 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_constants_are_binary():
+    assert units.KB == 1024
+    assert units.MB == 1024 ** 2
+    assert units.GB == 1024 ** 3
+    assert units.SECTOR_BYTES == 512
+
+
+def test_ms_round_trip():
+    assert units.ms_to_s(1500.0) == pytest.approx(1.5)
+    assert units.s_to_ms(1.5) == pytest.approx(1500.0)
+    assert units.s_to_ms(units.ms_to_s(37.25)) == pytest.approx(37.25)
+
+
+def test_bytes_mb_round_trip():
+    assert units.bytes_to_mb(96 * units.MB) == pytest.approx(96.0)
+    assert units.mb_to_bytes(96.0) == 96 * units.MB
+
+
+def test_bytes_to_sectors_is_ceiling():
+    assert units.bytes_to_sectors(0) == 0
+    assert units.bytes_to_sectors(1) == 1
+    assert units.bytes_to_sectors(512) == 1
+    assert units.bytes_to_sectors(513) == 2
+    assert units.bytes_to_sectors(1024) == 2
+
+
+def test_rotation_time_matches_paper_figures():
+    # 15 000 RPM => 4 ms per revolution => 2 ms average latency (Table 1).
+    assert units.rpm_to_rotation_time_s(15_000) == pytest.approx(4e-3)
+
+
+def test_rotation_time_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.rpm_to_rotation_time_s(0)
+    with pytest.raises(ValueError):
+        units.rpm_to_rotation_time_s(-1)
+
+
+def test_cycles_seconds_round_trip():
+    clock = 750e6
+    assert units.cycles_to_seconds(750e6, clock) == pytest.approx(1.0)
+    assert units.seconds_to_cycles(2.0, clock) == pytest.approx(1.5e9)
+    for bad in (0.0, -5.0):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1.0, bad)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, bad)

@@ -1,0 +1,63 @@
+"""Config validation helpers."""
+
+import pytest
+
+from repro.util.errors import ConfigError
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_int,
+    require_nonempty,
+    require_nonnegative,
+    require_positive,
+    require_sorted_unique,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ConfigError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    assert require_positive(0.5, "x") == 0.5
+    for bad in (0, -1, -0.5):
+        with pytest.raises(ConfigError, match="x"):
+            require_positive(bad, "x")
+
+
+def test_require_nonnegative():
+    assert require_nonnegative(0.0, "y") == 0.0
+    with pytest.raises(ConfigError, match="y"):
+        require_nonnegative(-1e-9, "y")
+
+
+def test_require_in_range_inclusive():
+    assert require_in_range(1.0, 1.0, 4.0, "z") == 1.0
+    assert require_in_range(4.0, 1.0, 4.0, "z") == 4.0
+    with pytest.raises(ConfigError):
+        require_in_range(4.0001, 1.0, 4.0, "z")
+
+
+def test_require_int_rejects_bool_and_float():
+    assert require_int(3, "n") == 3
+    with pytest.raises(ConfigError):
+        require_int(True, "n")
+    with pytest.raises(ConfigError):
+        require_int(3.0, "n")
+
+
+def test_require_nonempty():
+    assert require_nonempty([1], "xs") == [1]
+    assert require_nonempty(iter("ab"), "xs") == ["a", "b"]
+    with pytest.raises(ConfigError):
+        require_nonempty([], "xs")
+
+
+def test_require_sorted_unique():
+    assert require_sorted_unique([1, 2, 3], "s") == [1, 2, 3]
+    with pytest.raises(ConfigError):
+        require_sorted_unique([1, 1, 2], "s")
+    with pytest.raises(ConfigError):
+        require_sorted_unique([3, 2], "s")

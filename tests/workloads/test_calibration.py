@@ -1,0 +1,60 @@
+"""Calibration of the benchmark models against the paper's Table 2.
+
+These run full Base simulations per benchmark (seconds each), checking the
+absolute anchors: request counts, base energy, base execution time.
+Tolerances are loose (the substrate is a model, not the authors' machine);
+the *normalized* results are validated in tests/integration.
+"""
+
+import pytest
+
+from repro.experiments.schemes import run_workload
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+TOLERANCES = {
+    "reqs": 0.13,
+    "energy": 0.12,
+    "time": 0.12,
+}
+
+
+@pytest.fixture(scope="module")
+def base_results():
+    out = {}
+    for name in WORKLOAD_NAMES:
+        wl = build_workload(name)
+        suite = run_workload(wl, schemes=("Base",))
+        out[name] = (wl, suite.base)
+    return out
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_request_counts_near_table2(base_results, name):
+    wl, base = base_results[name]
+    assert base.num_requests == pytest.approx(
+        wl.paper.num_disk_requests, rel=TOLERANCES["reqs"]
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_base_energy_near_table2(base_results, name):
+    wl, base = base_results[name]
+    assert base.total_energy_j == pytest.approx(
+        wl.paper.base_energy_j, rel=TOLERANCES["energy"]
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_base_time_near_table2(base_results, name):
+    wl, base = base_results[name]
+    assert base.execution_time_s * 1000 == pytest.approx(
+        wl.paper.base_time_ms, rel=TOLERANCES["time"]
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_base_power_is_idle_dominated(base_results, name):
+    """Table 2 implies ~84 W average subsystem power (8 disks mostly idle)."""
+    _, base = base_results[name]
+    avg_w = base.total_energy_j / base.execution_time_s
+    assert 81.0 < avg_w < 90.0

@@ -1,0 +1,80 @@
+"""Benchmark model structure: Table 2 characteristics and §6.2 traits."""
+
+import pytest
+
+from repro.ir.validate import validate_program
+from repro.layout.files import default_layout
+from repro.transform.fission import fission_program
+from repro.transform.grouping import array_groups
+from repro.transform.tiling import apply_tiling
+from repro.workloads.registry import WORKLOAD_NAMES, all_workloads, build_workload
+
+
+def test_registry_names_and_order():
+    assert WORKLOAD_NAMES == ("wupwise", "swim", "mgrid", "applu", "mesa", "galgel")
+    with pytest.raises(KeyError):
+        build_workload("gcc")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_models_validate(name):
+    wl = build_workload(name)
+    stats = validate_program(wl.program)
+    assert stats.num_statements > 0
+    assert wl.program.name == name
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_data_sizes_match_table2(name):
+    """Dataset size within 3 % of the paper's Table 2 value."""
+    wl = build_workload(name)
+    assert wl.data_size_mb == pytest.approx(wl.paper.data_size_mb, rel=0.03)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_fissionability_matches_section_6_2(name):
+    wl = build_workload(name)
+    res = fission_program(wl.program)
+    assert res.any_applied == wl.paper.fissionable, (
+        f"{name}: expected fissionable={wl.paper.fissionable}"
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_tileability_matches_section_6_2(name):
+    wl = build_workload(name)
+    lay = default_layout(wl.program.arrays, num_disks=8)
+    res = apply_tiling(wl.program, lay, with_layout=True)
+    assert res.applied == wl.paper.tiling_benefits, (
+        f"{name}: expected tiling applicability={wl.paper.tiling_benefits}"
+    )
+
+
+def test_wupwise_single_statement_nests_not_fissionable():
+    wl = build_workload("wupwise")
+    groups = array_groups(wl.program)
+    # Many groups exist (one per gauge matrix), but no single nest mixes two.
+    assert len(groups) > 1
+
+
+def test_galgel_single_group():
+    wl = build_workload("galgel")
+    groups = array_groups(wl.program)
+    disk_groups = [g for g in groups if any(
+        not wl.program.array(n).memory_resident for n in g.arrays
+    )]
+    assert len(disk_groups) == 1
+    assert disk_groups[0].arrays >= {"G1", "G2"}
+
+
+def test_scratch_arrays_are_memory_resident():
+    for wl in all_workloads():
+        scratch = [a for a in wl.program.arrays if a.memory_resident]
+        assert scratch, f"{wl.name} has no in-memory working set"
+        assert all(a.size_bytes < 1024 * 1024 for a in scratch)
+
+
+def test_estimation_errors_are_per_benchmark():
+    errs = {wl.name: wl.estimation.relative_error for wl in all_workloads()}
+    assert len(set(errs.values())) > 1
+    assert all(0 <= e < 0.5 for e in errs.values())
