@@ -1,0 +1,172 @@
+"""Persistent, content-addressed result cache for the experiment engine.
+
+Replaying the paper's evaluation regenerates the same simulations over and
+over: every figure/table derives from ``(workload, configuration, scheme)``
+suite runs whose inputs are pure values.  This module caches the replay
+outputs (:class:`~repro.disksim.stats.SimulationResult`, plus the compiler
+plan for the CM schemes) on disk under ``.repro-cache/``, keyed by a stable
+hash of everything the output depends on:
+
+* the program IR fingerprint (``repr`` of the full :class:`~repro.ir.
+  program.Program` — arrays, nests, statement costs, clock);
+* the disk layout (``repr`` of :class:`~repro.layout.files.SubsystemLayout`);
+* the subsystem parameters and trace options (``repr`` of the frozen
+  dataclasses);
+* the compiler's estimation model (error magnitude and seed);
+* the scheme name;
+* a code-version tag (:data:`CACHE_VERSION`), bumped whenever an engine
+  change alters simulation output — the versioned-invalidation escape hatch.
+
+All IR/parameter types are frozen dataclasses of tuples, strings, numbers
+and enums, so their ``repr`` is deterministic across processes (no
+hash-randomized sets or dicts participate), making the key a true content
+address.  Entries are written atomically (temp file + ``os.replace``), so
+concurrent worker processes may share one cache directory.
+
+Disable with ``REPRO_CACHE=0`` (or ``--no-cache`` on the experiment CLI);
+point elsewhere with ``REPRO_CACHE_DIR=/path``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "fingerprint",
+    "program_fingerprint",
+    "suite_fingerprint",
+]
+
+#: Bump whenever simulator/planner behaviour changes in a way that alters
+#: results — stale entries from older code versions then never match.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_ENV_TOGGLE = "REPRO_CACHE"
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+_FALSY = {"0", "false", "no", "off"}
+
+
+def fingerprint(*parts: str) -> str:
+    """SHA-256 over the given parts with an unambiguous separator."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "surrogatepass"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def program_fingerprint(program) -> str:
+    """Content hash of a program's full IR."""
+    return fingerprint("program", repr(program.name), repr(program))
+
+
+def suite_fingerprint(program, layout, params, options, estimation) -> str:
+    """Content hash of one (program, layout, params, options, estimation)
+    suite configuration — everything a scheme replay's output depends on
+    besides the scheme itself."""
+    return fingerprint(
+        f"cache-version:{CACHE_VERSION}",
+        program_fingerprint(program),
+        repr(layout),
+        repr(params),
+        repr(options),
+        repr(estimation),
+    )
+
+
+class ResultCache:
+    """On-disk pickle store addressed by content hash.
+
+    ``load`` returns ``None`` on any miss — absent file, unreadable pickle,
+    or envelope-version mismatch — so callers just recompute; ``store`` is
+    atomic and best-effort (a read-only filesystem degrades to a no-op).
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """The cache the environment asks for (``None`` when disabled)."""
+        toggle = os.environ.get(_ENV_TOGGLE, "").strip().lower()
+        if toggle in _FALSY:
+            return None
+        root = os.environ.get(_ENV_DIR, "").strip() or DEFAULT_CACHE_DIR
+        return cls(root)
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def scheme_key(self, suite_fp: str, scheme: str) -> str:
+        return fingerprint(suite_fp, f"scheme:{scheme}")
+
+    def load(self, key: str) -> Any | None:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+        except Exception:
+            # Absent, truncated, or corrupted entries (unpickling raises
+            # anything from OSError to ValueError) all degrade to a miss.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != CACHE_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return envelope.get("payload")
+
+    def store(self, key: str, payload: Any) -> None:
+        path = self._path(key)
+        envelope = {"version": CACHE_VERSION, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # cache is an optimization; never fail the computation
+
+    def clear(self) -> None:
+        """Remove every cached entry (keeps the root directory)."""
+        if not self.root.exists():
+            return
+        for sub in self.root.iterdir():
+            if sub.is_dir():
+                for f in sub.glob("*.pkl"):
+                    try:
+                        f.unlink()
+                    except OSError:
+                        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -51,6 +51,55 @@ def _busy_to_active(busy: Sequence[BusyInterval]) -> list[ActiveInterval]:
     ]
 
 
+def _anon_interval(disk: int, start_s: float, end_s: float) -> ActiveInterval:
+    return ActiveInterval(
+        disk=disk,
+        start_s=start_s,
+        end_s=end_s,
+        nest_first=-1,
+        iter_first=-1,
+        nest_last=-1,
+        iter_last=-1,
+    )
+
+
+def _merge_busy_to_active(
+    busy: Sequence[BusyInterval], merge_gap_s: float
+) -> list[ActiveInterval]:
+    """Fuse one disk's (time-ordered) busy sub-requests straight into merged
+    :class:`ActiveInterval` runs.
+
+    Equivalent to ``_merge_intervals(_busy_to_active(busy), ...)`` but only
+    materializes one object per merged run instead of one per sub-request —
+    a Base replay produces tens of thousands of sub-requests per disk.
+    """
+    if not busy:
+        return []
+    it = iter(busy)
+    b = next(it)
+    disk = b.disk
+    cur_start = b.start_s
+    cur_end = b.end_s
+    prev_start = cur_start
+    out: list[ActiveInterval] = []
+    append = out.append
+    for b in it:
+        s = b.start_s
+        if s < prev_start:  # unordered input: defer to the generic path
+            return _merge_intervals(_busy_to_active(busy), merge_gap_s)
+        prev_start = s
+        if s - cur_end <= merge_gap_s:
+            e = b.end_s
+            if e > cur_end:
+                cur_end = e
+        else:
+            append(_anon_interval(disk, cur_start, cur_end))
+            cur_start = s
+            cur_end = b.end_s
+    append(_anon_interval(disk, cur_start, cur_end))
+    return out
+
+
 def realized_idle_gaps(
     base: SimulationResult, min_gap_s: float
 ) -> list[list[IdleGap]]:
@@ -69,7 +118,7 @@ def realized_idle_gaps(
     out: list[list[IdleGap]] = []
     for disk in range(base.num_disks):
         busy = base.busy_intervals[disk] if base.busy_intervals else ()
-        merged = _merge_intervals(_busy_to_active(busy), min_gap_s)
+        merged = _merge_busy_to_active(busy, min_gap_s)
         out.append(
             idle_gaps_from_intervals(merged, disk, horizon, min_gap_s=min_gap_s)
         )

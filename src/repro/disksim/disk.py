@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..util.errors import SimulationError
+from ..util.errors import ConfigError, SimulationError
 from .powermodel import PowerModel
 
 __all__ = ["Disk", "DiskStats", "STATE_NAMES"]
@@ -39,15 +39,15 @@ STATE_NAMES: tuple[str, ...] = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskStats:
     """Per-disk accounting: residency and energy per state, plus counters."""
 
     time_s: dict[str, float] = field(
-        default_factory=lambda: {s: 0.0 for s in STATE_NAMES}
+        default_factory=lambda: dict.fromkeys(STATE_NAMES, 0.0)
     )
     energy_j: dict[str, float] = field(
-        default_factory=lambda: {s: 0.0 for s in STATE_NAMES}
+        default_factory=lambda: dict.fromkeys(STATE_NAMES, 0.0)
     )
     num_requests: int = 0
     bytes_served: int = 0
@@ -70,8 +70,9 @@ class DiskStats:
             raise SimulationError(f"negative accounting duration {duration}")
         self.time_s[state] += duration
         self.energy_j[state] += duration * power_w
-        if state == "idle" and rpm is not None:
-            self.idle_time_by_rpm[rpm] = self.idle_time_by_rpm.get(rpm, 0.0) + duration
+        if rpm is not None and state == "idle":
+            by_rpm = self.idle_time_by_rpm
+            by_rpm[rpm] = by_rpm.get(rpm, 0.0) + duration
 
 
 class Disk:
@@ -94,6 +95,7 @@ class Disk:
         "_transition_to_standby",
         "stats",
         "last_request_end_s",
+        "last_service_start_s",
         "_pending_action",
         "_standby_since_s",
         "last_standby_s",
@@ -126,6 +128,9 @@ class Disk:
         self._transition_to_standby = False
         self.stats = DiskStats()
         self.last_request_end_s = 0.0
+        #: Wall-clock start of the most recent :meth:`serve` (the simulator
+        #: reads it instead of re-deriving ``done - service_time``).
+        self.last_service_start_s = 0.0
         #: A power call that arrived while a transition was in flight; it
         #: takes effect the moment the transition completes (latest wins).
         self._pending_action: tuple[str, int | None] | None = None
@@ -220,16 +225,27 @@ class Disk:
                 f"disk {self.disk_id}: time moved backwards "
                 f"({t} < cursor {self.cursor_s})"
             )
-        dur = max(0.0, t - self.cursor_s)
+        cursor = self.cursor_s
+        dur = max(0.0, t - cursor)
         if dur > 0:
+            stats = self.stats
             if self.standby:
-                self.stats.add("standby", dur, self.pm.standby_power_w)
-                self._emit("standby", self.cursor_s, t, self.pm.standby_power_w, 0)
+                stats.add("standby", dur, self.pm.standby_power_w)
+                self._emit("standby", cursor, t, self.pm.standby_power_w, 0)
             else:
-                power = self.pm.idle_power_w(self.rpm)
-                self.stats.add("idle", dur, power, rpm=self.rpm)
-                self._emit("idle", self.cursor_s, t, power, self.rpm)
-        self.cursor_s = max(self.cursor_s, t)
+                pm = self.pm
+                rpm = self.rpm
+                power = pm._idle_w_by_level.get(rpm)
+                if power is None:  # pragma: no cover - non-level RPM
+                    power = pm.idle_power_w(rpm)
+                stats.time_s["idle"] += dur
+                stats.energy_j["idle"] += dur * power
+                by_rpm = stats.idle_time_by_rpm
+                by_rpm[rpm] = by_rpm.get(rpm, 0.0) + dur
+                if self.recorder is not None:
+                    self.recorder.record(self.disk_id, "idle", cursor, t, power, rpm)
+        if t > self.cursor_s:
+            self.cursor_s = t
 
     # ------------------------------------------------------------------ #
     # Time advance
@@ -364,6 +380,61 @@ class Disk:
         """
         if nbytes <= 0:
             raise SimulationError(f"request size must be positive, got {nbytes}")
+        # Fast path for the dominant replay case: the disk is plainly
+        # spinning (no transition in flight, not in standby, no autonomous
+        # spin-down armed), so the advance/wait machinery below reduces to
+        # "settle idle time, then service".
+        if (
+            self._transition_end_s is None
+            and not self.standby
+            and self.auto_spindown_threshold_s is None
+        ):
+            cursor = self.cursor_s
+            t = t_issue if t_issue > cursor else cursor
+            rpm = self.rpm
+            pm = self.pm
+            stats = self.stats
+            recorder = self.recorder
+            if t > cursor:
+                dur = t - cursor
+                idle_power = pm._idle_w_by_level.get(rpm)
+                if idle_power is None:  # pragma: no cover - non-level RPM
+                    idle_power = pm.idle_power_w(rpm)
+                stats.time_s["idle"] += dur
+                stats.energy_j["idle"] += dur * idle_power
+                by_rpm = stats.idle_time_by_rpm
+                by_rpm[rpm] = by_rpm.get(rpm, 0.0) + dur
+                if recorder is not None:
+                    recorder.record(self.disk_id, "idle", cursor, t, idle_power, rpm)
+            ready = self.ready_s
+            start = t if t > ready else ready
+            # Inlined service_time_s/active_power_w: same cached per-level
+            # constants, same arithmetic, minus ~three calls per request.
+            consts = pm._service_consts_by_level.get(rpm)
+            if consts is not None:
+                seek_s = pm._seek_time_by_class.get(seek)
+                if seek_s is None:
+                    raise ConfigError(f"unknown seek class {seek!r}")
+                latency, rate = consts
+                svc = seek_s + latency + nbytes / rate
+                active_power = pm._active_w_by_level[rpm]
+            else:  # pragma: no cover - replay RPMs are always known levels
+                svc = pm.service_time_s(nbytes, rpm, seek)
+                active_power = pm.active_power_w(rpm)
+            stats.time_s["active"] += svc
+            stats.energy_j["active"] += svc * active_power
+            end = start + svc
+            if recorder is not None:
+                recorder.record(self.disk_id, "active", start, end, active_power, rpm)
+            self.last_service_start_s = start
+            self.cursor_s = end
+            self.ready_s = end
+            self.idle_anchor_s = end
+            self._auto_armed = True
+            self.last_request_end_s = end
+            stats.num_requests += 1
+            stats.bytes_served += nbytes
+            return end
         # A request may arrive while the disk is still busy (queueing): the
         # accounting clock never rewinds, but service starts at ready time.
         self.advance(max(t_issue, self.cursor_s))
@@ -386,16 +457,19 @@ class Disk:
         start = max(start, self.ready_s, self.cursor_s)
         svc = self.pm.service_time_s(nbytes, self.rpm, seek)
         active_power = self.pm.active_power_w(self.rpm)
-        self.stats.add("active", svc, active_power)
+        stats = self.stats
+        stats.add("active", svc, active_power)
         self._emit("active", start, start + svc, active_power, self.rpm)
-        self.cursor_s = start + svc
-        self.ready_s = self.cursor_s
-        self.idle_anchor_s = self.cursor_s
+        end = start + svc
+        self.last_service_start_s = start
+        self.cursor_s = end
+        self.ready_s = end
+        self.idle_anchor_s = end
         self._auto_armed = True
-        self.last_request_end_s = self.cursor_s
-        self.stats.num_requests += 1
-        self.stats.bytes_served += nbytes
-        return self.cursor_s
+        self.last_request_end_s = end
+        stats.num_requests += 1
+        stats.bytes_served += nbytes
+        return end
 
     # ------------------------------------------------------------------ #
     def finalize(self, t_end: float) -> None:

@@ -51,14 +51,36 @@ class PowerModel:
     def _scale(self, rpm: float | np.ndarray) -> float | np.ndarray:
         return (np.asarray(rpm, dtype=float) / self.disk.rpm) ** self.drpm.power_exponent
 
+    @cached_property
+    def _idle_w_by_level(self) -> dict[int, float]:
+        """Idle watts per supported integer level (replay fast path)."""
+        floor = self.drpm.power_floor_w
+        span = self.disk.power_idle_w - floor
+        return {int(r): float(floor + span * self._scale(int(r))) for r in self.levels}
+
+    @cached_property
+    def _active_w_by_level(self) -> dict[int, float]:
+        """Active watts per supported integer level (replay fast path)."""
+        floor = self.drpm.power_floor_w
+        span = self.disk.power_active_w - floor
+        return {int(r): float(floor + span * self._scale(int(r))) for r in self.levels}
+
     def idle_power_w(self, rpm: float | np.ndarray) -> float | np.ndarray:
         """Idle (spinning, not servicing) power at an RPM level."""
+        if type(rpm) is int:
+            w = self._idle_w_by_level.get(rpm)
+            if w is not None:
+                return w
         floor = self.drpm.power_floor_w
         out = floor + (self.disk.power_idle_w - floor) * self._scale(rpm)
         return float(out) if np.isscalar(rpm) or np.ndim(rpm) == 0 else out
 
     def active_power_w(self, rpm: float | np.ndarray) -> float | np.ndarray:
         """Power while servicing a request at an RPM level."""
+        if type(rpm) is int:
+            w = self._active_w_by_level.get(rpm)
+            if w is not None:
+                return w
         floor = self.drpm.power_floor_w
         out = floor + (self.disk.power_active_w - floor) * self._scale(rpm)
         return float(out) if np.isscalar(rpm) or np.ndim(rpm) == 0 else out
@@ -96,11 +118,42 @@ class PowerModel:
             return self.disk.avg_seek_s
         raise ConfigError(f"unknown seek class {seek!r}")
 
+    @cached_property
+    def _seek_time_by_class(self) -> dict[str, float]:
+        return {
+            "seq": 0.0,
+            "stream": self.disk.short_seek_s,
+            "full": self.disk.avg_seek_s,
+        }
+
+    @cached_property
+    def _service_consts_by_level(self) -> dict[int, tuple[float, float]]:
+        """(rotational latency, media rate) per supported integer level.
+
+        The cached values repeat the slow path's arithmetic exactly, so the
+        fast path below is bit-identical to the general computation.
+        """
+        return {
+            int(r): (
+                self.rotational_latency_s(int(r)),
+                self.transfer_rate_bps(int(r)),
+            )
+            for r in self.levels
+        }
+
     def service_time_s(self, nbytes: int, rpm: float, seek: str = "full") -> float:
         """Service time of one request at a level: seek (by class) plus
         average rotational latency plus media transfer."""
         if nbytes < 0:
             raise ConfigError(f"negative request size {nbytes}")
+        if type(rpm) is int:
+            consts = self._service_consts_by_level.get(rpm)
+            if consts is not None:
+                seek_s = self._seek_time_by_class.get(seek)
+                if seek_s is None:
+                    raise ConfigError(f"unknown seek class {seek!r}")
+                latency, rate = consts
+                return seek_s + latency + nbytes / rate
         return (
             self.seek_time_s(seek)
             + self.rotational_latency_s(rpm)

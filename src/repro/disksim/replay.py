@@ -1,0 +1,94 @@
+"""Precomputed replay inputs shared across scheme replays.
+
+Every scheme of a suite replays the *same* request stream (only the
+directive streams differ — see :meth:`repro.trace.request.Trace.
+with_directives`), so everything the simulator's hot loop derives purely
+from a request and the layout is invariant across the 7 replays:
+
+* the striping fan-out — which disks a logical request touches and how many
+  bytes land on each (``layout.striping(array).per_disk_bytes(...)``,
+  already sorted by disk id);
+* the seek class of every sub-request — a request that exactly continues
+  the last request on a disk needs no repositioning (``"seq"``); one that
+  resumes a file the disk recently streamed pays only a short seek
+  (``"stream"``); anything else pays the full average seek (``"full"``).
+  The classification depends only on the order of requests per disk, which
+  is identical in every replay.
+
+:class:`ReplayPlan` computes all of it once per trace; the suite engine
+builds one plan and passes it to every :func:`~repro.disksim.simulator.
+simulate` call, turning ~6/7 of the per-request striping and seek math into
+a table lookup.  ``simulate`` builds a plan on the fly when none is
+supplied, so single-replay callers see no API change.
+"""
+
+from __future__ import annotations
+
+from ..trace.request import Trace
+from ..util.errors import SimulationError
+
+__all__ = ["ReplayPlan"]
+
+
+class ReplayPlan:
+    """Per-request hot-loop inputs, computed once per request stream.
+
+    ``entries[i]`` corresponds to ``requests[i]`` and is a tuple of
+    ``(disk_id, nbytes, seek)`` sub-requests sorted by disk id, where
+    ``seek`` is the precomputed seek class (``"seq"``/``"stream"``/
+    ``"full"``).
+    """
+
+    __slots__ = ("requests", "entries")
+
+    def __init__(self, requests, entries):
+        self.requests = requests
+        self.entries = entries
+
+    @classmethod
+    def for_trace(cls, trace: Trace) -> "ReplayPlan":
+        """Precompute the fan-out and seek class of every sub-request."""
+        layout = trace.layout
+        num_disks = layout.num_disks
+        stripings: dict = {}
+        # Per-disk stream state, exactly as the replay loop tracked it:
+        # the (array, offset) the next sequential access would start at,
+        # plus each file's most recent end offset on that disk.
+        last_array: list[str | None] = [None] * num_disks
+        last_offset: list[int] = [-1] * num_disks
+        stream_ends: list[dict[str, int]] = [dict() for _ in range(num_disks)]
+        entries = []
+        append = entries.append
+        for r in trace.requests:
+            arr = r.array
+            striping = stripings.get(arr)
+            if striping is None:
+                striping = stripings[arr] = layout.striping(arr)
+            offset = r.offset
+            per_disk = striping.per_disk_bytes(offset, r.nbytes)
+            if not per_disk:
+                raise SimulationError("request mapped to no disks")
+            end_offset = offset + r.nbytes
+            parts = []
+            for disk_id in sorted(per_disk):
+                if last_offset[disk_id] == offset and last_array[disk_id] == arr:
+                    seek = "seq"
+                elif stream_ends[disk_id].get(arr) == offset:
+                    seek = "stream"
+                else:
+                    seek = "full"
+                parts.append((disk_id, per_disk[disk_id], seek))
+                last_array[disk_id] = arr
+                last_offset[disk_id] = end_offset
+                stream_ends[disk_id][arr] = end_offset
+            append(tuple(parts))
+        return cls(trace.requests, tuple(entries))
+
+    def matches(self, trace: Trace) -> bool:
+        """Whether this plan was built for ``trace``'s request stream.
+
+        Directive-bearing copies of a base trace share the requests tuple,
+        so the common case is an identity hit; the equality fallback covers
+        structurally equal streams built independently.
+        """
+        return self.requests is trace.requests or self.requests == trace.requests

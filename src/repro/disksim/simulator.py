@@ -23,11 +23,12 @@ from typing import Sequence
 
 from .interface import Controller, TimedDirective
 from ..ir.nodes import PowerAction, PowerCall
-from ..trace.request import DirectiveRecord, IORequest, Trace
+from ..trace.request import Trace
 from ..util.errors import SimulationError
 from .disk import Disk
 from .params import SubsystemParams
 from .powermodel import PowerModel
+from .replay import ReplayPlan
 from .stats import BusyInterval, ResponseSummary, SimulationResult
 
 __all__ = ["simulate", "apply_call"]
@@ -52,12 +53,17 @@ def simulate(
     controller: Controller | None = None,
     collect_busy_intervals: bool = False,
     recorder=None,
+    plan: ReplayPlan | None = None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``params`` with an optional controller.
 
     ``recorder`` optionally attaches a
     :class:`~repro.disksim.timeline.TimelineRecorder` to every disk,
     capturing the full per-disk state timeline for inspection/rendering.
+
+    ``plan`` optionally supplies the precomputed per-request fan-out
+    (:class:`~repro.disksim.replay.ReplayPlan`); the suite engine builds one
+    plan per trace and shares it across all scheme replays.
     """
     ctrl = controller or Controller()
     layout = trace.layout
@@ -65,6 +71,10 @@ def simulate(
         raise SimulationError(
             f"trace layout has {layout.num_disks} disks, params say {params.num_disks}"
         )
+    if plan is None:
+        plan = ReplayPlan.for_trace(trace)
+    elif not plan.matches(trace):
+        raise SimulationError("replay plan was built for a different request stream")
     pm = PowerModel(params.disk, params.drpm)
     disks = [
         Disk(
@@ -75,42 +85,61 @@ def simulate(
         )
         for i in range(params.num_disks)
     ]
-    ctrl.prepare(params.num_disks, pm)
+    num_disks = len(disks)
+    ctrl.prepare(num_disks, pm)
+    # The base Controller's reactive hook is a no-op; skipping the call for
+    # controllers that never override it saves one dispatch per sub-request.
+    reactive = type(ctrl).on_request_complete is not Controller.on_request_complete
 
     timed: Sequence[TimedDirective] = sorted(
         ctrl.timed_directives(), key=lambda d: d.time_s
     )
+    num_timed = len(timed)
     timed_idx = 0
 
     responses: list[float] = []
+    append_response = responses.append
     busy: list[list[BusyInterval]] = [[] for _ in disks]
     delay = 0.0
     num_directives = 0
     clock_hz = 750e6  # only used to charge directive call overhead (Tm)
-    # Per-disk stream tracking.  A request that exactly continues the last
-    # request on the disk needs no repositioning ("seq"); one that resumes a
-    # file the disk recently streamed pays only a short seek ("stream");
-    # anything else pays the full average seek.
-    last_stream: list[tuple[str, int] | None] = [None] * len(disks)
-    stream_ends: list[dict[str, int]] = [dict() for _ in disks]
 
-    for rec in trace.merged():
-        t_exec = rec.nominal_time_s + delay
-        # Oracle directives scheduled before this point fire first, at their
-        # own absolute times (they were planned against the realized
-        # timeline, which a zero-penalty oracle shares with this replay).
-        while timed_idx < len(timed) and timed[timed_idx].time_s <= t_exec:
-            td = timed[timed_idx]
-            target = disks[td.call.disk]
-            # If replay drifted past the planned instant (the disk was still
-            # busy), the call takes effect as soon as the disk is available.
-            apply_call(target, max(td.time_s, target.cursor_s), td.call)
-            num_directives += 1
-            timed_idx += 1
-
-        if isinstance(rec, DirectiveRecord):
+    # The request and directive streams are merged inline (both are sorted
+    # by nominal time; ties execute the directive first) so the hot loop
+    # needs no generator or per-record isinstance dispatch.  The striping
+    # fan-out and seek class of every sub-request come precomputed from the
+    # (scheme-invariant) replay plan.
+    requests = trace.requests
+    directives = trace.directives
+    entries = plan.entries
+    num_requests = len(requests)
+    num_dir_records = len(directives)
+    serves = [d.serve for d in disks]
+    ri = 0
+    di = 0
+    while ri < num_requests or di < num_dir_records:
+        if di < num_dir_records and (
+            ri >= num_requests
+            or directives[di].nominal_time_s <= requests[ri].nominal_time_s
+        ):
+            rec = directives[di]
+            di += 1
+            t_exec = rec.nominal_time_s + delay
+            # Oracle directives scheduled before this point fire first, at
+            # their own absolute times (they were planned against the
+            # realized timeline, which a zero-penalty oracle shares with
+            # this replay).
+            while timed_idx < num_timed and timed[timed_idx].time_s <= t_exec:
+                td = timed[timed_idx]
+                target = disks[td.call.disk]
+                # If replay drifted past the planned instant (the disk was
+                # still busy), the call takes effect as soon as the disk is
+                # available.
+                apply_call(target, max(td.time_s, target.cursor_s), td.call)
+                num_directives += 1
+                timed_idx += 1
             call = rec.call
-            if not 0 <= call.disk < len(disks):
+            if not 0 <= call.disk < num_disks:
                 raise SimulationError(f"directive targets unknown disk {call.disk}")
             apply_call(disks[call.disk], t_exec, call)
             num_directives += 1
@@ -118,30 +147,35 @@ def simulate(
                 delay += call.overhead_cycles / clock_hz
             continue
 
-        assert isinstance(rec, IORequest)
-        per_disk = layout.striping(rec.array).per_disk_bytes(rec.offset, rec.nbytes)
-        if not per_disk:
-            raise SimulationError("request mapped to no disks")
+        rec = requests[ri]
+        fanout = entries[ri]
+        ri += 1
+        t_exec = rec.nominal_time_s + delay
+        while timed_idx < num_timed and timed[timed_idx].time_s <= t_exec:
+            td = timed[timed_idx]
+            target = disks[td.call.disk]
+            apply_call(target, max(td.time_s, target.cursor_s), td.call)
+            num_directives += 1
+            timed_idx += 1
+
         completion = t_exec
-        for disk_id, nbytes in sorted(per_disk.items()):
-            disk = disks[disk_id]
-            if last_stream[disk_id] == (rec.array, rec.offset):
-                seek = "seq"
-            elif stream_ends[disk_id].get(rec.array) == rec.offset:
-                seek = "stream"
-            else:
-                seek = "full"
-            done = disk.serve(t_exec, nbytes, seek=seek)
-            start = done - pm.service_time_s(nbytes, disk.rpm, seek)
+        for disk_id, nbytes, seek in fanout:
+            done = serves[disk_id](t_exec, nbytes, seek)
             if collect_busy_intervals:
-                busy[disk_id].append(BusyInterval(disk_id, start, done))
-            ctrl.on_request_complete(disk, t_exec, start, done, nbytes, seek)
-            completion = max(completion, done)
-            last_stream[disk_id] = (rec.array, rec.offset + rec.nbytes)
-            stream_ends[disk_id][rec.array] = rec.offset + rec.nbytes
-            completion = max(completion, done)
-        responses.append(completion - t_exec)
-        delay += completion - t_exec
+                disk = disks[disk_id]
+                busy[disk_id].append(
+                    BusyInterval(disk_id, disk.last_service_start_s, done)
+                )
+            if reactive:
+                disk = disks[disk_id]
+                ctrl.on_request_complete(
+                    disk, t_exec, disk.last_service_start_s, done, nbytes, seek
+                )
+            if done > completion:
+                completion = done
+        response = completion - t_exec
+        append_response(response)
+        delay += response
 
     # Flush oracle directives scheduled after the last record.
     end_time = trace.total_compute_s + delay

@@ -72,6 +72,7 @@ def preactivation_ablation(
 
     ctx = ctx or ExperimentContext()
     names = list(benchmarks or WORKLOAD_NAMES)
+    ctx.prefetch_defaults(names)
     rep = ExperimentReport(
         experiment_id="ablation_preactivation",
         title="Ablation: Eq. (1) pre-activation (CMDRPM, normalized to Base)",
@@ -159,14 +160,30 @@ def transition_speed_ablation(
         title=f"Ablation: {benchmark} vs RPM transition time per 1200-RPM step",
         columns=("DRPM", "IDRPM", "CMDRPM"),
     )
-    for per_step in per_step_s:
-        params = SubsystemParams(
+    schemes = ("Base", "DRPM", "IDRPM", "CMDRPM")
+    param_grid = [
+        SubsystemParams(
             num_disks=ctx.params.num_disks,
             drpm=replace(ctx.params.drpm, transition_time_per_step_s=per_step),
         )
-        suite = run_workload(
-            wl, params=params, schemes=("Base", "DRPM", "IDRPM", "CMDRPM")
+        for per_step in per_step_s
+    ]
+    executor = ctx.executor
+    if executor.serial:
+        suites = [
+            run_workload(wl, params=params, schemes=schemes, cache=ctx.result_cache)
+            for params in param_grid
+        ]
+    else:
+        from .parallel import SuiteSpec
+
+        suites = executor.run_suites(
+            [
+                SuiteSpec(benchmark, params=params, schemes=schemes)
+                for params in param_grid
+            ]
         )
+    for per_step, suite in zip(per_step_s, suites):
         rep.add_row(
             f"{per_step:.2f}s/step",
             tuple(suite.normalized_energy(s) for s in ("DRPM", "IDRPM", "CMDRPM")),

@@ -4,11 +4,15 @@ Usage::
 
     repro-experiments table2
     repro-experiments fig3 fig4 table3
-    repro-experiments all
+    repro-experiments --jobs 4 all
+    repro-experiments --no-cache fig5
 
 Reports render as fixed-width text tables (the same renderings recorded in
 EXPERIMENTS.md).  All artifacts sharing the default configuration reuse one
-set of simulations.
+set of simulations; completed suite runs additionally persist under
+``.repro-cache/`` (see :mod:`repro.cache`), so re-rendering is near-free —
+``--no-cache`` forces everything to be recomputed.  ``--jobs N`` (or
+``$REPRO_JOBS``) fans independent suite runs out over N worker processes.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import sys
 from typing import Sequence
 
 from . import ablations, extensions, fig3, fig4, fig5_6, fig7_8, fig13, table1, table2, table3
+from ..cache import ResultCache
 from .runner import ExperimentContext
 
 __all__ = ["main", "EXPERIMENT_IDS", "run_experiment"]
@@ -101,11 +106,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         nargs="+",
         help=f"artifact ids ({', '.join(EXPERIMENT_IDS)}) or 'all'",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for independent suite runs "
+        "(default: $REPRO_JOBS or 1; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache location (default: .repro-cache "
+        "or $REPRO_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
     ids = list(args.experiments)
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
-    ctx = ExperimentContext()
+    if args.no_cache:
+        cache: ResultCache | bool | None = False
+    elif args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = None
+    ctx = ExperimentContext(jobs=args.jobs, cache=cache)
     for exp_id in ids:
         for rep in run_experiment(exp_id, ctx):
             print(rep.render())

@@ -1,0 +1,210 @@
+"""Process-parallel execution of independent experiment units.
+
+The evaluation's unit of work is embarrassingly parallel at two grains:
+
+* **suite grain** — every ``(workload, configuration)`` scheme suite is
+  independent of every other (the Table 2 set, the stripe-size/factor
+  sweeps, the ablation grids);
+* **replay grain** — within one suite, every non-Base scheme replays the
+  same trace independently once the Base run exists (the oracles read the
+  Base result; the compiler schemes only attach different directive
+  streams).
+
+:class:`SuiteExecutor` fans both out over a ``ProcessPoolExecutor``.  The
+worker count comes from (in priority order) an explicit ``jobs`` argument,
+the ``REPRO_JOBS`` environment variable (``0`` or ``auto`` = one worker per
+CPU), else 1 — and is then clamped to the CPUs the process may run on
+(the work is CPU-bound; oversubscription only buys pickling overhead).
+With one worker everything runs serially in-process — no
+pool, no pickling — so single-process behaviour is bit-identical to the
+pre-parallel engine, and results are always returned in submission order
+regardless of completion order.
+
+Workers rebuild workloads from their registry names and may share one
+persistent :class:`~repro.cache.ResultCache` directory (writes are atomic).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..cache import ResultCache
+from ..disksim.params import SubsystemParams
+from ..disksim.simulator import simulate
+from ..disksim.stats import SimulationResult
+from ..layout.files import SubsystemLayout, default_layout
+from ..trace.request import Trace
+from ..util.errors import ReproError
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "available_cpus",
+    "resolve_jobs",
+    "SuiteSpec",
+    "ReplayTask",
+    "SuiteExecutor",
+]
+
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: argument > ``$REPRO_JOBS`` > 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip().lower()
+        if not env:
+            return 1
+        if env == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ReproError(
+                f"{JOBS_ENV_VAR} must be an integer or 'auto', got {env!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ReproError(f"worker count must be >= 0, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Everything a worker needs to run one scheme suite."""
+
+    workload: str
+    params: SubsystemParams = field(default_factory=SubsystemParams)
+    layout: SubsystemLayout | None = None
+    schemes: tuple[str, ...] | None = None
+    #: Opaque tag identifying the configuration (sweep key); returned
+    #: untouched so callers can re-associate results.
+    key: tuple = ()
+
+
+@dataclass(frozen=True)
+class ReplayTask:
+    """One non-Base scheme replay of an already-generated trace.
+
+    ``trace`` carries the scheme's directive stream (compiler schemes);
+    ``base`` is the Base run the oracle controllers derive from (``None``
+    for the reactive and compiler schemes).
+    """
+
+    scheme: str
+    trace: Trace
+    params: SubsystemParams
+    base: SimulationResult | None = None
+
+
+def _run_suite_spec(payload: tuple[SuiteSpec, str | None]):
+    """Worker: build the workload by name and run its scheme suite."""
+    from ..workloads.registry import build_workload
+    from .schemes import SCHEME_NAMES, run_schemes
+
+    spec, cache_root = payload
+    cache = ResultCache(cache_root) if cache_root else None
+    wl = build_workload(spec.workload)
+    layout = spec.layout or default_layout(
+        wl.program.arrays, num_disks=spec.params.num_disks
+    )
+    return run_schemes(
+        wl.program,
+        layout,
+        spec.params,
+        wl.trace_options,
+        wl.estimation,
+        schemes=spec.schemes or SCHEME_NAMES,
+        cache=cache,
+    )
+
+
+def _run_replay_task(task: ReplayTask) -> SimulationResult:
+    """Worker: replay one scheme against its (directive-bearing) trace."""
+    from ..controllers.compiler_directed import CompilerDirected
+    from ..controllers.drpm import ReactiveDRPM
+    from ..controllers.oracle import OracleDRPM, OracleTPM
+    from ..controllers.tpm import ReactiveTPM
+
+    scheme, trace, params = task.scheme, task.trace, task.params
+    if scheme == "TPM":
+        ctrl = ReactiveTPM(params.effective_tpm_threshold_s)
+    elif scheme == "ITPM":
+        assert task.base is not None
+        ctrl = OracleTPM(task.base, params)
+    elif scheme == "DRPM":
+        ctrl = ReactiveDRPM(params.drpm)
+    elif scheme == "IDRPM":
+        assert task.base is not None
+        ctrl = OracleDRPM(task.base, params)
+    elif scheme == "CMTPM":
+        ctrl = CompilerDirected("tpm")
+    elif scheme == "CMDRPM":
+        ctrl = CompilerDirected("drpm")
+    else:
+        raise ReproError(f"unknown replay scheme {scheme!r}")
+    return simulate(trace, params, ctrl)
+
+
+class SuiteExecutor:
+    """Ordered, deterministic fan-out of experiment units across processes.
+
+    With ``jobs <= 1`` (the default without ``REPRO_JOBS``) every method
+    degrades to a plain in-process loop, guaranteeing behaviour identical
+    to the serial engine.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_root: str | os.PathLike | None = None,
+        clamp_to_cpus: bool = True,
+    ):
+        self.requested_jobs = resolve_jobs(jobs)
+        # The simulation is CPU-bound: workers beyond the cores we can
+        # actually run on only add process-spawn and pickling overhead, so
+        # a request for more is clamped (``clamp_to_cpus=False`` opts out,
+        # e.g. to exercise the pool machinery on a single-core machine).
+        if clamp_to_cpus:
+            self.jobs = min(self.requested_jobs, available_cpus())
+        else:
+            self.jobs = self.requested_jobs
+        self.cache_root = str(cache_root) if cache_root is not None else None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def serial(self) -> bool:
+        return self.jobs <= 1
+
+    def _pool(self, num_tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.jobs, num_tasks))
+
+    # ------------------------------------------------------------------ #
+    def run_suites(self, specs: Sequence[SuiteSpec]) -> list:
+        """Run one scheme suite per spec; results in spec order."""
+        payloads = [(spec, self.cache_root) for spec in specs]
+        if self.serial or len(specs) <= 1:
+            return [_run_suite_spec(p) for p in payloads]
+        with self._pool(len(specs)) as pool:
+            return list(pool.map(_run_suite_spec, payloads))
+
+    def run_replays(self, tasks: Sequence[ReplayTask]) -> list[SimulationResult]:
+        """Replay the given schemes; results in task order."""
+        if self.serial or len(tasks) <= 1:
+            return [_run_replay_task(t) for t in tasks]
+        with self._pool(len(tasks)) as pool:
+            return list(pool.map(_run_replay_task, tasks))

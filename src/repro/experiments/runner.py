@@ -5,16 +5,31 @@ all derive from the default-parameter suite), so the context memoizes
 :class:`~repro.experiments.schemes.SchemeSuite` per (workload, layout
 variant) — each benchmark is simulated once per configuration no matter how
 many reports are generated.
+
+Two further layers sit behind the in-memory memo:
+
+* a **persistent result cache** (:class:`~repro.cache.ResultCache`, on by
+  default under ``.repro-cache/``; disable with ``REPRO_CACHE=0`` or
+  ``cache=False``) that survives across processes, so re-rendering
+  artifacts after an unrelated edit is near-free;
+* a **process pool** (:class:`~repro.experiments.parallel.SuiteExecutor`,
+  worker count from ``jobs=`` or ``$REPRO_JOBS``) that fans independent
+  suite configurations — and the independent scheme replays inside a
+  suite — out across cores.  With one worker (the default) everything runs
+  serially in-process and behaviour is bit-identical to the serial engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
+from ..cache import ResultCache
 from ..disksim.params import SubsystemParams
 from ..layout.files import SubsystemLayout, default_layout
 from ..workloads.base import Workload
 from ..workloads.registry import WORKLOAD_NAMES, build_workload
+from .parallel import SuiteExecutor, SuiteSpec
 from .schemes import SCHEME_NAMES, SchemeSuite, run_schemes
 
 __all__ = ["ExperimentContext"]
@@ -25,9 +40,37 @@ class ExperimentContext:
     """Memoizing runner for the experiment modules."""
 
     params: SubsystemParams = field(default_factory=SubsystemParams)
+    #: Worker processes; ``None`` resolves ``$REPRO_JOBS`` (default 1).
+    jobs: int | None = None
+    #: ``None`` resolves the environment (on by default), ``False`` (or any
+    #: falsy value) disables, or pass a :class:`ResultCache` directly.
+    cache: "ResultCache | bool | None" = None
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _suites: dict[tuple, SchemeSuite] = field(default_factory=dict)
+    _executor: SuiteExecutor | None = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = ResultCache.from_env()
+        elif isinstance(self.cache, bool):
+            self.cache = ResultCache() if self.cache else None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def result_cache(self) -> ResultCache | None:
+        return self.cache if isinstance(self.cache, ResultCache) else None
+
+    @property
+    def executor(self) -> SuiteExecutor:
+        if self._executor is None:
+            cache = self.result_cache
+            self._executor = SuiteExecutor(
+                jobs=self.jobs,
+                cache_root=cache.root if cache is not None else None,
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------ #
     def workload(self, name: str) -> Workload:
         if name not in self._workloads:
             self._workloads[name] = build_workload(name)
@@ -56,6 +99,7 @@ class ExperimentContext:
             wl = self.workload(name)
             p = params or self.params
             lay = layout or self.default_layout_for(wl, p)
+            executor = self.executor
             self._suites[cache_key] = run_schemes(
                 wl.program,
                 lay,
@@ -63,9 +107,35 @@ class ExperimentContext:
                 wl.trace_options,
                 wl.estimation,
                 schemes=SCHEME_NAMES,
+                cache=self.result_cache,
+                executor=None if executor.serial else executor,
             )
         return self._suites[cache_key]
 
+    # ------------------------------------------------------------------ #
+    def prefetch(self, specs: Sequence[SuiteSpec]) -> None:
+        """Compute any not-yet-memoized suites, in parallel when ``jobs>1``.
+
+        Each spec's ``key`` must match the ``key`` later passed to
+        :meth:`suite` for the same configuration.  With one worker this is
+        a no-op — :meth:`suite` computes lazily, exactly as before.
+        """
+        executor = self.executor
+        if executor.serial:
+            return
+        missing = [s for s in specs if (s.workload, s.key) not in self._suites]
+        if not missing:
+            return
+        for spec, suite in zip(missing, executor.run_suites(missing)):
+            self._suites[(spec.workload, spec.key)] = suite
+
+    def prefetch_defaults(self, names: Sequence[str] | None = None) -> None:
+        """Prefetch the default-configuration suite of each benchmark."""
+        self.prefetch(
+            [SuiteSpec(name, params=self.params) for name in names or WORKLOAD_NAMES]
+        )
+
     def all_suites(self) -> dict[str, SchemeSuite]:
         """Default-configuration suites for the whole Table 2 benchmark set."""
+        self.prefetch_defaults()
         return {name: self.suite(name) for name in WORKLOAD_NAMES}

@@ -23,12 +23,14 @@ from ..analysis.cycles import (
     compute_timing,
     measured_timing,
 )
+from ..cache import ResultCache, suite_fingerprint
 from ..controllers.base import Controller
 from ..controllers.compiler_directed import CompilerDirected
 from ..controllers.drpm import ReactiveDRPM
 from ..controllers.oracle import OracleDRPM, OracleTPM
 from ..controllers.tpm import ReactiveTPM
 from ..disksim.params import SubsystemParams
+from ..disksim.replay import ReplayPlan
 from ..disksim.simulator import simulate
 from ..disksim.stats import SimulationResult
 from ..ir.program import Program
@@ -91,11 +93,19 @@ def run_schemes(
     estimation: EstimationModel,
     schemes: Sequence[str] = SCHEME_NAMES,
     accesses: Sequence[NestAccess] | None = None,
+    cache: ResultCache | None = None,
+    executor=None,
 ) -> SchemeSuite:
     """Simulate ``program`` under each scheme in ``schemes``.
 
     ``Base`` is always run (everything is normalized to it, and the
     oracle/compiler schemes derive from its replay).
+
+    ``cache`` optionally consults/fills a persistent
+    :class:`~repro.cache.ResultCache` keyed by the full suite configuration,
+    so re-rendering artifacts is near-free when nothing relevant changed.
+    ``executor`` optionally fans the independent non-Base replays out across
+    a :class:`~repro.experiments.parallel.SuiteExecutor`'s workers.
     """
     unknown = set(schemes) - set(SCHEME_NAMES)
     if unknown:
@@ -103,26 +113,54 @@ def run_schemes(
     if accesses is None:
         accesses = analyze_program(program)
     trace = generate_trace(program, layout, options, accesses=accesses)
-    base = simulate(trace, params, Controller(), collect_busy_intervals=True)
+    # The per-request striping fan-out is scheme-invariant: compute it once
+    # and share it across every replay of this suite.
+    replay_plan = ReplayPlan.for_trace(trace)
+
+    suite_fp = (
+        suite_fingerprint(program, layout, params, options, estimation)
+        if cache is not None
+        else None
+    )
+
+    def _load(scheme: str):
+        if cache is None or suite_fp is None:
+            return None
+        return cache.load(cache.scheme_key(suite_fp, scheme))
+
+    def _store(scheme: str, payload) -> None:
+        if cache is not None and suite_fp is not None:
+            cache.store(cache.scheme_key(suite_fp, scheme), payload)
+
+    base = _load("Base")
+    if base is None:
+        base = simulate(
+            trace, params, Controller(), collect_busy_intervals=True, plan=replay_plan
+        )
+        _store("Base", base)
     req_nests = np.asarray([r.nest for r in trace.requests], dtype=np.int64)
     measured = measured_timing(program, req_nests, np.asarray(base.request_responses))
     actual = compute_timing(program)
 
     results: dict[str, SimulationResult] = {"Base": base}
     plans: dict[str, CompilerPlan] = {}
+    pending: list[str] = []
     for scheme in schemes:
         if scheme == "Base":
             continue
-        if scheme == "TPM":
-            ctrl: Controller = ReactiveTPM(params.effective_tpm_threshold_s)
-            results[scheme] = simulate(trace, params, ctrl)
-        elif scheme == "ITPM":
-            results[scheme] = simulate(trace, params, OracleTPM(base, params))
-        elif scheme == "DRPM":
-            results[scheme] = simulate(trace, params, ReactiveDRPM(params.drpm))
-        elif scheme == "IDRPM":
-            results[scheme] = simulate(trace, params, OracleDRPM(base, params))
+        payload = _load(scheme)
+        if payload is None:
+            pending.append(scheme)
         elif scheme in ("CMTPM", "CMDRPM"):
+            results[scheme], plans[scheme] = payload
+        else:
+            results[scheme] = payload
+
+    # Plan the compiler-directed schemes up front (the planner is cheap next
+    # to a replay, and the directive-bearing traces are what workers need).
+    cm_traces: dict[str, Trace] = {}
+    for scheme in pending:
+        if scheme in ("CMTPM", "CMDRPM"):
             kind = "tpm" if scheme == "CMTPM" else "drpm"
             plan = plan_power_calls(
                 program,
@@ -135,13 +173,61 @@ def run_schemes(
             )
             plans[scheme] = plan
             directives = directives_at_positions(plan.placements, actual)
-            results[scheme] = simulate(
-                trace.with_directives(directives), params, CompilerDirected(kind)
+            cm_traces[scheme] = trace.with_directives(directives)
+
+    if executor is not None and not executor.serial and len(pending) > 1:
+        from .parallel import ReplayTask
+
+        tasks = [
+            ReplayTask(
+                scheme=scheme,
+                trace=cm_traces.get(scheme, trace),
+                params=params,
+                base=base if scheme in ("ITPM", "IDRPM") else None,
             )
+            for scheme in pending
+        ]
+        for scheme, result in zip(pending, executor.run_replays(tasks)):
+            results[scheme] = result
+    else:
+        for scheme in pending:
+            if scheme == "TPM":
+                ctrl: Controller = ReactiveTPM(params.effective_tpm_threshold_s)
+                results[scheme] = simulate(trace, params, ctrl, plan=replay_plan)
+            elif scheme == "ITPM":
+                results[scheme] = simulate(
+                    trace, params, OracleTPM(base, params), plan=replay_plan
+                )
+            elif scheme == "DRPM":
+                results[scheme] = simulate(
+                    trace, params, ReactiveDRPM(params.drpm), plan=replay_plan
+                )
+            elif scheme == "IDRPM":
+                results[scheme] = simulate(
+                    trace, params, OracleDRPM(base, params), plan=replay_plan
+                )
+            else:
+                kind = "tpm" if scheme == "CMTPM" else "drpm"
+                results[scheme] = simulate(
+                    cm_traces[scheme],
+                    params,
+                    CompilerDirected(kind),
+                    plan=replay_plan,
+                )
+
+    for scheme in pending:
+        if scheme in ("CMTPM", "CMDRPM"):
+            _store(scheme, (results[scheme], plans[scheme]))
+        else:
+            _store(scheme, results[scheme])
+
+    # Present results in canonical scheme order regardless of cache/executor
+    # completion interleaving.
+    ordered = {s: results[s] for s in SCHEME_NAMES if s in results}
     return SchemeSuite(
         program_name=program.name,
         layout=layout,
-        results=results,
+        results=ordered,
         base_trace=trace,
         measured=measured,
         plans=plans,
@@ -153,6 +239,8 @@ def run_workload(
     params: SubsystemParams | None = None,
     layout: SubsystemLayout | None = None,
     schemes: Sequence[str] = SCHEME_NAMES,
+    cache: ResultCache | None = None,
+    executor=None,
 ) -> SchemeSuite:
     """Run one Table 2 benchmark under (by default) Table 1 parameters."""
     p = params or SubsystemParams()
@@ -164,4 +252,6 @@ def run_workload(
         workload.trace_options,
         workload.estimation,
         schemes=schemes,
+        cache=cache,
+        executor=executor,
     )

@@ -12,6 +12,7 @@ construction) and the simulator (request fan-out) consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Iterable, Iterator, Mapping
 
 from ..ir.arrays import Array
@@ -105,8 +106,9 @@ class SubsystemLayout:
             prev_end = hi
 
     # ------------------------------------------------------------------ #
-    @property
+    @cached_property
     def file_map(self) -> dict[str, FileEntry]:
+        """Entries by array name (cached — the layout is immutable)."""
         return {e.array_name: e for e in self.entries}
 
     def entry(self, array_name: str) -> FileEntry:

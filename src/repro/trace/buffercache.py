@@ -77,6 +77,13 @@ class BufferCache:
         fid = self._fid(file_name)
         lb = self.line_bytes
         out: list[tuple[int, int]] = []
+        append = out.append
+        # _touch inlined: this per-line loop is the trace generator's hot
+        # spot, and the call overhead dominates the OrderedDict operations.
+        lru = self._lru
+        cap = self.capacity_lines
+        hits = 0
+        misses = 0
         run_start = -1
         run_end = -1
         for s, ln in zip(starts, lengths):
@@ -85,21 +92,31 @@ class BufferCache:
             first = int(s) // lb
             last = (int(s) + int(ln) - 1) // lb
             for line in range(first, last + 1):
-                if self._touch((fid, line)):
+                key = (fid, line)
+                if key in lru:
+                    lru.move_to_end(key)
+                    hits += 1
                     if run_start >= 0:
-                        out.append((run_start, run_end - run_start))
+                        append((run_start, run_end - run_start))
                         run_start = -1
                     continue
+                misses += 1
+                if cap > 0:
+                    lru[key] = None
+                    if len(lru) > cap:
+                        lru.popitem(last=False)
                 lo = line * lb
                 if run_start >= 0 and lo == run_end:
                     run_end = lo + lb
                 else:
                     if run_start >= 0:
-                        out.append((run_start, run_end - run_start))
+                        append((run_start, run_end - run_start))
                     run_start = lo
                     run_end = lo + lb
         if run_start >= 0:
-            out.append((run_start, run_end - run_start))
+            append((run_start, run_end - run_start))
+        self.hits += hits
+        self.misses += misses
         return out
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,95 @@
+"""ReplayPlan: the precomputed striping fast path must reproduce the old
+per-replay computation exactly, on a mixed read/write trace."""
+
+import pytest
+
+from repro.analysis.cycles import EstimationModel
+from repro.controllers.drpm import ReactiveDRPM
+from repro.disksim.params import SubsystemParams
+from repro.disksim.replay import ReplayPlan
+from repro.disksim.simulator import simulate
+from repro.trace.generator import generate_trace
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture()
+def mixed_trace(tiny_program, tiny_layout, small_trace_options):
+    """tiny_program's first nest writes B while reading A — a genuinely
+    mixed read/write stream."""
+    trace = generate_trace(tiny_program, tiny_layout, small_trace_options)
+    kinds = {r.kind for r in trace.requests}
+    assert len(kinds) > 1, "fixture must exercise reads and writes"
+    return trace
+
+
+def test_plan_matches_per_replay_computation(mixed_trace):
+    """Regression: every precomputed entry equals what the old hot loop
+    recomputed per replay — the striping fan-out via
+    layout.striping(...).per_disk_bytes(...) and the seek class via the
+    per-disk stream-tracking state machine."""
+    plan = ReplayPlan.for_trace(mixed_trace)
+    layout = mixed_trace.layout
+    assert plan.requests is mixed_trace.requests
+    assert len(plan.entries) == len(mixed_trace.requests)
+    num_disks = layout.num_disks
+    last_array = [None] * num_disks
+    last_offset = [-1] * num_disks
+    stream_ends = [dict() for _ in range(num_disks)]
+    seen_seeks = set()
+    for req, entry in zip(mixed_trace.requests, plan.entries):
+        old = layout.striping(req.array).per_disk_bytes(req.offset, req.nbytes)
+        assert [(d, n) for d, n, _ in entry] == sorted(old.items())
+        assert sum(n for _, n, _ in entry) == req.nbytes
+        end = req.offset + req.nbytes
+        for disk_id, _, seek in entry:
+            if (
+                last_offset[disk_id] == req.offset
+                and last_array[disk_id] == req.array
+            ):
+                expect = "seq"
+            elif stream_ends[disk_id].get(req.array) == req.offset:
+                expect = "stream"
+            else:
+                expect = "full"
+            assert seek == expect
+            seen_seeks.add(seek)
+            last_array[disk_id] = req.array
+            last_offset[disk_id] = end
+            stream_ends[disk_id][req.array] = end
+    assert "full" in seen_seeks  # the trace must exercise real seeks
+
+
+def test_simulate_with_and_without_plan_identical(
+    mixed_trace, assert_results_identical
+):
+    params = SubsystemParams(num_disks=mixed_trace.layout.num_disks)
+    plan = ReplayPlan.for_trace(mixed_trace)
+    for make_ctrl in (lambda: None, lambda: ReactiveDRPM(params.drpm)):
+        implicit = simulate(
+            mixed_trace, params, make_ctrl(), collect_busy_intervals=True
+        )
+        explicit = simulate(
+            mixed_trace,
+            params,
+            make_ctrl(),
+            collect_busy_intervals=True,
+            plan=plan,
+        )
+        assert_results_identical(implicit, explicit)
+
+
+def test_plan_shared_across_directive_bearing_traces(mixed_trace):
+    """with_directives() shares the requests tuple, so one plan serves
+    every scheme replay of a suite."""
+    plan = ReplayPlan.for_trace(mixed_trace)
+    derived = mixed_trace.with_directives(())
+    assert plan.matches(derived)
+
+
+def test_mismatched_plan_rejected(mixed_trace, phase_program, phase_layout,
+                                  small_trace_options):
+    other = generate_trace(phase_program, phase_layout, small_trace_options)
+    plan = ReplayPlan.for_trace(other)
+    params = SubsystemParams(num_disks=mixed_trace.layout.num_disks)
+    with pytest.raises(SimulationError):
+        simulate(mixed_trace, params, plan=plan)

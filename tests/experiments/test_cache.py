@@ -1,0 +1,139 @@
+"""Persistent result cache: round-trips, invalidation, escape hatches."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.cycles import EstimationModel
+from repro.cache import (
+    CACHE_VERSION,
+    ResultCache,
+    fingerprint,
+    program_fingerprint,
+    suite_fingerprint,
+)
+from repro.disksim.params import SubsystemParams
+from repro.experiments.schemes import SCHEME_NAMES, run_schemes
+
+PARAMS = SubsystemParams(num_disks=4)
+EST = EstimationModel(relative_error=0.05)
+
+
+def _run(phase_program, phase_layout, small_trace_options, cache=None):
+    return run_schemes(
+        phase_program, phase_layout, PARAMS, small_trace_options, EST, cache=cache
+    )
+
+
+def test_cached_round_trip_is_field_identical(
+    phase_program, phase_layout, small_trace_options, tmp_path,
+    assert_results_identical,
+):
+    """A suite served entirely from cache equals a fresh uncached run,
+    field by field, for every scheme."""
+    fresh = _run(phase_program, phase_layout, small_trace_options)
+
+    cold = ResultCache(tmp_path / "cache")
+    first = _run(phase_program, phase_layout, small_trace_options, cache=cold)
+    assert cold.hits == 0
+    assert cold.misses == len(SCHEME_NAMES)
+
+    warm = ResultCache(tmp_path / "cache")
+    second = _run(phase_program, phase_layout, small_trace_options, cache=warm)
+    assert warm.hits == len(SCHEME_NAMES)
+    assert warm.misses == 0
+
+    for scheme in SCHEME_NAMES:
+        assert_results_identical(fresh.results[scheme], first.results[scheme])
+        assert_results_identical(fresh.results[scheme], second.results[scheme])
+    # The compiler plans ride along in the CM payloads, so a warm suite can
+    # still serve table3/ablation consumers.
+    assert set(second.plans) == {"CMTPM", "CMDRPM"}
+    assert second.plans["CMDRPM"].num_calls == first.plans["CMDRPM"].num_calls
+    # Derived timelines survive the round trip too.
+    assert second.measured == first.measured
+
+
+def test_fingerprint_is_a_content_address(
+    phase_program, phase_layout, small_trace_options
+):
+    fp = suite_fingerprint(
+        phase_program, phase_layout, PARAMS, small_trace_options, EST
+    )
+    again = suite_fingerprint(
+        phase_program, phase_layout, PARAMS, small_trace_options, EST
+    )
+    assert fp == again
+    changed = suite_fingerprint(
+        phase_program,
+        phase_layout,
+        SubsystemParams(num_disks=8),
+        small_trace_options,
+        EST,
+    )
+    assert changed != fp
+    other_est = suite_fingerprint(
+        phase_program,
+        phase_layout,
+        PARAMS,
+        small_trace_options,
+        EstimationModel(relative_error=0.2),
+    )
+    assert other_est != fp
+    assert program_fingerprint(phase_program) != program_fingerprint(
+        phase_program.__class__(
+            name="other",
+            arrays=phase_program.arrays,
+            nests=phase_program.nests,
+            clock_hz=phase_program.clock_hz,
+        )
+    )
+
+
+def test_version_mismatch_and_corruption_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = fingerprint("some", "key")
+    cache.store(key, {"answer": 42})
+    assert cache.load(key) == {"answer": 42}
+
+    # Envelope from a different code version never matches.
+    path = cache._path(key)
+    path.write_bytes(
+        pickle.dumps({"version": CACHE_VERSION + 1, "payload": {"answer": 42}})
+    )
+    assert cache.load(key) is None
+
+    # A truncated/corrupted file degrades to a miss, not an exception.
+    path.write_bytes(b"\x80not a pickle")
+    assert cache.load(key) is None
+    assert cache.load(fingerprint("absent")) is None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = fingerprint("k")
+    cache.store(key, 1)
+    assert cache.load(key) == 1
+    cache.clear()
+    assert cache.load(key) is None
+
+
+def test_from_env_toggle_and_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert ResultCache.from_env() is None
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    assert ResultCache.from_env() is None
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    cache = ResultCache.from_env()
+    assert cache is not None
+    assert cache.root == tmp_path / "elsewhere"
+
+
+def test_store_survives_unwritable_root(tmp_path):
+    """The cache is an optimization: a bad root must never fail the run."""
+    blocked = tmp_path / "file-not-dir"
+    blocked.write_text("occupied")
+    cache = ResultCache(blocked)
+    cache.store(fingerprint("k"), 1)  # silently a no-op
+    assert cache.load(fingerprint("k")) is None

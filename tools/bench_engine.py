@@ -1,0 +1,183 @@
+"""Benchmark the experiment engine end to end and emit ``BENCH_engine.json``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/bench_engine.py [--against REF] [-o PATH]
+
+Measures wall-clock time for the engine's main entry points on the current
+tree — the full default suite set (``ExperimentContext.all_suites()``) and
+the stripe sweeps (figures 5-8) — serial/parallel and uncached/cold/warm
+cache.  With ``--against REF`` it additionally checks out ``REF`` into a
+temporary git worktree and measures the same serial-uncached workload
+there, so the emitted JSON carries both baseline and optimized timings from
+the same machine.  Older trees without the parallel/cache engine are
+detected and measured in their only mode (serial, uncached).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return round(time.perf_counter() - t0, 3)
+
+
+def collect_timings() -> dict[str, float]:
+    """Time the engine's entry points on whatever tree PYTHONPATH selects."""
+    from repro.experiments import fig5_6, fig7_8
+    from repro.experiments.runner import ExperimentContext
+
+    try:
+        ExperimentContext(cache=False)
+        legacy = False
+    except TypeError:  # pre-engine tree: serial and uncached is all it has
+        legacy = True
+
+    def fresh_ctx(**kw):
+        return ExperimentContext() if legacy else ExperimentContext(**kw)
+
+    def sweeps(ctx):
+        fig5_6.run(ctx)
+        fig7_8.run(ctx)
+
+    timings = {
+        "all_suites_serial_uncached": _time(
+            lambda: fresh_ctx(cache=False).all_suites()
+        ),
+        "sweeps_serial_uncached": _time(lambda: sweeps(fresh_ctx(cache=False))),
+    }
+    if legacy:
+        return timings
+
+    from repro.cache import ResultCache
+
+    timings["all_suites_parallel_uncached"] = _time(
+        lambda: fresh_ctx(jobs=0, cache=False).all_suites()
+    )
+    with tempfile.TemporaryDirectory(prefix=".bench-cache-", dir=REPO) as td:
+        timings["all_suites_cold_cache"] = _time(
+            lambda: fresh_ctx(cache=ResultCache(td)).all_suites()
+        )
+        timings["all_suites_warm_cache"] = _time(
+            lambda: fresh_ctx(cache=ResultCache(td)).all_suites()
+        )
+        timings["sweeps_cold_cache"] = _time(
+            lambda: sweeps(fresh_ctx(cache=ResultCache(td)))
+        )
+        timings["sweeps_warm_cache"] = _time(
+            lambda: sweeps(fresh_ctx(cache=ResultCache(td)))
+        )
+    return timings
+
+
+def measure_ref(ref: str) -> dict[str, float]:
+    """Measure ``ref`` in a temporary worktree (same machine, same tool)."""
+    wt = REPO / ".bench-worktree"
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", str(wt), ref],
+        cwd=REPO,
+        check=True,
+        capture_output=True,
+    )
+    try:
+        env = dict(os.environ, PYTHONPATH=str(wt / "src"))
+        env.pop("REPRO_JOBS", None)
+        env.pop("REPRO_CACHE", None)
+        out = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "bench_engine.py"), "--timings-only"],
+            env=env,
+            cwd=wt,
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        return json.loads(out.stdout)
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", str(wt)],
+            cwd=REPO,
+            check=False,
+            capture_output=True,
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--against",
+        metavar="REF",
+        default=None,
+        help="git ref to benchmark as the baseline (in a temp worktree)",
+    )
+    parser.add_argument(
+        "--timings-only",
+        action="store_true",
+        help="print the current tree's timings as JSON and exit",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO / "BENCH_engine.json"),
+        help="where to write the report (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.timings_only:
+        print(json.dumps(collect_timings()))
+        return 0
+
+    current = collect_timings()
+    baseline = measure_ref(args.against) if args.against else None
+
+    payload = {
+        "schema": 1,
+        "bench": "experiment engine end-to-end wall clock (seconds)",
+        "command": "PYTHONPATH=src python tools/bench_engine.py --against <ref>",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus_available": _cpus(),
+        },
+        "optimized": {"timings_s": current},
+    }
+    if baseline is not None:
+        payload["baseline"] = {"ref": args.against, "timings_s": baseline}
+        ref_suites = baseline.get("all_suites_serial_uncached")
+        ref_sweeps = baseline.get("sweeps_serial_uncached")
+        speedups = {}
+        for mode, t in current.items():
+            ref = ref_suites if mode.startswith("all_suites") else ref_sweeps
+            if ref and t:
+                speedups[mode] = round(ref / t, 2)
+        payload["speedup_vs_baseline_serial"] = speedups
+
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for mode, t in current.items():
+        print(f"  {mode}: {t:.3f}s")
+    return 0
+
+
+def _cpus() -> int:
+    try:
+        from repro.experiments.parallel import available_cpus
+
+        return available_cpus()
+    except ImportError:  # pragma: no cover
+        return os.cpu_count() or 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

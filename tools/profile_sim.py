@@ -1,0 +1,59 @@
+"""Profile the experiment engine's hot path under cProfile.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/profile_sim.py [workload ...] [--sort KEY]
+                                               [--limit N]
+
+With no arguments, profiles the full default suite set (every Table 2
+benchmark under all 7 schemes), serial and uncached — the same work
+``ExperimentContext.all_suites()`` does on a cold run.  Prints the top
+functions by ``tottime`` (override with ``--sort cumulative`` etc.).
+
+This is the harness behind the numbers in docs/performance.md; use it to
+check that a change actually moves the needle before trusting wall-clock
+timings, and ``tools/bench_engine.py`` for the end-to-end measurement.
+"""
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        help="benchmark names to profile (default: all Table 2 workloads)",
+    )
+    parser.add_argument("--sort", default="tottime", help="pstats sort key")
+    parser.add_argument(
+        "--limit", type=int, default=25, help="rows of profile output"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.schemes import run_workload
+    from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+    names = list(args.workloads) or list(WORKLOAD_NAMES)
+    unknown = set(names) - set(WORKLOAD_NAMES)
+    if unknown:
+        parser.error(f"unknown workloads {sorted(unknown)}; choose from {WORKLOAD_NAMES}")
+    workloads = [build_workload(n) for n in names]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for wl in workloads:
+        run_workload(wl)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
