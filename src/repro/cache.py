@@ -38,16 +38,23 @@ from typing import Any
 
 __all__ = [
     "CACHE_VERSION",
+    "TRACE_GENERATOR_VERSION",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "fingerprint",
     "program_fingerprint",
     "suite_fingerprint",
+    "trace_fingerprint",
 ]
 
 #: Bump whenever simulator/planner behaviour changes in a way that alters
 #: results — stale entries from older code versions then never match.
 CACHE_VERSION = 1
+
+#: Bump whenever the trace generator's output could change (request
+#: emission order, coalescing, chunking, cache-filter semantics) — cached
+#: base traces from older generators then never match.
+TRACE_GENERATOR_VERSION = 1
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -82,6 +89,18 @@ def suite_fingerprint(program, layout, params, options, estimation) -> str:
         repr(params),
         repr(options),
         repr(estimation),
+    )
+
+
+def trace_fingerprint(program, layout, options) -> str:
+    """Content hash of one base-trace generation — everything the generated
+    request stream depends on: the program IR, the disk layout, the trace
+    options, and the generator's code version."""
+    return fingerprint(
+        f"trace-generator-version:{TRACE_GENERATOR_VERSION}",
+        program_fingerprint(program),
+        repr(layout),
+        repr(options),
     )
 
 

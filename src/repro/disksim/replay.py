@@ -24,7 +24,7 @@ supplied, so single-replay callers see no API change.
 
 from __future__ import annotations
 
-from ..trace.request import Trace
+from ..trace.request import RequestColumns, Trace
 from ..util.errors import SimulationError
 
 __all__ = ["ReplayPlan"]
@@ -33,62 +33,71 @@ __all__ = ["ReplayPlan"]
 class ReplayPlan:
     """Per-request hot-loop inputs, computed once per request stream.
 
-    ``entries[i]`` corresponds to ``requests[i]`` and is a tuple of
-    ``(disk_id, nbytes, seek)`` sub-requests sorted by disk id, where
-    ``seek`` is the precomputed seek class (``"seq"``/``"stream"``/
-    ``"full"``).
+    ``entries[i]`` corresponds to request ``i`` of the trace's columns and
+    is a tuple of ``(disk_id, nbytes, seek)`` sub-requests sorted by disk
+    id, where ``seek`` is the precomputed seek class (``"seq"``/
+    ``"stream"``/``"full"``).
     """
 
-    __slots__ = ("requests", "entries")
+    __slots__ = ("columns", "entries")
 
-    def __init__(self, requests, entries):
-        self.requests = requests
+    def __init__(self, columns: RequestColumns, entries):
+        self.columns = columns
         self.entries = entries
 
     @classmethod
     def for_trace(cls, trace: Trace) -> "ReplayPlan":
-        """Precompute the fan-out and seek class of every sub-request."""
+        """Precompute the fan-out and seek class of every sub-request.
+
+        Consumes the trace's request *columns* directly — no per-request
+        objects are materialized on this path.
+        """
         layout = trace.layout
         num_disks = layout.num_disks
-        stripings: dict = {}
+        cols = trace.columns
+        names = cols.array_names
+        aids = cols.array_id.tolist()
+        offsets = cols.offset.tolist()
+        sizes = cols.nbytes.tolist()
+        stripings: list = [None] * len(names)
         # Per-disk stream state, exactly as the replay loop tracked it:
         # the (array, offset) the next sequential access would start at,
-        # plus each file's most recent end offset on that disk.
-        last_array: list[str | None] = [None] * num_disks
+        # plus each file's most recent end offset on that disk.  Arrays are
+        # tracked by column id, which is bijective with names here.
+        last_array: list[int] = [-1] * num_disks
         last_offset: list[int] = [-1] * num_disks
-        stream_ends: list[dict[str, int]] = [dict() for _ in range(num_disks)]
+        stream_ends: list[dict[int, int]] = [dict() for _ in range(num_disks)]
         entries = []
         append = entries.append
-        for r in trace.requests:
-            arr = r.array
-            striping = stripings.get(arr)
+        for aid, offset, nbytes in zip(aids, offsets, sizes):
+            striping = stripings[aid]
             if striping is None:
-                striping = stripings[arr] = layout.striping(arr)
-            offset = r.offset
-            per_disk = striping.per_disk_bytes(offset, r.nbytes)
+                striping = stripings[aid] = layout.striping(names[aid])
+            per_disk = striping.per_disk_bytes(offset, nbytes)
             if not per_disk:
                 raise SimulationError("request mapped to no disks")
-            end_offset = offset + r.nbytes
+            end_offset = offset + nbytes
             parts = []
             for disk_id in sorted(per_disk):
-                if last_offset[disk_id] == offset and last_array[disk_id] == arr:
+                if last_offset[disk_id] == offset and last_array[disk_id] == aid:
                     seek = "seq"
-                elif stream_ends[disk_id].get(arr) == offset:
+                elif stream_ends[disk_id].get(aid) == offset:
                     seek = "stream"
                 else:
                     seek = "full"
                 parts.append((disk_id, per_disk[disk_id], seek))
-                last_array[disk_id] = arr
+                last_array[disk_id] = aid
                 last_offset[disk_id] = end_offset
-                stream_ends[disk_id][arr] = end_offset
+                stream_ends[disk_id][aid] = end_offset
             append(tuple(parts))
-        return cls(trace.requests, tuple(entries))
+        return cls(cols, tuple(entries))
 
     def matches(self, trace: Trace) -> bool:
         """Whether this plan was built for ``trace``'s request stream.
 
-        Directive-bearing copies of a base trace share the requests tuple,
-        so the common case is an identity hit; the equality fallback covers
-        structurally equal streams built independently.
+        Directive-bearing copies of a base trace share the same
+        :class:`RequestColumns` object, so the common case is an identity
+        hit; the equality fallback covers structurally equal streams built
+        independently.
         """
-        return self.requests is trace.requests or self.requests == trace.requests
+        return self.columns is trace.columns or self.columns == trace.columns

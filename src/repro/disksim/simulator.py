@@ -108,19 +108,20 @@ def simulate(
     # by nominal time; ties execute the directive first) so the hot loop
     # needs no generator or per-record isinstance dispatch.  The striping
     # fan-out and seek class of every sub-request come precomputed from the
-    # (scheme-invariant) replay plan.
-    requests = trace.requests
+    # (scheme-invariant) replay plan; the only per-request field the loop
+    # reads is the nominal time, taken straight from the trace's columns so
+    # no IORequest objects are ever materialized here.
+    req_times = trace.columns.nominal_time_s.tolist()
     directives = trace.directives
     entries = plan.entries
-    num_requests = len(requests)
+    num_requests = len(req_times)
     num_dir_records = len(directives)
     serves = [d.serve for d in disks]
     ri = 0
     di = 0
     while ri < num_requests or di < num_dir_records:
         if di < num_dir_records and (
-            ri >= num_requests
-            or directives[di].nominal_time_s <= requests[ri].nominal_time_s
+            ri >= num_requests or directives[di].nominal_time_s <= req_times[ri]
         ):
             rec = directives[di]
             di += 1
@@ -147,10 +148,9 @@ def simulate(
                 delay += call.overhead_cycles / clock_hz
             continue
 
-        rec = requests[ri]
         fanout = entries[ri]
+        t_exec = req_times[ri] + delay
         ri += 1
-        t_exec = rec.nominal_time_s + delay
         while timed_idx < num_timed and timed[timed_idx].time_s <= t_exec:
             td = timed[timed_idx]
             target = disks[td.call.disk]
@@ -197,7 +197,7 @@ def simulate(
         execution_time_s=end_time,
         disk_stats=tuple(d.stats for d in disks),
         responses=ResponseSummary.from_samples(responses),
-        num_requests=len(trace.requests),
+        num_requests=num_requests,
         num_directives=num_directives,
         busy_intervals=tuple(tuple(b) for b in busy) if collect_busy_intervals else (),
         request_responses=tuple(responses),

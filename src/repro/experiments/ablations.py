@@ -20,9 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
-import numpy as np
-
-from ..analysis.cycles import EstimationModel, compute_timing, measured_timing
+from ..analysis.cycles import EstimationModel
 from ..controllers.compiler_directed import CompilerDirected
 from ..disksim.params import DRPMParams, SubsystemParams
 from ..disksim.simulator import simulate
@@ -53,9 +51,7 @@ def _cm_run(ctx: ExperimentContext, name: str, kind: str, preactivate: bool):
         measured=suite.measured,
         preactivate=preactivate,
     )
-    directives = directives_at_positions(
-        plan.placements, compute_timing(wl.program)
-    )
+    directives = directives_at_positions(plan.placements, ctx.analysis(name)[1])
     return simulate(
         suite.base_trace.with_directives(directives),
         ctx.params,
@@ -115,7 +111,7 @@ def estimation_error_sweep(
         title=f"Ablation: {benchmark} CMDRPM vs estimation error",
         columns=("energy", "time", "calls"),
     )
-    actual = compute_timing(wl.program)
+    actual = ctx.analysis(benchmark)[1]
     for err in errors:
         plan = plan_power_calls(
             wl.program,
@@ -170,8 +166,16 @@ def transition_speed_ablation(
     ]
     executor = ctx.executor
     if executor.serial:
+        accesses, timing = ctx.analysis(benchmark)
         suites = [
-            run_workload(wl, params=params, schemes=schemes, cache=ctx.result_cache)
+            run_workload(
+                wl,
+                params=params,
+                schemes=schemes,
+                accesses=accesses,
+                timing=timing,
+                cache=ctx.result_cache,
+            )
             for params in param_grid
         ]
     else:

@@ -94,7 +94,7 @@ def run() -> ExperimentReport:
     base = simulate(trace, params)
     meas = measured_timing(
         program,
-        np.array([r.nest for r in trace.requests]),
+        trace.request_nests,
         np.array(base.request_responses),
     )
     plan = plan_power_calls(

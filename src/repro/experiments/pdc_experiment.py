@@ -45,6 +45,7 @@ def run(
         wl = ctx.workload(name)
         orig = ctx.suite(name)
         lay = pdc_layout(wl.program, ctx.default_layout_for(wl))
+        accesses, timing = ctx.analysis(name)
         suite = run_schemes(
             wl.program,
             lay,
@@ -52,6 +53,8 @@ def run(
             wl.trace_options,
             wl.estimation,
             schemes=("Base", "TPM", "DRPM", "CMDRPM"),
+            accesses=accesses,
+            timing=timing,
         )
         base_e = orig.base.total_energy_j
         atpm = simulate(

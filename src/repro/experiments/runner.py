@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..analysis.access import NestAccess, analyze_program
+from ..analysis.cycles import ProgramTiming, compute_timing
 from ..cache import ResultCache
 from ..disksim.params import SubsystemParams
 from ..layout.files import SubsystemLayout, default_layout
@@ -47,6 +49,7 @@ class ExperimentContext:
     cache: "ResultCache | bool | None" = None
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _suites: dict[tuple, SchemeSuite] = field(default_factory=dict)
+    _analyses: dict[str, tuple] = field(default_factory=dict, repr=False)
     _executor: SuiteExecutor | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -76,6 +79,23 @@ class ExperimentContext:
             self._workloads[name] = build_workload(name)
         return self._workloads[name]
 
+    def analysis(self, name: str) -> "tuple[tuple[NestAccess, ...], ProgramTiming]":
+        """Layout-independent analysis of one benchmark, computed once.
+
+        ``analyze_program`` and ``compute_timing`` depend only on the
+        program IR, so a sweep over layouts/parameters (fig5–8 stripe or
+        disk-count sweeps) reuses one result per program instead of
+        re-analyzing at every sweep point.
+        """
+        memo = self._analyses.get(name)
+        if memo is None:
+            program = self.workload(name).program
+            memo = self._analyses[name] = (
+                tuple(analyze_program(program)),
+                compute_timing(program),
+            )
+        return memo
+
     def default_layout_for(
         self, workload: Workload, params: SubsystemParams | None = None
     ) -> SubsystemLayout:
@@ -100,6 +120,7 @@ class ExperimentContext:
             p = params or self.params
             lay = layout or self.default_layout_for(wl, p)
             executor = self.executor
+            accesses, timing = self.analysis(name)
             self._suites[cache_key] = run_schemes(
                 wl.program,
                 lay,
@@ -107,6 +128,8 @@ class ExperimentContext:
                 wl.trace_options,
                 wl.estimation,
                 schemes=SCHEME_NAMES,
+                accesses=accesses,
+                timing=timing,
                 cache=self.result_cache,
                 executor=None if executor.serial else executor,
             )

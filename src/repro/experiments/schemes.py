@@ -23,7 +23,7 @@ from ..analysis.cycles import (
     compute_timing,
     measured_timing,
 )
-from ..cache import ResultCache, suite_fingerprint
+from ..cache import ResultCache, suite_fingerprint, trace_fingerprint
 from ..controllers.base import Controller
 from ..controllers.compiler_directed import CompilerDirected
 from ..controllers.drpm import ReactiveDRPM
@@ -93,6 +93,7 @@ def run_schemes(
     estimation: EstimationModel,
     schemes: Sequence[str] = SCHEME_NAMES,
     accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
     cache: ResultCache | None = None,
     executor=None,
 ) -> SchemeSuite:
@@ -101,9 +102,15 @@ def run_schemes(
     ``Base`` is always run (everything is normalized to it, and the
     oracle/compiler schemes derive from its replay).
 
+    ``accesses``/``timing`` optionally supply the layout-independent
+    analysis results (``analyze_program``/``compute_timing``), which sweep
+    drivers memoize per program instead of recomputing at every sweep point.
+
     ``cache`` optionally consults/fills a persistent
     :class:`~repro.cache.ResultCache` keyed by the full suite configuration,
-    so re-rendering artifacts is near-free when nothing relevant changed.
+    so re-rendering artifacts is near-free when nothing relevant changed;
+    the generated base trace is cached the same way (keyed by program IR,
+    layout, trace options, and generator version).
     ``executor`` optionally fans the independent non-Base replays out across
     a :class:`~repro.experiments.parallel.SuiteExecutor`'s workers.
     """
@@ -112,7 +119,20 @@ def run_schemes(
         raise ReproError(f"unknown schemes {sorted(unknown)}")
     if accesses is None:
         accesses = analyze_program(program)
-    trace = generate_trace(program, layout, options, accesses=accesses)
+    if timing is None:
+        timing = compute_timing(program)
+
+    trace = None
+    trace_key = None
+    if cache is not None:
+        trace_key = trace_fingerprint(program, layout, options)
+        trace = cache.load(trace_key)
+    if trace is None:
+        trace = generate_trace(
+            program, layout, options, accesses=accesses, timing=timing
+        )
+        if cache is not None and trace_key is not None:
+            cache.store(trace_key, trace)
     # The per-request striping fan-out is scheme-invariant: compute it once
     # and share it across every replay of this suite.
     replay_plan = ReplayPlan.for_trace(trace)
@@ -138,9 +158,10 @@ def run_schemes(
             trace, params, Controller(), collect_busy_intervals=True, plan=replay_plan
         )
         _store("Base", base)
-    req_nests = np.asarray([r.nest for r in trace.requests], dtype=np.int64)
-    measured = measured_timing(program, req_nests, np.asarray(base.request_responses))
-    actual = compute_timing(program)
+    measured = measured_timing(
+        program, trace.request_nests, np.asarray(base.request_responses)
+    )
+    actual = timing
 
     results: dict[str, SimulationResult] = {"Base": base}
     plans: dict[str, CompilerPlan] = {}
@@ -239,6 +260,8 @@ def run_workload(
     params: SubsystemParams | None = None,
     layout: SubsystemLayout | None = None,
     schemes: Sequence[str] = SCHEME_NAMES,
+    accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
     cache: ResultCache | None = None,
     executor=None,
 ) -> SchemeSuite:
@@ -252,6 +275,8 @@ def run_workload(
         workload.trace_options,
         workload.estimation,
         schemes=schemes,
+        accesses=accesses,
+        timing=timing,
         cache=cache,
         executor=executor,
     )

@@ -1,23 +1,27 @@
 """Trace generation and trace-file I/O (paper §4.1)."""
 
-from .buffercache import BufferCache
+from .buffercache import BufferCache, filter_occurrences
 from .generator import (
     CallPlacement,
     TraceOptions,
     directives_at_positions,
     generate_trace,
+    generate_trace_reference,
 )
-from .request import DirectiveRecord, IORequest, Trace
+from .request import DirectiveRecord, IORequest, RequestColumns, Trace
 from .tracefile import format_trace, parse_trace, read_trace, write_trace
 
 __all__ = [
     "BufferCache",
+    "filter_occurrences",
     "CallPlacement",
     "TraceOptions",
     "directives_at_positions",
     "generate_trace",
+    "generate_trace_reference",
     "DirectiveRecord",
     "IORequest",
+    "RequestColumns",
     "Trace",
     "format_trace",
     "parse_trace",

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from ..util.errors import TraceError
 from ..util.units import KB
 
-__all__ = ["BufferCache"]
+__all__ = ["BufferCache", "filter_occurrences"]
 
 
 class BufferCache:
@@ -135,3 +137,75 @@ class BufferCache:
         self._lru.clear()
         self.hits = 0
         self.misses = 0
+
+
+# ---------------------------------------------------------------------- #
+# Batch filtering — the vectorized trace generator's cache back end.
+# ---------------------------------------------------------------------- #
+def _lru_replay(keys: np.ndarray, capacity_lines: int) -> np.ndarray:
+    """Exact LRU replay of a whole occurrence stream (eviction fallback).
+
+    A tight loop over plain ``int`` keys and one ``OrderedDict`` — no
+    per-extent slicing, scalar boxing, or method dispatch, which is what
+    dominates :meth:`BufferCache.access_extents` on the per-line path.
+    """
+    lru: OrderedDict[int, None] = OrderedDict()
+    move_to_end = lru.move_to_end
+    popitem = lru.popitem
+    miss_positions: list[int] = []
+    append = miss_positions.append
+    size = 0
+    for i, k in enumerate(keys.tolist()):
+        if k in lru:
+            move_to_end(k)
+        else:
+            append(i)
+            lru[k] = None
+            if size < capacity_lines:
+                size += 1
+            else:
+                popitem(last=False)
+    miss = np.zeros(keys.size, dtype=bool)
+    if miss_positions:
+        miss[np.asarray(miss_positions, dtype=np.int64)] = True
+    return miss
+
+
+def filter_occurrences(
+    keys: np.ndarray, capacity_lines: int
+) -> tuple[np.ndarray, int, int]:
+    """Filter a cache-line occurrence stream through LRU semantics in batch.
+
+    ``keys`` holds one integer per line *touch*, in program order, uniquely
+    encoding (file, line).  Returns ``(miss_mask, hits, misses)`` with
+    ``miss_mask[i]`` true iff touch ``i`` misses — bit-identical to feeding
+    the stream through :class:`BufferCache` one line at a time.
+
+    Three regimes, fastest applicable wins:
+
+    * ``capacity_lines == 0`` — caching disabled, every touch misses;
+    * the stream's distinct-line count fits in capacity — **no eviction can
+      ever occur**, so recency is irrelevant and a touch misses iff it is
+      the first occurrence of its line (fully vectorized via one stable
+      argsort, which also yields the distinct count that proves the regime
+      applies);
+    * otherwise — exact LRU replay in a tight loop (:func:`_lru_replay`).
+    """
+    n = int(keys.size)
+    if n == 0:
+        return np.zeros(0, dtype=bool), 0, 0
+    if capacity_lines == 0:
+        return np.ones(n, dtype=bool), 0, n
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    first_sorted = np.empty(n, dtype=bool)
+    first_sorted[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first_sorted[1:])
+    distinct = int(first_sorted.sum())
+    if distinct <= capacity_lines:
+        miss = np.empty(n, dtype=bool)
+        miss[order] = first_sorted
+        return miss, n - distinct, distinct
+    miss = _lru_replay(keys, capacity_lines)
+    misses = int(miss.sum())
+    return miss, n - misses, misses

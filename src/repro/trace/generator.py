@@ -1,15 +1,31 @@
 """Trace generator (paper §4.1).
 
 Walks a program's loop nests in execution order, filters every array
-access through the buffer cache, and emits one :class:`~repro.trace.request.
-IORequest` per missing byte run (split at ``max_request_bytes``).  Request
-arrival times come from the *actual* cycle model — the generator plays the
-role of the instrumented real execution on the paper's Blade1000.
+access through the buffer cache, and emits one I/O request per missing byte
+run (split at ``max_request_bytes``).  Request arrival times come from the
+*actual* cycle model — the generator plays the role of the instrumented
+real execution on the paper's Blade1000.
 
-The walk is vectorized at outer-iteration granularity: each reference's
-footprint is pre-analyzed once per nest (:mod:`repro.analysis.access`) and
-its per-iteration byte extents are produced by shifting the base extents —
-no per-element Python work.
+The walk is **columnar**, end to end:
+
+1. every (outer iteration × reference footprint × contiguous run) *cell* of
+   the whole program is laid out with NumPy broadcasting (the footprint at
+   outer value ``v`` is the base footprint shifted by a constant, so the
+   per-cell line ranges are one arithmetic expression over all iterations);
+2. the cells expand to a single program-ordered **cache-line occurrence
+   stream**, which :func:`~repro.trace.buffercache.filter_occurrences`
+   filters through LRU semantics in batch — fully vectorized when caching
+   is off or the working set fits in capacity (no eviction can occur, so a
+   touch misses iff it is the first occurrence of its line), and an exact
+   tight-loop LRU replay under eviction pressure;
+3. the surviving misses are coalesced into maximal line runs, clipped at
+   each file's tail, split at ``max_request_bytes`` with one ``arange``,
+   and assembled directly into :class:`~repro.trace.request.RequestColumns`
+   — no per-request Python objects are ever created.
+
+The output is bit-identical to :func:`generate_trace_reference`, the
+retained naive per-line walk (same requests, same hit/miss counters), which
+the equivalence test suite enforces.
 
 Directive attachment is separate: :func:`directives_at_positions` converts
 a power plan's (nest, iteration) placements to nominal times on the same
@@ -23,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..analysis.access import NestAccess, analyze_program
 from ..analysis.cycles import ProgramTiming, compute_timing
 from ..ir.nodes import AccessMode, PowerCall
@@ -30,10 +48,16 @@ from ..ir.program import Program
 from ..layout.files import SubsystemLayout
 from ..util.errors import TraceError
 from ..util.units import KB
-from .buffercache import BufferCache
-from .request import DirectiveRecord, IORequest, Trace
+from .buffercache import BufferCache, filter_occurrences
+from .request import DirectiveRecord, IORequest, RequestColumns, Trace
 
-__all__ = ["generate_trace", "directives_at_positions", "CallPlacement", "TraceOptions"]
+__all__ = [
+    "generate_trace",
+    "generate_trace_reference",
+    "directives_at_positions",
+    "CallPlacement",
+    "TraceOptions",
+]
 
 
 @dataclass(frozen=True)
@@ -69,21 +93,268 @@ class CallPlacement:
     fraction: float = 0.0
 
 
+def _check_accesses(program: Program, accesses: Sequence[NestAccess]) -> None:
+    if len(accesses) != len(program.nests):
+        raise TraceError("access summaries do not match program nests")
+
+
 def generate_trace(
     program: Program,
     layout: SubsystemLayout,
     options: TraceOptions | None = None,
     accesses: Sequence[NestAccess] | None = None,
     timing: ProgramTiming | None = None,
+    stats: dict | None = None,
 ) -> Trace:
-    """Produce the I/O request trace of ``program`` under ``layout``."""
+    """Produce the I/O request trace of ``program`` under ``layout``.
+
+    ``stats``, when given, receives the buffer cache's ``hits``/``misses``
+    counters (equivalence tests compare them against the reference path).
+    """
     opts = options or TraceOptions()
     if accesses is None:
         accesses = analyze_program(program)
     if timing is None:
         timing = compute_timing(program)
-    if len(accesses) != len(program.nests):
-        raise TraceError("access summaries do not match program nests")
+    _check_accesses(program, accesses)
+
+    columns, hits, misses = _generate_columns(layout, opts, accesses, timing)
+    if stats is not None:
+        stats["hits"] = hits
+        stats["misses"] = misses
+    return Trace(
+        program_name=program.name,
+        layout=layout,
+        directives=(),
+        total_compute_s=timing.total_seconds,
+        columns=columns,
+    )
+
+
+def _generate_columns(
+    layout: SubsystemLayout,
+    opts: TraceOptions,
+    accesses: Sequence[NestAccess],
+    timing: ProgramTiming,
+) -> tuple[RequestColumns, int, int]:
+    """The columnar pipeline: cells -> occurrence stream -> miss columns."""
+    lb = opts.cache_line_bytes
+    cap_lines = opts.buffer_cache_bytes // lb
+    cap_req = opts.max_request_bytes
+
+    array_ids: dict[str, int] = {}
+    array_names: list[str] = []
+
+    # One "cell" per (outer iteration, footprint, run): parallel per-cell
+    # arrays accumulated nest by nest, in exact program order.
+    first_parts: list[np.ndarray] = []  # first touched line of the cell
+    count_parts: list[np.ndarray] = []  # touched line count of the cell
+    aid_parts: list[np.ndarray] = []  # access ordinal (iteration, footprint)
+    time_parts: list[np.ndarray] = []  # nominal start of the iteration
+    arr_parts: list[np.ndarray] = []  # array id (doubles as cache file id)
+    write_parts: list[np.ndarray] = []
+    nest_parts: list[np.ndarray] = []
+    iter_parts: list[np.ndarray] = []
+    fsize_parts: list[np.ndarray] = []
+
+    aid_base = 0
+    for acc in accesses:
+        if acc.nest.trip_count == 0:
+            continue
+        nt = timing.nest(acc.nest_index)
+        prepared = []
+        for fp in acc.footprints:
+            arr = fp.ref.array
+            if arr.memory_resident:
+                continue
+            ext = fp.base.flat_extents(arr)
+            if ext.num_runs == 0:
+                continue
+            fid = array_ids.get(arr.name)
+            if fid is None:
+                fid = array_ids[arr.name] = len(array_names)
+                array_names.append(arr.name)
+            esize = arr.element_size
+            prepared.append(
+                (
+                    fid,
+                    ext.starts * esize,
+                    ext.lengths * esize,
+                    fp.flat_shift_per_outer_iter() * esize,
+                    layout.entry(arr.name).size_bytes,
+                    fp.ref.mode is AccessMode.WRITE,
+                )
+            )
+        if not prepared:
+            continue
+
+        rng = acc.nest.iter_values()
+        values = np.arange(rng.start, rng.stop, rng.step, dtype=np.int64)
+        trips = values.size
+        nfps = len(prepared)
+
+        # Per-footprint (iterations x runs) line ranges, then column-stacked
+        # so a row-major ravel is exactly the naive walk order: iteration,
+        # then footprint, then run.
+        firsts_cols: list[np.ndarray] = []
+        counts_cols: list[np.ndarray] = []
+        col_fp: list[int] = []
+        for f, (fid, starts0, lengths, shift, fsize, is_write) in enumerate(prepared):
+            starts = starts0[None, :] + shift * values[:, None]
+            first = starts // lb
+            counts_cols.append((starts + (lengths[None, :] - 1)) // lb - first + 1)
+            firsts_cols.append(first)
+            col_fp.extend([f] * int(starts0.size))
+        first_mat = np.hstack(firsts_cols)
+        count_mat = np.hstack(counts_cols)
+        ncols = first_mat.shape[1]
+
+        col_fp_arr = np.asarray(col_fp, dtype=np.int64)
+        cell_t = np.repeat(np.arange(trips, dtype=np.int64), ncols)
+        cell_fp = np.tile(col_fp_arr, trips)
+
+        fp_fid = np.asarray([p[0] for p in prepared], dtype=np.int64)
+        fp_fsize = np.asarray([p[4] for p in prepared], dtype=np.int64)
+        fp_write = np.asarray([p[5] for p in prepared], dtype=bool)
+
+        first_parts.append(first_mat.ravel())
+        count_parts.append(count_mat.ravel())
+        aid_parts.append(aid_base + cell_t * nfps + cell_fp)
+        aid_base += trips * nfps
+        time_parts.append(nt.start_s + cell_t * nt.seconds_per_iteration)
+        iter_parts.append(values[cell_t])
+        arr_parts.append(fp_fid[cell_fp])
+        fsize_parts.append(fp_fsize[cell_fp])
+        write_parts.append(fp_write[cell_fp])
+        nest_parts.append(np.full(trips * ncols, acc.nest_index, dtype=np.int64))
+
+    names = tuple(array_names)
+    if not first_parts:
+        return _empty_columns(names), 0, 0
+
+    firsts = np.concatenate(first_parts)
+    counts = np.concatenate(count_parts)
+    cell_aid = np.concatenate(aid_parts)
+    cell_time = np.concatenate(time_parts)
+    cell_arr = np.concatenate(arr_parts)
+    cell_write = np.concatenate(write_parts)
+    cell_nest = np.concatenate(nest_parts)
+    cell_iter = np.concatenate(iter_parts)
+    cell_fsize = np.concatenate(fsize_parts)
+
+    # Expand cells into the per-line occurrence stream.
+    ncells = firsts.size
+    total = int(counts.sum())
+    if total == 0:
+        return _empty_columns(names), 0, 0
+    occ_cell = np.repeat(np.arange(ncells, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    occ_line = np.repeat(firsts, counts) + within
+
+    # Encode (file, line) into one int key; files never interact otherwise.
+    stride = int(occ_line.max()) + 1
+    keys = cell_arr[occ_cell] * stride + occ_line
+
+    miss, hits, misses = filter_occurrences(keys, cap_lines)
+
+    idx = np.flatnonzero(miss)
+    if idx.size == 0:
+        return _empty_columns(names), hits, misses
+
+    # Coalesce: a miss run continues while touches are adjacent in the
+    # stream (no hit between), lines are consecutive, and the access — one
+    # (iteration, footprint) pair, the naive ``access_extents`` call — is
+    # the same.  This reproduces the reference coalescing exactly,
+    # including duplicate boundary lines breaking a run.
+    miss_line = occ_line[idx]
+    miss_cell = occ_cell[idx]
+    miss_aid = cell_aid[miss_cell]
+    nmiss = idx.size
+    brk = np.empty(nmiss, dtype=bool)
+    brk[0] = True
+    if nmiss > 1:
+        brk[1:] = (
+            (np.diff(idx) != 1) | (np.diff(miss_line) != 1) | (np.diff(miss_aid) != 0)
+        )
+    run_start = np.flatnonzero(brk)
+    run_end = np.append(run_start[1:] - 1, nmiss - 1)
+    line0 = miss_line[run_start]
+    run_cell = miss_cell[run_start]
+
+    # Cache lines may overhang the file tail; clip (after coalescing, as
+    # the reference path does).
+    off = line0 * lb
+    length = (miss_line[run_end] - line0 + 1) * lb
+    fsize = cell_fsize[run_cell]
+    keep = off < fsize
+    if not keep.all():
+        off = off[keep]
+        length = length[keep]
+        fsize = fsize[keep]
+        run_cell = run_cell[keep]
+    length = np.minimum(length, fsize - off)
+
+    # Split runs at max_request_bytes: one chunk index per emitted request.
+    nchunks = (length + cap_req - 1) // cap_req
+    nreq = int(nchunks.sum())
+    req_run = np.repeat(np.arange(off.size, dtype=np.int64), nchunks)
+    chunk_ord = np.arange(nreq, dtype=np.int64) - np.repeat(
+        np.cumsum(nchunks) - nchunks, nchunks
+    )
+    req_cell = run_cell[req_run]
+
+    columns = RequestColumns(
+        nominal_time_s=cell_time[req_cell],
+        array_id=cell_arr[req_cell],
+        offset=off[req_run] + chunk_ord * cap_req,
+        nbytes=np.minimum(cap_req, length[req_run] - chunk_ord * cap_req),
+        is_write=cell_write[req_cell],
+        nest=cell_nest[req_cell],
+        iteration=cell_iter[req_cell],
+        array_names=names,
+    )
+    return columns, hits, misses
+
+
+def _empty_columns(array_names: tuple[str, ...]) -> RequestColumns:
+    empty = np.empty(0, dtype=np.int64)
+    return RequestColumns(
+        nominal_time_s=np.empty(0, dtype=np.float64),
+        array_id=empty,
+        offset=empty,
+        nbytes=empty,
+        is_write=np.empty(0, dtype=bool),
+        nest=empty,
+        iteration=empty,
+        array_names=array_names,
+        validate=False,
+    )
+
+
+def generate_trace_reference(
+    program: Program,
+    layout: SubsystemLayout,
+    options: TraceOptions | None = None,
+    accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
+    stats: dict | None = None,
+) -> Trace:
+    """The naive per-line reference generator.
+
+    Retained verbatim as the semantic baseline :func:`generate_trace` is
+    proven against (equivalence tests) and benchmarked against
+    (``tools/bench_engine.py``): one Python loop per outer iteration,
+    per-line LRU filtering through :meth:`BufferCache.access_extents`, one
+    :class:`IORequest` object per emitted chunk.
+    """
+    opts = options or TraceOptions()
+    if accesses is None:
+        accesses = analyze_program(program)
+    if timing is None:
+        timing = compute_timing(program)
+    _check_accesses(program, accesses)
 
     cache = BufferCache(opts.buffer_cache_bytes, opts.cache_line_bytes)
     requests: list[IORequest] = []
@@ -145,6 +416,9 @@ def generate_trace(
                         pos += chunk
                         remaining -= chunk
 
+    if stats is not None:
+        stats["hits"] = cache.hits
+        stats["misses"] = cache.misses
     return Trace(
         program_name=program.name,
         layout=layout,

@@ -70,7 +70,10 @@ def parse_trace(text: str, layout: SubsystemLayout) -> Trace:
             if line.startswith(_HEADER_PREFIX):
                 program_name = line[len(_HEADER_PREFIX):].strip()
             elif line.startswith("# total_compute_ms="):
-                total_compute_s = ms_to_s(float(line.split("=", 1)[1]))
+                try:
+                    total_compute_s = ms_to_s(float(line.split("=", 1)[1]))
+                except ValueError as exc:
+                    raise TraceError(f"line {lineno}: {exc}") from exc
             continue
         parts = line.split()
         if len(parts) != 4:

@@ -29,7 +29,7 @@ def test_plan_matches_per_replay_computation(mixed_trace):
     per-disk stream-tracking state machine."""
     plan = ReplayPlan.for_trace(mixed_trace)
     layout = mixed_trace.layout
-    assert plan.requests is mixed_trace.requests
+    assert plan.columns is mixed_trace.columns
     assert len(plan.entries) == len(mixed_trace.requests)
     num_disks = layout.num_disks
     last_array = [None] * num_disks
@@ -79,7 +79,7 @@ def test_simulate_with_and_without_plan_identical(
 
 
 def test_plan_shared_across_directive_bearing_traces(mixed_trace):
-    """with_directives() shares the requests tuple, so one plan serves
+    """with_directives() shares the request columns, so one plan serves
     every scheme replay of a suite."""
     plan = ReplayPlan.for_trace(mixed_trace)
     derived = mixed_trace.with_directives(())

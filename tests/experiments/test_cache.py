@@ -11,9 +11,12 @@ from repro.cache import (
     fingerprint,
     program_fingerprint,
     suite_fingerprint,
+    trace_fingerprint,
 )
 from repro.disksim.params import SubsystemParams
+from repro.experiments import schemes as schemes_mod
 from repro.experiments.schemes import SCHEME_NAMES, run_schemes
+from repro.trace.generator import TraceOptions, generate_trace
 
 PARAMS = SubsystemParams(num_disks=4)
 EST = EstimationModel(relative_error=0.05)
@@ -36,11 +39,12 @@ def test_cached_round_trip_is_field_identical(
     cold = ResultCache(tmp_path / "cache")
     first = _run(phase_program, phase_layout, small_trace_options, cache=cold)
     assert cold.hits == 0
-    assert cold.misses == len(SCHEME_NAMES)
+    # One entry per scheme plus the generated base trace.
+    assert cold.misses == len(SCHEME_NAMES) + 1
 
     warm = ResultCache(tmp_path / "cache")
     second = _run(phase_program, phase_layout, small_trace_options, cache=warm)
-    assert warm.hits == len(SCHEME_NAMES)
+    assert warm.hits == len(SCHEME_NAMES) + 1
     assert warm.misses == 0
 
     for scheme in SCHEME_NAMES:
@@ -88,6 +92,48 @@ def test_fingerprint_is_a_content_address(
             clock_hz=phase_program.clock_hz,
         )
     )
+
+
+def test_trace_fingerprint_is_a_content_address(
+    phase_program, phase_layout, small_trace_options
+):
+    fp = trace_fingerprint(phase_program, phase_layout, small_trace_options)
+    assert fp == trace_fingerprint(phase_program, phase_layout, small_trace_options)
+    other_opts = TraceOptions(
+        buffer_cache_bytes=small_trace_options.buffer_cache_bytes * 2,
+        cache_line_bytes=small_trace_options.cache_line_bytes,
+        max_request_bytes=small_trace_options.max_request_bytes,
+    )
+    assert trace_fingerprint(phase_program, phase_layout, other_opts) != fp
+    renamed = phase_program.__class__(
+        name="other",
+        arrays=phase_program.arrays,
+        nests=phase_program.nests,
+        clock_hz=phase_program.clock_hz,
+    )
+    assert trace_fingerprint(renamed, phase_layout, small_trace_options) != fp
+
+
+def test_warm_suite_serves_trace_from_cache(
+    phase_program, phase_layout, small_trace_options, tmp_path, monkeypatch,
+    assert_results_identical,
+):
+    """A warm run must not regenerate the base trace at all: the cached
+    columns round-trip, and every scheme result still matches."""
+    cold = ResultCache(tmp_path / "cache")
+    first = _run(phase_program, phase_layout, small_trace_options, cache=cold)
+
+    def _boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("warm run regenerated the trace")
+
+    monkeypatch.setattr(schemes_mod, "generate_trace", _boom)
+    warm = ResultCache(tmp_path / "cache")
+    second = _run(phase_program, phase_layout, small_trace_options, cache=warm)
+    assert warm.misses == 0
+    for scheme in SCHEME_NAMES:
+        assert_results_identical(first.results[scheme], second.results[scheme])
+    fresh = generate_trace(phase_program, phase_layout, small_trace_options)
+    assert second.base_trace == fresh
 
 
 def test_version_mismatch_and_corruption_miss(tmp_path):

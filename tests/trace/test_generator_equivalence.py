@@ -1,0 +1,140 @@
+"""Columnar trace pipeline ⇔ naive reference equivalence.
+
+The vectorized generator (`generate_trace`) must be *bit-identical* to the
+retained per-line reference walk (`generate_trace_reference`): same request
+stream, same buffer-cache hit/miss counters, and same scheme replay results
+— for random programs across all three batch-filter regimes and for every
+bundled Table 2 workload.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from strategies import programs  # noqa: E402
+
+from repro.disksim.params import SubsystemParams
+from repro.experiments import schemes as schemes_mod
+from repro.layout.files import default_layout
+from repro.trace.buffercache import BufferCache, filter_occurrences
+from repro.trace.generator import (
+    TraceOptions,
+    generate_trace,
+    generate_trace_reference,
+)
+from repro.workloads import all_workloads
+
+_SLOW_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------- #
+# Batch cache filter vs the per-line LRU, all regimes.
+# --------------------------------------------------------------------- #
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 9), max_size=80),
+    capacity=st.integers(0, 12),
+)
+def test_filter_occurrences_matches_per_line_lru(keys, capacity):
+    """Random occurrence streams land in every regime (capacity 0, no
+    eviction possible, eviction pressure) and must reproduce the naive
+    per-line cache exactly — miss positions and both counters."""
+    arr = np.asarray(keys, dtype=np.int64)
+    miss, hits, misses = filter_occurrences(arr, capacity)
+    lb = 8
+    cache = BufferCache(capacity * lb, line_bytes=lb)
+    expect = [bool(cache.access_extents("f", [k * lb], [lb])) for k in keys]
+    assert miss.tolist() == expect
+    assert (cache.hits, cache.misses) == (hits, misses)
+    assert hits + misses == len(keys)
+
+
+def test_filter_occurrences_regimes_explicit():
+    keys = np.array([0, 1, 2, 0, 1, 2], dtype=np.int64)
+    # Caching disabled: every touch misses.
+    miss, hits, misses = filter_occurrences(keys, 0)
+    assert miss.all() and (hits, misses) == (0, 6)
+    # Working set fits: first occurrence misses, re-references hit.
+    miss, hits, misses = filter_occurrences(keys, 3)
+    assert miss.tolist() == [True, True, True, False, False, False]
+    assert (hits, misses) == (3, 3)
+    # Eviction pressure (LRU of 2 over 3 lines): the classic thrash —
+    # every touch evicts the line the next touch needs, so all miss.
+    miss, hits, misses = filter_occurrences(keys, 2)
+    assert miss.all() and (hits, misses) == (0, 6)
+
+
+# --------------------------------------------------------------------- #
+# Property: random programs, layouts, and cache geometries.
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(data=st.data())
+def test_random_programs_bit_identical(data):
+    program = data.draw(programs())
+    line = data.draw(st.sampled_from([16, 64, 256]))
+    # 0 => disabled; tiny => eviction-pressure fallback; huge => the
+    # no-eviction vectorized fast path.
+    cap_lines = data.draw(st.sampled_from([0, 2, 4, 1 << 20]))
+    max_req = data.draw(st.sampled_from([32, 128, 4096]))
+    opts = TraceOptions(
+        buffer_cache_bytes=cap_lines * line,
+        cache_line_bytes=line,
+        max_request_bytes=max_req,
+    )
+    layout = default_layout(
+        program.arrays, num_disks=data.draw(st.sampled_from([1, 4]))
+    )
+    ref_stats: dict = {}
+    vec_stats: dict = {}
+    ref = generate_trace_reference(program, layout, opts, stats=ref_stats)
+    vec = generate_trace(program, layout, opts, stats=vec_stats)
+    assert vec.requests == ref.requests
+    assert vec_stats == ref_stats
+    assert vec == ref  # layout, compute time, directives, columns
+
+
+# --------------------------------------------------------------------- #
+# Bundled Table 2 workloads: requests, counters, and scheme replays.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_bundled_workload_requests_and_counters_identical(workload):
+    layout = default_layout(workload.program.arrays, num_disks=4)
+    ref_stats: dict = {}
+    vec_stats: dict = {}
+    ref = generate_trace_reference(
+        workload.program, layout, workload.trace_options, stats=ref_stats
+    )
+    vec = generate_trace(
+        workload.program, layout, workload.trace_options, stats=vec_stats
+    )
+    assert vec.num_requests == ref.num_requests
+    assert vec.requests == ref.requests
+    assert vec_stats == ref_stats
+    assert vec.total_bytes == ref.total_bytes
+    assert vec == ref
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_bundled_workload_scheme_replays_identical(
+    workload, monkeypatch, assert_results_identical
+):
+    """Full seven-scheme suites driven by the two generators must agree
+    field-by-field — the end-to-end guarantee the figures rest on."""
+    params = SubsystemParams(num_disks=4)
+    vec_suite = schemes_mod.run_workload(workload, params=params)
+    with monkeypatch.context() as m:
+        m.setattr(schemes_mod, "generate_trace", generate_trace_reference)
+        ref_suite = schemes_mod.run_workload(workload, params=params)
+    assert set(vec_suite.results) == set(ref_suite.results)
+    for scheme, ref_result in ref_suite.results.items():
+        assert_results_identical(vec_suite.results[scheme], ref_result)
+    assert vec_suite.measured == ref_suite.measured

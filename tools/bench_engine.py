@@ -1,4 +1,5 @@
-"""Benchmark the experiment engine end to end and emit ``BENCH_engine.json``.
+"""Benchmark the experiment engine end to end; emit ``BENCH_engine.json``
+and ``BENCH_trace.json``.
 
 Run from the repository root::
 
@@ -7,11 +8,17 @@ Run from the repository root::
 Measures wall-clock time for the engine's main entry points on the current
 tree — the full default suite set (``ExperimentContext.all_suites()``) and
 the stripe sweeps (figures 5-8) — serial/parallel and uncached/cold/warm
-cache.  With ``--against REF`` it additionally checks out ``REF`` into a
-temporary git worktree and measures the same serial-uncached workload
-there, so the emitted JSON carries both baseline and optimized timings from
-the same machine.  Older trees without the parallel/cache engine are
-detected and measured in their only mode (serial, uncached).
+cache, plus a trace-generation microbench comparing the columnar pipeline
+against the retained seed algorithm (``generate_trace_reference``).  With
+``--against REF`` it additionally checks out ``REF`` into a temporary git
+worktree and measures the same serial-uncached workload there, so the
+emitted JSON carries both baseline and optimized timings from the same
+machine.  Older trees without the parallel/cache engine are detected and
+measured in their only mode (serial, uncached).
+
+``--smoke`` is the CI quick mode: trace microbench (with bit-identity
+asserted between the two generator paths) plus one serial-uncached suite,
+exiting non-zero when the hot path regresses below its required speedup.
 """
 from __future__ import annotations
 
@@ -82,6 +89,99 @@ def collect_timings() -> dict[str, float]:
     return timings
 
 
+def collect_trace_timings(repeats: int = 3) -> dict:
+    """Time trace generation per bundled workload: seed algorithm vs
+    columnar pipeline.
+
+    The seed path (per-line cache walk, one ``IORequest`` object per chunk)
+    is retained in-tree as ``generate_trace_reference``, so both sides run
+    on the current tree with identical analysis inputs — the comparison
+    isolates exactly the generator rewrite.  Bit-identity of the two
+    streams is asserted as a side effect.
+    """
+    from repro.layout.files import default_layout
+    from repro.trace.generator import generate_trace, generate_trace_reference
+    from repro.workloads import all_workloads
+
+    per_workload: dict[str, dict] = {}
+    seed_total = 0.0
+    opt_total = 0.0
+    for wl in all_workloads():
+        layout = default_layout(wl.program.arrays, num_disks=4)
+        inputs = (wl.program, layout, wl.trace_options)
+        ref = generate_trace_reference(*inputs)
+        opt = generate_trace(*inputs)
+        if opt.requests != ref.requests:  # pragma: no cover - equivalence bug
+            raise SystemExit(f"trace mismatch on {wl.name}: bench aborted")
+        seed_s = min(_time(lambda: generate_trace_reference(*inputs))
+                     for _ in range(repeats))
+        opt_s = min(_time(lambda: generate_trace(*inputs))
+                    for _ in range(repeats))
+        seed_total += seed_s
+        opt_total += opt_s
+        per_workload[wl.name] = {
+            "num_requests": ref.num_requests,
+            "seed_s": seed_s,
+            "optimized_s": opt_s,
+            "speedup": round(seed_s / opt_s, 2) if opt_s else None,
+        }
+    return {
+        "per_workload": per_workload,
+        "totals_s": {"seed": round(seed_total, 3), "optimized": round(opt_total, 3)},
+        "speedup": round(seed_total / opt_total, 2) if opt_total else None,
+    }
+
+
+def write_trace_report(path: str | Path, repeats: int = 3) -> dict:
+    trace = collect_trace_timings(repeats=repeats)
+    payload = {
+        "schema": 1,
+        "bench": "serial uncached trace generation wall clock (seconds)",
+        "command": "PYTHONPATH=src python tools/bench_engine.py",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus_available": _cpus(),
+        },
+        "baseline": {
+            "path": "repro.trace.generator.generate_trace_reference",
+            "note": "seed per-line algorithm, retained as the reference",
+        },
+        "optimized": {"path": "repro.trace.generator.generate_trace"},
+        "results": trace,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return trace
+
+
+def run_smoke() -> int:
+    """Quick hot-path regression check for CI.
+
+    Runs the trace microbench once per workload (asserting bit-identity of
+    the two generator paths) plus one serial-uncached suite, and fails when
+    the columnar pipeline has lost its edge over the seed algorithm.
+    """
+    trace = collect_trace_timings(repeats=1)
+    for name, row in trace["per_workload"].items():
+        print(f"  trace {name}: seed {row['seed_s']:.3f}s -> "
+              f"optimized {row['optimized_s']:.3f}s ({row['speedup']}x)")
+    suite_s = _time(lambda: _smoke_suite())
+    print(f"  suite swim (serial, uncached): {suite_s:.3f}s")
+    speedup = trace["speedup"] or 0.0
+    print(f"  trace generation speedup: {speedup}x")
+    if speedup < 2.0:
+        print("SMOKE FAIL: columnar trace pipeline below 2x vs seed path")
+        return 1
+    print("smoke ok")
+    return 0
+
+
+def _smoke_suite():
+    from repro.experiments.runner import ExperimentContext
+
+    ExperimentContext(cache=False).suite("swim")
+
+
 def measure_ref(ref: str) -> dict[str, float]:
     """Measure ``ref`` in a temporary worktree (same machine, same tool)."""
     wt = REPO / ".bench-worktree"
@@ -127,16 +227,36 @@ def main(argv: list[str] | None = None) -> int:
         help="print the current tree's timings as JSON and exit",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: trace microbench + one suite, fail on regression",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=str(REPO / "BENCH_engine.json"),
         help="where to write the report (default: BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--trace-output",
+        default=str(REPO / "BENCH_trace.json"),
+        help="where to write the trace microbench (default: BENCH_trace.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
 
     if args.timings_only:
         print(json.dumps(collect_timings()))
         return 0
+
+    trace = write_trace_report(args.trace_output)
+    print(f"wrote {args.trace_output}")
+    print(f"  trace generation (serial, uncached): "
+          f"seed {trace['totals_s']['seed']:.3f}s -> "
+          f"optimized {trace['totals_s']['optimized']:.3f}s "
+          f"({trace['speedup']}x)")
 
     current = collect_timings()
     baseline = measure_ref(args.against) if args.against else None
