@@ -45,6 +45,10 @@ class ReactiveDRPM(Controller):
         #: Previous window's mean normalized response per disk (None until
         #: the first window completes).
         self._prev_mean: list[float | None] = []
+        #: Full-speed service time per (nbytes, seek class) — requests take
+        #: only a handful of distinct sizes, so memoizing the baseline
+        #: avoids recomputing it for every completion in the window.
+        self._baseline: dict[tuple[int, str], float] = {}
 
     # ------------------------------------------------------------------ #
     def prepare(self, num_disks: int, power_model: PowerModel) -> None:
@@ -52,6 +56,7 @@ class ReactiveDRPM(Controller):
         self._window_sum = [0.0] * num_disks
         self._window_count = [0] * num_disks
         self._prev_mean = [None] * num_disks
+        self._baseline = {}
 
     def on_request_complete(
         self,
@@ -70,7 +75,11 @@ class ReactiveDRPM(Controller):
         # the heuristic ping-pong.  The performance COST of waits still
         # lands in execution time; this only affects the control signal.
         observed = t_complete - t_start
-        baseline = pm.service_time_s(nbytes, self.drpm.max_rpm, seek)
+        key = (nbytes, seek)
+        baseline = self._baseline.get(key)
+        if baseline is None:
+            baseline = pm.service_time_s(nbytes, self.drpm.max_rpm, seek)
+            self._baseline[key] = baseline
         d = disk.disk_id
         self._window_sum[d] += observed / baseline
         self._window_count[d] += 1

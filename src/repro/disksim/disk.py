@@ -24,10 +24,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..util.errors import ConfigError, SimulationError
 from .powermodel import PowerModel
 
-__all__ = ["Disk", "DiskStats", "STATE_NAMES"]
+__all__ = ["Disk", "DiskStats", "STATE_NAMES", "sequential_sum"]
+
+
+def sequential_sum(acc: float, values: np.ndarray) -> float:
+    """Left-fold ``values`` onto ``acc`` with strictly sequential float adds.
+
+    ``np.add.accumulate`` applies the operation element by element (unlike
+    ``np.add.reduce``, which uses pairwise summation), so the result is
+    bit-identical to ``for v in values: acc += v`` — the contract the
+    segmented replay engine relies on to accrue batched stats into the same
+    counters the stepwise simulator fills one request at a time.
+    """
+    buf = np.empty(values.size + 1, dtype=np.float64)
+    buf[0] = acc
+    buf[1:] = values
+    return float(np.add.accumulate(buf)[-1])
 
 STATE_NAMES: tuple[str, ...] = (
     "idle",
@@ -74,6 +91,37 @@ class DiskStats:
             by_rpm = self.idle_time_by_rpm
             by_rpm[rpm] = by_rpm.get(rpm, 0.0) + duration
 
+    def add_many(
+        self,
+        state: str,
+        durations: np.ndarray,
+        power_w: float,
+        rpm: int | None = None,
+    ) -> None:
+        """Accrue a whole batch of same-state, same-power periods at once.
+
+        Bit-identical to the stepwise replay's per-request accounting: the
+        time and energy accumulators are folded with strictly sequential
+        adds (:func:`sequential_sum`), and the per-element energies are the
+        same ``duration * power_w`` products the scalar path computes.
+        Zero durations are bitwise no-ops, matching the stepwise fast
+        path's ``dur > 0`` guard; like that guard, ``idle_time_by_rpm``
+        only gains a new RPM key when some duration is positive.
+        """
+        durations = np.ascontiguousarray(durations, dtype=np.float64)
+        if durations.size == 0:
+            return
+        if durations.min() < 0:
+            raise SimulationError("negative accounting duration in batch")
+        self.time_s[state] = sequential_sum(self.time_s[state], durations)
+        self.energy_j[state] = sequential_sum(
+            self.energy_j[state], durations * power_w
+        )
+        if rpm is not None and state == "idle":
+            by_rpm = self.idle_time_by_rpm
+            if rpm in by_rpm or bool(durations.max() > 0):
+                by_rpm[rpm] = sequential_sum(by_rpm.get(rpm, 0.0), durations)
+
 
 class Disk:
     """One simulated disk (TPM- and DRPM-capable)."""
@@ -100,6 +148,12 @@ class Disk:
         "_standby_since_s",
         "last_standby_s",
         "recorder",
+        "_lvl_rpm",
+        "_lvl_latency",
+        "_lvl_rate",
+        "_lvl_active_w",
+        "_lvl_idle_w",
+        "_seek_s",
     )
 
     def __init__(
@@ -140,6 +194,14 @@ class Disk:
         self.last_standby_s: float = 0.0
         #: Optional :class:`~repro.disksim.timeline.TimelineRecorder`.
         self.recorder = recorder
+        #: Per-level constants memoized for the current RPM (``serve``'s
+        #: fast path re-derives them only when the level changes).
+        self._lvl_rpm: int = -1
+        self._lvl_latency = 0.0
+        self._lvl_rate = 1.0
+        self._lvl_active_w = 0.0
+        self._lvl_idle_w = 0.0
+        self._seek_s = power_model._seek_time_by_class
 
     # ------------------------------------------------------------------ #
     def _emit(self, state: str, t0: float, t1: float, power_w: float, rpm: int) -> None:
@@ -347,14 +409,18 @@ class Disk:
     # DRPM action
     # ------------------------------------------------------------------ #
     def _start_rpm_shift(self, t: float, target_rpm: int) -> None:
-        dur = self.pm.transition_time_s(self.rpm, target_rpm)
-        power = self.pm.transition_power_w(self.rpm, target_rpm)
+        pair = self.pm._transition_by_pair.get((self.rpm, target_rpm))
+        if pair is not None:
+            dur, power = pair
+        else:  # pragma: no cover - replay RPMs are always known levels
+            dur = self.pm.transition_time_s(self.rpm, target_rpm)
+            power = self.pm.transition_power_w(self.rpm, target_rpm)
         self.stats.num_rpm_shifts += 1
         self._begin_transition(t, dur, power, "rpm_shift", target_rpm=target_rpm)
 
     def set_rpm(self, t: float, target_rpm: int) -> None:
         """Explicit ``set_RPM(level, disk)`` call (paper §3)."""
-        if target_rpm not in self.pm.levels:
+        if target_rpm not in self.pm.level_index:
             raise SimulationError(f"unsupported RPM level {target_rpm}")
         self.advance(t)
         if self.in_transition:
@@ -371,6 +437,51 @@ class Disk:
     # ------------------------------------------------------------------ #
     # Request service
     # ------------------------------------------------------------------ #
+    def _finish_service(
+        self, start: float, svc: float, active_power: float, rpm: int, nbytes: int
+    ) -> float:
+        """Canonical request-completion epilogue, shared by every serve path.
+
+        Accrues the active period and moves all service cursors to the
+        completion time; returns it.  The segmented replay engine performs
+        exactly these updates in batch, so keeping them in one place is
+        what its equivalence contract points at.
+        """
+        stats = self.stats
+        stats.time_s["active"] += svc
+        stats.energy_j["active"] += svc * active_power
+        end = start + svc
+        if self.recorder is not None:
+            self.recorder.record(self.disk_id, "active", start, end, active_power, rpm)
+        self.last_service_start_s = start
+        self.cursor_s = end
+        self.ready_s = end
+        self.idle_anchor_s = end
+        self._auto_armed = True
+        self.last_request_end_s = end
+        stats.num_requests += 1
+        stats.bytes_served += nbytes
+        return end
+
+    def _refresh_level_consts(self, rpm: int) -> None:
+        """Memoize the per-level constants ``serve``'s fast path reads.
+
+        The values are taken from the power model's own per-level caches,
+        so the fast path stays bit-identical to the general computation.
+        """
+        pm = self.pm
+        consts = pm._service_consts_by_level.get(rpm)
+        if consts is not None:
+            self._lvl_latency, self._lvl_rate = consts
+            self._lvl_active_w = pm._active_w_by_level[rpm]
+            self._lvl_idle_w = pm._idle_w_by_level[rpm]
+        else:  # pragma: no cover - replay RPMs are always known levels
+            self._lvl_latency = pm.rotational_latency_s(rpm)
+            self._lvl_rate = pm.transfer_rate_bps(rpm)
+            self._lvl_active_w = pm.active_power_w(rpm)
+            self._lvl_idle_w = pm.idle_power_w(rpm)
+        self._lvl_rpm = rpm
+
     def serve(self, t_issue: float, nbytes: int, seek: str = "full") -> float:
         """Service a sub-request issued at ``t_issue``; return completion time.
 
@@ -381,60 +492,47 @@ class Disk:
         if nbytes <= 0:
             raise SimulationError(f"request size must be positive, got {nbytes}")
         # Fast path for the dominant replay case: the disk is plainly
-        # spinning (no transition in flight, not in standby, no autonomous
-        # spin-down armed), so the advance/wait machinery below reduces to
-        # "settle idle time, then service".
+        # spinning (no transition in flight, not in standby) and no
+        # autonomous spin-down is due before this request, so the
+        # advance/wait machinery below reduces to "settle idle time, then
+        # service".  The due check mirrors ``advance``'s fire condition
+        # (``fire_at < t - EPS``) exactly.
+        cursor = self.cursor_s
+        t = t_issue if t_issue > cursor else cursor
+        threshold = self.auto_spindown_threshold_s
         if (
             self._transition_end_s is None
             and not self.standby
-            and self.auto_spindown_threshold_s is None
+            and (
+                threshold is None
+                or not self._auto_armed
+                or self.idle_anchor_s + threshold >= t - self._EPS
+            )
         ):
-            cursor = self.cursor_s
-            t = t_issue if t_issue > cursor else cursor
             rpm = self.rpm
-            pm = self.pm
-            stats = self.stats
-            recorder = self.recorder
+            if rpm != self._lvl_rpm:
+                self._refresh_level_consts(rpm)
             if t > cursor:
                 dur = t - cursor
-                idle_power = pm._idle_w_by_level.get(rpm)
-                if idle_power is None:  # pragma: no cover - non-level RPM
-                    idle_power = pm.idle_power_w(rpm)
+                idle_power = self._lvl_idle_w
+                stats = self.stats
                 stats.time_s["idle"] += dur
                 stats.energy_j["idle"] += dur * idle_power
                 by_rpm = stats.idle_time_by_rpm
                 by_rpm[rpm] = by_rpm.get(rpm, 0.0) + dur
-                if recorder is not None:
-                    recorder.record(self.disk_id, "idle", cursor, t, idle_power, rpm)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        self.disk_id, "idle", cursor, t, idle_power, rpm
+                    )
             ready = self.ready_s
             start = t if t > ready else ready
             # Inlined service_time_s/active_power_w: same cached per-level
             # constants, same arithmetic, minus ~three calls per request.
-            consts = pm._service_consts_by_level.get(rpm)
-            if consts is not None:
-                seek_s = pm._seek_time_by_class.get(seek)
-                if seek_s is None:
-                    raise ConfigError(f"unknown seek class {seek!r}")
-                latency, rate = consts
-                svc = seek_s + latency + nbytes / rate
-                active_power = pm._active_w_by_level[rpm]
-            else:  # pragma: no cover - replay RPMs are always known levels
-                svc = pm.service_time_s(nbytes, rpm, seek)
-                active_power = pm.active_power_w(rpm)
-            stats.time_s["active"] += svc
-            stats.energy_j["active"] += svc * active_power
-            end = start + svc
-            if recorder is not None:
-                recorder.record(self.disk_id, "active", start, end, active_power, rpm)
-            self.last_service_start_s = start
-            self.cursor_s = end
-            self.ready_s = end
-            self.idle_anchor_s = end
-            self._auto_armed = True
-            self.last_request_end_s = end
-            stats.num_requests += 1
-            stats.bytes_served += nbytes
-            return end
+            seek_s = self._seek_s.get(seek)
+            if seek_s is None:
+                raise ConfigError(f"unknown seek class {seek!r}")
+            svc = seek_s + self._lvl_latency + nbytes / self._lvl_rate
+            return self._finish_service(start, svc, self._lvl_active_w, rpm, nbytes)
         # A request may arrive while the disk is still busy (queueing): the
         # accounting clock never rewinds, but service starts at ready time.
         self.advance(max(t_issue, self.cursor_s))
@@ -457,19 +555,7 @@ class Disk:
         start = max(start, self.ready_s, self.cursor_s)
         svc = self.pm.service_time_s(nbytes, self.rpm, seek)
         active_power = self.pm.active_power_w(self.rpm)
-        stats = self.stats
-        stats.add("active", svc, active_power)
-        self._emit("active", start, start + svc, active_power, self.rpm)
-        end = start + svc
-        self.last_service_start_s = start
-        self.cursor_s = end
-        self.ready_s = end
-        self.idle_anchor_s = end
-        self._auto_armed = True
-        self.last_request_end_s = end
-        stats.num_requests += 1
-        stats.bytes_served += nbytes
-        return end
+        return self._finish_service(start, svc, active_power, self.rpm, nbytes)
 
     # ------------------------------------------------------------------ #
     def finalize(self, t_end: float) -> None:

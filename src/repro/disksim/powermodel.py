@@ -141,6 +141,41 @@ class PowerModel:
             for r in self.levels
         }
 
+    #: Seek classes in table order (`service_seek_base_s` columns).
+    SEEK_CLASSES: tuple[str, ...] = ("seq", "stream", "full")
+
+    @cached_property
+    def level_index(self) -> dict[int, int]:
+        """Row index of each supported RPM level in the service tables."""
+        return {int(r): i for i, r in enumerate(self.levels)}
+
+    @cached_property
+    def service_seek_base_s(self) -> np.ndarray:
+        """``(num_levels, 3)`` table of ``seek_time + rotational latency``
+        per (RPM level, seek class), seek classes in :attr:`SEEK_CLASSES`
+        order.
+
+        Entry ``[li, sc]`` is the exact float ``seek_s + latency`` the
+        scalar fast path computes first, so
+        ``table[li, sc] + nbytes / service_rate_bps[li]`` reproduces
+        :meth:`service_time_s` bit for bit (same operand association).
+        """
+        seeks = self._seek_time_by_class
+        out = np.empty((len(self.levels), len(self.SEEK_CLASSES)), dtype=np.float64)
+        for li, rpm in enumerate(self.levels):
+            latency, _rate = self._service_consts_by_level[int(rpm)]
+            for sc, name in enumerate(self.SEEK_CLASSES):
+                out[li, sc] = seeks[name] + latency
+        return out
+
+    @cached_property
+    def service_rate_bps(self) -> np.ndarray:
+        """Media transfer rate per supported level (table-order rows)."""
+        return np.array(
+            [self._service_consts_by_level[int(r)][1] for r in self.levels],
+            dtype=np.float64,
+        )
+
     def service_time_s(self, nbytes: int, rpm: float, seek: str = "full") -> float:
         """Service time of one request at a level: seek (by class) plus
         average rotational latency plus media transfer."""
@@ -171,6 +206,24 @@ class PowerModel:
         """Time to modulate the spindle between two levels."""
         steps = self.drpm.steps_between(rpm_from, rpm_to)
         return steps * self.drpm.transition_time_per_step_s
+
+    @cached_property
+    def _transition_by_pair(self) -> dict[tuple[int, int], tuple[float, float]]:
+        """(duration, power) per supported (from, to) pair (replay fast path).
+
+        The cached values repeat :meth:`transition_time_s` /
+        :meth:`transition_power_w` exactly, so shift-heavy replays (every
+        DRPM-family scheme) skip the per-shift step arithmetic without any
+        numeric drift.
+        """
+        return {
+            (int(a), int(b)): (
+                self.transition_time_s(int(a), int(b)),
+                self.transition_power_w(int(a), int(b)),
+            )
+            for a in self.levels
+            for b in self.levels
+        }
 
     def transition_energy_j(self, rpm_from: int, rpm_to: int) -> float:
         """Energy of a level change: faster level's idle power for the whole

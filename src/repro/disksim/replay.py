@@ -15,82 +15,211 @@ from a request and the layout is invariant across the 7 replays:
   The classification depends only on the order of requests per disk, which
   is identical in every replay.
 
-:class:`ReplayPlan` computes all of it once per trace; the suite engine
-builds one plan and passes it to every :func:`~repro.disksim.simulator.
-simulate` call, turning ~6/7 of the per-request striping and seek math into
-a table lookup.  ``simulate`` builds a plan on the fly when none is
-supplied, so single-replay callers see no API change.
+:class:`ReplayPlan` computes all of it once per trace — **columnar**, as
+CSR-style NumPy arrays over the flat sub-request stream:
+
+* ``indptr[i]:indptr[i+1]`` delimits request ``i``'s sub-requests;
+* ``sub_disk`` / ``sub_nbytes`` / ``sub_seek`` are the per-sub-request
+  target disk, byte count, and integer seek-class code
+  (:data:`SEEK_CLASSES` order).
+
+Construction is fully vectorized: the striping fan-out is the closed-form
+per-phase stripe count (the array form of ``Striping.per_disk_bytes``),
+and the seek classes come from two stable argsorts (previous sub-request
+on the same disk → ``seq``; previous sub-request of the same (disk, array)
+→ ``stream``) instead of per-request dict updates.  The tuple-of-tuples
+view consumed by the stepwise simulator loop is materialized lazily.
+
+The suite engine builds one plan and passes it to every
+:func:`~repro.disksim.simulator.simulate` call; ``simulate`` builds a plan
+on the fly when none is supplied, so single-replay callers see no API
+change.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..trace.request import RequestColumns, Trace
 from ..util.errors import SimulationError
 
-__all__ = ["ReplayPlan"]
+__all__ = ["ReplayPlan", "SEEK_CLASSES", "SEEK_CODES"]
+
+#: Seek classes in code order; matches ``PowerModel.SEEK_CLASSES`` (the
+#: rows of its per-level service-time table are indexed by these codes).
+SEEK_CLASSES: tuple[str, ...] = ("seq", "stream", "full")
+SEEK_CODES: dict[str, int] = {name: i for i, name in enumerate(SEEK_CLASSES)}
 
 
 class ReplayPlan:
-    """Per-request hot-loop inputs, computed once per request stream.
+    """Columnar per-request hot-loop inputs, computed once per stream.
 
-    ``entries[i]`` corresponds to request ``i`` of the trace's columns and
-    is a tuple of ``(disk_id, nbytes, seek)`` sub-requests sorted by disk
-    id, where ``seek`` is the precomputed seek class (``"seq"``/
-    ``"stream"``/``"full"``).
+    ``entries[i]`` (lazy) corresponds to request ``i`` of the trace's
+    columns and is a tuple of ``(disk_id, nbytes, seek)`` sub-requests
+    sorted by disk id, where ``seek`` is the precomputed seek class
+    (``"seq"``/``"stream"``/``"full"``) — the view the stepwise simulator
+    loop consumes.  The segmented engine reads the flat arrays directly.
     """
 
-    __slots__ = ("columns", "entries")
+    __slots__ = (
+        "columns",
+        "num_disks",
+        "indptr",
+        "sub_disk",
+        "sub_nbytes",
+        "sub_seek",
+        "_entries",
+        "_derived",
+    )
 
-    def __init__(self, columns: RequestColumns, entries):
+    def __init__(
+        self,
+        columns: RequestColumns,
+        num_disks: int,
+        indptr: np.ndarray,
+        sub_disk: np.ndarray,
+        sub_nbytes: np.ndarray,
+        sub_seek: np.ndarray,
+    ):
         self.columns = columns
-        self.entries = entries
+        self.num_disks = num_disks
+        self.indptr = indptr
+        self.sub_disk = sub_disk
+        self.sub_nbytes = sub_nbytes
+        self.sub_seek = sub_seek
+        self._entries: tuple | None = None
+        #: Cache of derived artifacts (list views, per-power-model service
+        #: tables) shared by every replay using this plan.
+        self._derived: dict = {}
 
+    # ------------------------------------------------------------------ #
     @classmethod
     def for_trace(cls, trace: Trace) -> "ReplayPlan":
         """Precompute the fan-out and seek class of every sub-request.
 
         Consumes the trace's request *columns* directly — no per-request
-        objects are materialized on this path.
+        objects are materialized on this path, and no per-request Python
+        loop runs: the fan-out and both seek rules are array expressions
+        over the whole stream.
         """
         layout = trace.layout
         num_disks = layout.num_disks
         cols = trace.columns
         names = cols.array_names
-        aids = cols.array_id.tolist()
-        offsets = cols.offset.tolist()
-        sizes = cols.nbytes.tolist()
-        stripings: list = [None] * len(names)
-        # Per-disk stream state, exactly as the replay loop tracked it:
-        # the (array, offset) the next sequential access would start at,
-        # plus each file's most recent end offset on that disk.  Arrays are
-        # tracked by column id, which is bijective with names here.
-        last_array: list[int] = [-1] * num_disks
-        last_offset: list[int] = [-1] * num_disks
-        stream_ends: list[dict[int, int]] = [dict() for _ in range(num_disks)]
-        entries = []
-        append = entries.append
-        for aid, offset, nbytes in zip(aids, offsets, sizes):
-            striping = stripings[aid]
-            if striping is None:
-                striping = stripings[aid] = layout.striping(names[aid])
-            per_disk = striping.per_disk_bytes(offset, nbytes)
-            if not per_disk:
-                raise SimulationError("request mapped to no disks")
-            end_offset = offset + nbytes
-            parts = []
-            for disk_id in sorted(per_disk):
-                if last_offset[disk_id] == offset and last_array[disk_id] == aid:
-                    seek = "seq"
-                elif stream_ends[disk_id].get(aid) == offset:
-                    seek = "stream"
-                else:
-                    seek = "full"
-                parts.append((disk_id, per_disk[disk_id], seek))
-                last_array[disk_id] = aid
-                last_offset[disk_id] = end_offset
-                stream_ends[disk_id][aid] = end_offset
-            append(tuple(parts))
-        return cls(cols, tuple(entries))
+        n = len(cols)
+        if n == 0:
+            return cls(
+                cols,
+                num_disks,
+                np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int8),
+            )
+        aid = cols.array_id
+        off = cols.offset
+        nb = cols.nbytes
+        end = off + nb
+
+        # Striping fan-out: the closed form of Striping.per_disk_bytes,
+        # evaluated for all requests x all stripe phases at once.  Phase p
+        # of a file maps to disk ``starting_disk + p``; its share of an
+        # extent is its stripe count in range times the stripe size, with
+        # the (possibly partial) boundary stripes corrected exactly.
+        stripings = [layout.striping(name) for name in names]
+        sd = np.array([s.starting_disk for s in stripings], dtype=np.int64)[aid]
+        fac = np.array([s.stripe_factor for s in stripings], dtype=np.int64)[aid]
+        ss = np.array([s.stripe_size for s in stripings], dtype=np.int64)[aid]
+        first = off // ss
+        last = (end - 1) // ss
+        max_factor = int(fac.max())
+        phase = np.arange(max_factor, dtype=np.int64)[None, :]
+        first_c = first[:, None]
+        last_c = last[:, None]
+        fac_c = fac[:, None]
+        ss_c = ss[:, None]
+        lo = first_c + (phase - first_c) % fac_c
+        count = (last_c - lo) // fac_c + 1
+        include = (phase < fac_c) & (lo <= last_c)
+        total = count * ss_c
+        total = total - np.where(lo == first_c, off[:, None] - first_c * ss_c, 0)
+        hi = lo + (count - 1) * fac_c
+        total = total - np.where(hi == last_c, (last_c + 1) * ss_c - end[:, None], 0)
+        include &= total > 0
+        counts = include.sum(axis=1)
+        if not counts.all():
+            raise SimulationError("request mapped to no disks")
+        # Row-major flattening keeps request order, phases ascending —
+        # i.e. per-request sub-requests sorted by disk id.
+        sub_disk = (sd[:, None] + phase)[include]
+        sub_nbytes = total[include]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+
+        # Seek classes.  Per disk, a sub-request whose logical request
+        # exactly continues the previous request served by that disk is a
+        # stream continuation ("seq"); one resuming the (disk, array)
+        # stream after an interruption pays a short seek ("stream");
+        # anything else pays the full average seek.  Both rules compare a
+        # sub-request with its predecessor in a stable grouping — by disk
+        # for "seq", by (disk, array) for "stream" — which two stable
+        # argsorts expose as adjacent elements.
+        m = int(sub_disk.size)
+        sub_seek = np.full(m, SEEK_CODES["full"], dtype=np.int8)
+        req_of_sub = np.repeat(np.arange(n, dtype=np.int64), counts)
+        a = aid[req_of_sub]
+        o = off[req_of_sub]
+        e = end[req_of_sub]
+
+        if m:
+            key = sub_disk * len(names) + a
+            order = np.argsort(key, kind="stable")
+            ks = key[order]
+            eo = e[order]
+            oo = o[order]
+            hit = np.zeros(m, dtype=bool)
+            hit[1:] = (ks[1:] == ks[:-1]) & (eo[:-1] == oo[1:])
+            sub_seek[order[hit]] = SEEK_CODES["stream"]
+
+            order = np.argsort(sub_disk, kind="stable")
+            ds = sub_disk[order]
+            ao = a[order]
+            eo = e[order]
+            oo = o[order]
+            hit = np.zeros(m, dtype=bool)
+            hit[1:] = (
+                (ds[1:] == ds[:-1]) & (eo[:-1] == oo[1:]) & (ao[:-1] == ao[1:])
+            )
+            sub_seek[order[hit]] = SEEK_CODES["seq"]
+
+        return cls(cols, num_disks, indptr, sub_disk, sub_nbytes, sub_seek)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_requests(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_subrequests(self) -> int:
+        return int(self.sub_disk.size)
+
+    @property
+    def entries(self) -> tuple:
+        """Tuple-of-tuples view for the stepwise loop, built lazily."""
+        if self._entries is None:
+            names = SEEK_CLASSES
+            ind = self.indptr.tolist()
+            d = self.sub_disk.tolist()
+            nb = self.sub_nbytes.tolist()
+            sk = self.sub_seek.tolist()
+            self._entries = tuple(
+                tuple(
+                    (d[j], nb[j], names[sk[j]])
+                    for j in range(ind[i], ind[i + 1])
+                )
+                for i in range(len(ind) - 1)
+            )
+        return self._entries
 
     def matches(self, trace: Trace) -> bool:
         """Whether this plan was built for ``trace``'s request stream.

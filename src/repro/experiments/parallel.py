@@ -109,6 +109,9 @@ class ReplayTask:
     trace: Trace
     params: SubsystemParams
     base: SimulationResult | None = None
+    #: Replay engine selector, forwarded to ``simulate`` (see
+    #: :func:`repro.disksim.simulator.simulate`).
+    engine: str = "auto"
 
 
 def _run_suite_spec(payload: tuple[SuiteSpec, str | None]):
@@ -157,7 +160,7 @@ def _run_replay_task(task: ReplayTask) -> SimulationResult:
         ctrl = CompilerDirected("drpm")
     else:
         raise ReproError(f"unknown replay scheme {scheme!r}")
-    return simulate(trace, params, ctrl)
+    return simulate(trace, params, ctrl, engine=task.engine)
 
 
 class SuiteExecutor:

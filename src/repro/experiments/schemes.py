@@ -96,6 +96,7 @@ def run_schemes(
     timing: ProgramTiming | None = None,
     cache: ResultCache | None = None,
     executor=None,
+    engine: str = "auto",
 ) -> SchemeSuite:
     """Simulate ``program`` under each scheme in ``schemes``.
 
@@ -113,6 +114,9 @@ def run_schemes(
     layout, trace options, and generator version).
     ``executor`` optionally fans the independent non-Base replays out across
     a :class:`~repro.experiments.parallel.SuiteExecutor`'s workers.
+    ``engine`` selects the replay engine (see
+    :func:`~repro.disksim.simulator.simulate`); the default picks the
+    segmented batch engine wherever it applies.
     """
     unknown = set(schemes) - set(SCHEME_NAMES)
     if unknown:
@@ -155,7 +159,12 @@ def run_schemes(
     base = _load("Base")
     if base is None:
         base = simulate(
-            trace, params, Controller(), collect_busy_intervals=True, plan=replay_plan
+            trace,
+            params,
+            Controller(),
+            collect_busy_intervals=True,
+            plan=replay_plan,
+            engine=engine,
         )
         _store("Base", base)
     measured = measured_timing(
@@ -205,6 +214,7 @@ def run_schemes(
                 trace=cm_traces.get(scheme, trace),
                 params=params,
                 base=base if scheme in ("ITPM", "IDRPM") else None,
+                engine=engine,
             )
             for scheme in pending
         ]
@@ -214,18 +224,23 @@ def run_schemes(
         for scheme in pending:
             if scheme == "TPM":
                 ctrl: Controller = ReactiveTPM(params.effective_tpm_threshold_s)
-                results[scheme] = simulate(trace, params, ctrl, plan=replay_plan)
+                results[scheme] = simulate(
+                    trace, params, ctrl, plan=replay_plan, engine=engine
+                )
             elif scheme == "ITPM":
                 results[scheme] = simulate(
-                    trace, params, OracleTPM(base, params), plan=replay_plan
+                    trace, params, OracleTPM(base, params), plan=replay_plan,
+                    engine=engine,
                 )
             elif scheme == "DRPM":
                 results[scheme] = simulate(
-                    trace, params, ReactiveDRPM(params.drpm), plan=replay_plan
+                    trace, params, ReactiveDRPM(params.drpm), plan=replay_plan,
+                    engine=engine,
                 )
             elif scheme == "IDRPM":
                 results[scheme] = simulate(
-                    trace, params, OracleDRPM(base, params), plan=replay_plan
+                    trace, params, OracleDRPM(base, params), plan=replay_plan,
+                    engine=engine,
                 )
             else:
                 kind = "tpm" if scheme == "CMTPM" else "drpm"
@@ -234,6 +249,7 @@ def run_schemes(
                     params,
                     CompilerDirected(kind),
                     plan=replay_plan,
+                    engine=engine,
                 )
 
     for scheme in pending:
@@ -264,6 +280,7 @@ def run_workload(
     timing: ProgramTiming | None = None,
     cache: ResultCache | None = None,
     executor=None,
+    engine: str = "auto",
 ) -> SchemeSuite:
     """Run one Table 2 benchmark under (by default) Table 1 parameters."""
     p = params or SubsystemParams()
@@ -279,4 +296,5 @@ def run_workload(
         timing=timing,
         cache=cache,
         executor=executor,
+        engine=engine,
     )

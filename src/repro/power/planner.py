@@ -140,6 +140,68 @@ def plan_drpm_gap(
     )
 
 
+def _plan_drpm_gaps(
+    gaps: Sequence[IdleGap], pm: PowerModel, safety_margin_s: float
+) -> list[GapDecision]:
+    """Batch form of :func:`plan_drpm_gap` over a whole gap list.
+
+    One ``(num_gaps, num_levels)`` cost evaluation replaces the per-gap
+    small-array calls; every element is computed by the same operations in
+    the same order as the scalar planner, so the decisions are identical
+    bit for bit.
+    """
+    if not gaps:
+        return []
+    top = pm.disk.rpm
+    levels = pm.levels
+    per_step = pm.drpm.transition_time_per_step_s
+    steps = pm.steps_from_max.astype(float)
+    t_down = steps * per_step
+    p_idle = pm.idle_power_per_level
+    p_top = pm.idle_power_w(top)
+    length = np.array([g.duration_s for g in gaps], dtype=np.float64)
+    trailing = np.array([g.trailing for g in gaps], dtype=bool)
+    t_up = np.where(trailing[:, None], 0.0, t_down[None, :])
+    margin = np.where(trailing, 0.0, safety_margin_s)
+    usable = length[:, None] - t_down[None, :] - t_up - margin[:, None]
+    cost = (
+        p_top * (t_down[None, :] + t_up)
+        + p_idle[None, :] * np.maximum(usable, 0.0)
+        + p_top * margin[:, None]
+    )
+    cost = np.where(usable >= 0, cost, np.inf)
+    idle_cost = p_top * length
+    best = np.argmin(cost, axis=1)
+    rows = np.arange(len(gaps))
+    cost_b = cost[rows, best]
+    t_up_b = t_up[rows, best]
+    acts = np.isfinite(cost_b) & (cost_b < idle_cost)
+
+    decisions: list[GapDecision] = []
+    append = decisions.append
+    for i, gap in enumerate(gaps):
+        best_rpm = int(levels[best[i]])
+        if best_rpm == top or not acts[i]:
+            append(GapDecision(gap, GapMode.NONE, None, gap.start_s, None, 0.0))
+            continue
+        up_at = (
+            None
+            if gap.trailing
+            else gap.end_s - float(t_up_b[i]) - safety_margin_s
+        )
+        append(
+            GapDecision(
+                gap,
+                GapMode.RPM,
+                best_rpm,
+                gap.start_s,
+                up_at,
+                float(idle_cost[i] - cost_b[i]),
+            )
+        )
+    return decisions
+
+
 def plan_gaps(
     gaps: Sequence[IdleGap],
     pm: PowerModel,
@@ -147,8 +209,10 @@ def plan_gaps(
     safety_margin_s: float = 0.0,
 ) -> list[GapDecision]:
     """Plan a list of gaps with the TPM or DRPM policy (``kind``)."""
+    if safety_margin_s < 0:
+        raise AnalysisError("safety margin must be >= 0")
     if kind == "tpm":
         return [plan_tpm_gap(g, pm, safety_margin_s) for g in gaps]
     if kind == "drpm":
-        return [plan_drpm_gap(g, pm, safety_margin_s) for g in gaps]
+        return _plan_drpm_gaps(gaps, pm, safety_margin_s)
     raise AnalysisError(f"unknown planning kind {kind!r} (use 'tpm' or 'drpm')")

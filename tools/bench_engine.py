@@ -1,5 +1,5 @@
-"""Benchmark the experiment engine end to end; emit ``BENCH_engine.json``
-and ``BENCH_trace.json``.
+"""Benchmark the experiment engine end to end; emit ``BENCH_engine.json``,
+``BENCH_trace.json``, and ``BENCH_sim.json``.
 
 Run from the repository root::
 
@@ -9,7 +9,9 @@ Measures wall-clock time for the engine's main entry points on the current
 tree — the full default suite set (``ExperimentContext.all_suites()``) and
 the stripe sweeps (figures 5-8) — serial/parallel and uncached/cold/warm
 cache, plus a trace-generation microbench comparing the columnar pipeline
-against the retained seed algorithm (``generate_trace_reference``).  With
+against the retained seed algorithm (``generate_trace_reference``) and a
+simulator-only microbench timing ``simulate()`` per scheme under the
+stepwise, segmented, and auto replay engines.  With
 ``--against REF`` it additionally checks out ``REF`` into a temporary git
 worktree and measures the same serial-uncached workload there, so the
 emitted JSON carries both baseline and optimized timings from the same
@@ -39,6 +41,13 @@ def _time(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return round(time.perf_counter() - t0, 3)
+
+
+def _time_us(fn) -> float:
+    """Microsecond-resolution timing for millisecond-scale replays."""
+    t0 = time.perf_counter()
+    fn()
+    return round(time.perf_counter() - t0, 6)
 
 
 def collect_timings() -> dict[str, float]:
@@ -132,6 +141,146 @@ def collect_trace_timings(repeats: int = 3) -> dict:
     }
 
 
+def _scheme_replay_setups(workload):
+    """Per-scheme (trace, controller, collect_busy) triples for one workload.
+
+    Trace generation, oracle derivation, and compiler planning all happen
+    here, *outside* the timed region — the microbench isolates exactly the
+    ``simulate()`` replay.
+    """
+    import numpy as np
+
+    from repro.analysis.access import analyze_program
+    from repro.analysis.cycles import compute_timing, measured_timing
+    from repro.controllers.base import Controller
+    from repro.controllers.compiler_directed import CompilerDirected
+    from repro.controllers.drpm import ReactiveDRPM
+    from repro.controllers.oracle import OracleDRPM, OracleTPM
+    from repro.controllers.tpm import ReactiveTPM
+    from repro.disksim.params import SubsystemParams
+    from repro.disksim.replay import ReplayPlan
+    from repro.disksim.simulator import simulate
+    from repro.layout.files import default_layout
+    from repro.power.insertion import plan_power_calls
+    from repro.trace.generator import directives_at_positions, generate_trace
+
+    params = SubsystemParams()
+    program = workload.program
+    layout = default_layout(program.arrays, num_disks=params.num_disks)
+    accesses = analyze_program(program)
+    timing = compute_timing(program)
+    trace = generate_trace(
+        program, layout, workload.trace_options, accesses=accesses, timing=timing
+    )
+    plan = ReplayPlan.for_trace(trace)
+    base = simulate(
+        trace, params, Controller(), collect_busy_intervals=True, plan=plan,
+        engine="stepwise",
+    )
+    measured = measured_timing(
+        program, trace.request_nests, np.asarray(base.request_responses)
+    )
+    setups = {
+        "Base": (trace, Controller(), True),
+        "TPM": (trace, ReactiveTPM(params.effective_tpm_threshold_s), False),
+        "ITPM": (trace, OracleTPM(base, params), False),
+        "DRPM": (trace, ReactiveDRPM(params.drpm), False),
+        "IDRPM": (trace, OracleDRPM(base, params), False),
+    }
+    for scheme, kind in (("CMTPM", "tpm"), ("CMDRPM", "drpm")):
+        cplan = plan_power_calls(
+            program, layout, params, kind,
+            estimation=workload.estimation, accesses=accesses, measured=measured,
+        )
+        directives = directives_at_positions(cplan.placements, timing)
+        setups[scheme] = (
+            trace.with_directives(directives), CompilerDirected(kind), False
+        )
+    return params, plan, setups
+
+
+SIM_ENGINES = ("stepwise", "segmented", "auto")
+
+
+def collect_sim_timings(repeats: int = 3, workloads=None) -> dict:
+    """Time ``simulate()`` alone, per bundled workload and scheme, under
+    each replay engine.
+
+    Reactive DRPM replays fall back to stepwise under every engine (its
+    per-completion hook observes each sub-request), and the directive-dense
+    DRPM-family schemes route to stepwise under ``auto`` by design — the
+    per-scheme rows document exactly where the batch kernels pay off.
+    """
+    from repro.disksim.simulator import (
+        replay_coverage,
+        reset_replay_coverage,
+        simulate,
+    )
+    from repro.workloads import all_workloads
+
+    per_workload: dict[str, dict] = {}
+    totals = {eng: 0.0 for eng in SIM_ENGINES}
+    reset_replay_coverage()
+    for wl in workloads if workloads is not None else all_workloads():
+        params, plan, setups = _scheme_replay_setups(wl)
+        rows: dict[str, dict] = {}
+        for scheme, (trace, ctrl, collect) in setups.items():
+            row: dict[str, float | None] = {}
+            for eng in SIM_ENGINES:
+                best = min(
+                    _time_us(
+                        lambda: simulate(
+                            trace, params, ctrl,
+                            collect_busy_intervals=collect, plan=plan, engine=eng,
+                        )
+                    )
+                    for _ in range(repeats)
+                )
+                row[f"{eng}_s"] = best
+                totals[eng] += best
+            seg = row["segmented_s"]
+            row["speedup_segmented"] = (
+                round(row["stepwise_s"] / seg, 2) if seg else None
+            )
+            rows[scheme] = row
+        per_workload[wl.name] = rows
+    totals_r = {eng: round(t, 3) for eng, t in totals.items()}
+    return {
+        "per_workload": per_workload,
+        "totals_s": totals_r,
+        "speedup_auto": (
+            round(totals["stepwise"] / totals["auto"], 2)
+            if totals["auto"]
+            else None
+        ),
+        "coverage": replay_coverage(),
+    }
+
+
+def write_sim_report(path: str | Path, repeats: int = 3) -> dict:
+    sim = collect_sim_timings(repeats=repeats)
+    payload = {
+        "schema": 1,
+        "bench": "simulator-only replay wall clock per scheme (seconds)",
+        "command": "PYTHONPATH=src python tools/bench_engine.py",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus_available": _cpus(),
+        },
+        "engines": list(SIM_ENGINES),
+        "note": (
+            "simulate() only — trace generation, oracle derivation, and "
+            "compiler planning run outside the timed region; reactive DRPM "
+            "always replays stepwise, and auto routes directive-dense "
+            "schemes to the reference loop on purpose"
+        ),
+        "results": sim,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return sim
+
+
 def write_trace_report(path: str | Path, repeats: int = 3) -> dict:
     trace = collect_trace_timings(repeats=repeats)
     payload = {
@@ -158,19 +307,38 @@ def run_smoke() -> int:
     """Quick hot-path regression check for CI.
 
     Runs the trace microbench once per workload (asserting bit-identity of
-    the two generator paths) plus one serial-uncached suite, and fails when
-    the columnar pipeline has lost its edge over the seed algorithm.
+    the two generator paths), the simulator microbench on one workload,
+    plus one serial-uncached suite; fails when the columnar pipeline has
+    lost its edge over the seed algorithm or the segmented replay engine
+    has lost its edge on the directive-free Base replay.
     """
+    from repro.workloads import all_workloads
+
     trace = collect_trace_timings(repeats=1)
     for name, row in trace["per_workload"].items():
         print(f"  trace {name}: seed {row['seed_s']:.3f}s -> "
               f"optimized {row['optimized_s']:.3f}s ({row['speedup']}x)")
+    wupwise = [wl for wl in all_workloads() if wl.name == "wupwise"]
+    sim = collect_sim_timings(repeats=3, workloads=wupwise)
+    base_row = sim["per_workload"]["wupwise"]["Base"]
+    print(f"  sim wupwise Base: stepwise {base_row['stepwise_s']*1e3:.1f}ms -> "
+          f"segmented {base_row['segmented_s']*1e3:.1f}ms "
+          f"({base_row['speedup_segmented']}x)")
     suite_s = _time(lambda: _smoke_suite())
     print(f"  suite swim (serial, uncached): {suite_s:.3f}s")
     speedup = trace["speedup"] or 0.0
     print(f"  trace generation speedup: {speedup}x")
+    failed = False
     if speedup < 2.0:
         print("SMOKE FAIL: columnar trace pipeline below 2x vs seed path")
+        failed = True
+    if (base_row["speedup_segmented"] or 0.0) < 1.2:
+        print("SMOKE FAIL: segmented Base replay below 1.2x vs stepwise")
+        failed = True
+    else:
+        print(f"  segmented Base replay speedup: "
+              f"{base_row['speedup_segmented']}x")
+    if failed:
         return 1
     print("smoke ok")
     return 0
@@ -242,6 +410,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(REPO / "BENCH_trace.json"),
         help="where to write the trace microbench (default: BENCH_trace.json)",
     )
+    parser.add_argument(
+        "--sim-output",
+        default=str(REPO / "BENCH_sim.json"),
+        help="where to write the simulator microbench (default: BENCH_sim.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -257,6 +430,12 @@ def main(argv: list[str] | None = None) -> int:
           f"seed {trace['totals_s']['seed']:.3f}s -> "
           f"optimized {trace['totals_s']['optimized']:.3f}s "
           f"({trace['speedup']}x)")
+
+    sim = write_sim_report(args.sim_output)
+    print(f"wrote {args.sim_output}")
+    print(f"  simulator replays (all workloads x schemes): "
+          f"stepwise {sim['totals_s']['stepwise']:.3f}s -> "
+          f"auto {sim['totals_s']['auto']:.3f}s ({sim['speedup_auto']}x)")
 
     current = collect_timings()
     baseline = measure_ref(args.against) if args.against else None

@@ -3,12 +3,17 @@
 Run from the repository root::
 
     PYTHONPATH=src python tools/profile_sim.py [workload ...] [--sort KEY]
-                                               [--limit N]
+                                               [--limit N] [--coverage]
+                                               [--engine ENGINE]
 
 With no arguments, profiles the full default suite set (every Table 2
 benchmark under all 7 schemes), serial and uncached — the same work
 ``ExperimentContext.all_suites()`` does on a cold run.  Prints the top
 functions by ``tottime`` (override with ``--sort cumulative`` etc.).
+``--coverage`` additionally prints the replay-engine coverage counters
+(how many replays/segments/sub-requests ran on the segmented batch
+kernels versus the stepwise reference path); ``--engine`` forces a replay
+engine (default ``auto``).
 
 This is the harness behind the numbers in docs/performance.md; use it to
 check that a change actually moves the needle before trusting wall-clock
@@ -33,8 +38,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--limit", type=int, default=25, help="rows of profile output"
     )
+    parser.add_argument(
+        "--coverage",
+        action="store_true",
+        help="print the replay-engine coverage counters after the run",
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto", "stepwise", "segmented"),
+        help="replay engine to profile (default: auto)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.disksim.simulator import replay_coverage, reset_replay_coverage
     from repro.experiments.schemes import run_workload
     from repro.workloads.registry import WORKLOAD_NAMES, build_workload
 
@@ -44,14 +61,20 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown workloads {sorted(unknown)}; choose from {WORKLOAD_NAMES}")
     workloads = [build_workload(n) for n in names]
 
+    reset_replay_coverage()
     profiler = cProfile.Profile()
     profiler.enable()
     for wl in workloads:
-        run_workload(wl)
+        run_workload(wl, engine=args.engine)
     profiler.disable()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.coverage:
+        cov = replay_coverage()
+        print("replay engine coverage:")
+        for key, value in cov.items():
+            print(f"  {key}: {value}")
     return 0
 
 
