@@ -24,7 +24,15 @@ The package layers (bottom-up):
   (LF / TL / LF+DL / TL+DL);
 * :mod:`repro.workloads` — the six Specfp2000 benchmark models (Table 2);
 * :mod:`repro.experiments` — one module per paper table/figure, plus the
-  ``repro-experiments`` CLI.
+  ``repro-experiments`` CLI;
+* :mod:`repro.obs` — the observability spine: structured tracing spans,
+  a process-wide metrics registry, and per-run JSON manifests (off by
+  default; ``REPRO_OBS=1`` or ``--obs`` switches it on).
+
+The package logs through stdlib :mod:`logging` under the ``repro`` logger
+hierarchy with a ``NullHandler`` on the root (library convention: silent
+unless the application configures handlers; the CLI's ``-v``/``-vv`` maps
+to INFO/DEBUG).
 
 Quick start::
 
@@ -35,6 +43,11 @@ Quick start::
     print(suite.energy_row())   # {'Base': 1.0, 'TPM': 1.0, ..., 'CMDRPM': 0.62}
 """
 
+import logging as _logging
+
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from . import obs
 from .analysis import EstimationModel, build_dap, compute_timing, measured_timing
 from .disksim import (
     Controller,
@@ -56,6 +69,7 @@ from .workloads import WORKLOAD_NAMES, Workload, all_workloads, build_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "EstimationModel",
     "build_dap",
     "compute_timing",

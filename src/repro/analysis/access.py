@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..ir.nodes import ArrayRef, Loop, Statement
 from ..ir.program import Program
 from ..layout.files import SubsystemLayout
@@ -231,4 +232,9 @@ def analyze_nest(nest: Loop, nest_index: int = 0) -> NestAccess:
 
 def analyze_program(program: Program) -> list[NestAccess]:
     """Access summaries for every nest, in program order."""
-    return [analyze_nest(nest, i) for i, nest in enumerate(program.nests)]
+    with obs.span(
+        "analysis.access", program=program.name, nests=len(program.nests)
+    ) as sp:
+        accesses = [analyze_nest(nest, i) for i, nest in enumerate(program.nests)]
+        sp.set(footprints=sum(len(a.footprints) for a in accesses))
+        return accesses

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..ir.nodes import Loop, PowerCall, Statement
 from ..ir.program import Program
 from ..util.errors import AnalysisError
@@ -109,23 +110,30 @@ def compute_timing(
         raise AnalysisError(
             f"scale has {len(scale)} entries for {len(program.nests)} nests"
         )
-    out: list[NestTiming] = []
-    t = 0.0
-    for i, nest in enumerate(program.nests):
-        cycles = loop_body_cycles(nest)
-        if scale is not None:
-            cycles *= float(scale[i])
-        per_iter_s = cycles / program.clock_hz
-        nt = NestTiming(
-            nest_index=i,
-            trip_count=nest.trip_count,
-            cycles_per_iteration=cycles,
-            seconds_per_iteration=per_iter_s,
-            start_s=t,
-        )
-        out.append(nt)
-        t = nt.end_s
-    return ProgramTiming(nests=tuple(out), clock_hz=program.clock_hz)
+    with obs.span(
+        "analysis.timing",
+        program=program.name,
+        nests=len(program.nests),
+        scaled=scale is not None,
+    ) as sp:
+        out: list[NestTiming] = []
+        t = 0.0
+        for i, nest in enumerate(program.nests):
+            cycles = loop_body_cycles(nest)
+            if scale is not None:
+                cycles *= float(scale[i])
+            per_iter_s = cycles / program.clock_hz
+            nt = NestTiming(
+                nest_index=i,
+                trip_count=nest.trip_count,
+                cycles_per_iteration=cycles,
+                seconds_per_iteration=per_iter_s,
+                start_s=t,
+            )
+            out.append(nt)
+            t = nt.end_s
+        sp.set(total_s=t)
+        return ProgramTiming(nests=tuple(out), clock_hz=program.clock_hz)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..ir.program import Program
 from ..layout.files import SubsystemLayout
 from ..util.errors import AnalysisError
@@ -252,30 +253,34 @@ def build_dap(
     compiler's model of the cache the paper's §4.1 assumes (small working
     sets never reach the disks after their first touch).
     """
-    if accesses is None:
-        accesses = analyze_program(program)
-    if len(accesses) != len(program.nests):
-        raise AnalysisError(
-            f"{len(accesses)} access summaries for {len(program.nests)} nests"
-        )
-    if cached_threshold_bytes > 0:
-        from dataclasses import replace as _replace
-
-        accesses = [
-            _replace(
-                acc,
-                footprints=tuple(
-                    fp
-                    for fp in acc.footprints
-                    if fp.ref.array.size_bytes > cached_threshold_bytes
-                ),
+    with obs.span(
+        "analysis.dap", program=program.name, disks=layout.num_disks
+    ):
+        if accesses is None:
+            accesses = analyze_program(program)
+        if len(accesses) != len(program.nests):
+            raise AnalysisError(
+                f"{len(accesses)} access summaries for {len(program.nests)} nests"
             )
+        if cached_threshold_bytes > 0:
+            from dataclasses import replace as _replace
+
+            accesses = [
+                _replace(
+                    acc,
+                    footprints=tuple(
+                        fp
+                        for fp in acc.footprints
+                        if fp.ref.array.size_bytes > cached_threshold_bytes
+                    ),
+                )
+                for acc in accesses
+            ]
+        activity = tuple(acc.active_disk_matrix(layout) for acc in accesses)
+        outer_values = tuple(
+            np.asarray(list(acc.nest.iter_values()), dtype=np.int64)
             for acc in accesses
-        ]
-    activity = tuple(acc.active_disk_matrix(layout) for acc in accesses)
-    outer_values = tuple(
-        np.asarray(list(acc.nest.iter_values()), dtype=np.int64) for acc in accesses
-    )
-    return DiskAccessPattern(
-        num_disks=layout.num_disks, activity=activity, outer_values=outer_values
-    )
+        )
+        return DiskAccessPattern(
+            num_disks=layout.num_disks, activity=activity, outer_values=outer_values
+        )

@@ -30,11 +30,16 @@ point elsewhere with ``REPRO_CACHE_DIR=/path``.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from pathlib import Path
 from typing import Any
+
+from .obs import metrics as _metrics
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CACHE_VERSION",
@@ -143,14 +148,19 @@ class ResultCache:
             # Absent, truncated, or corrupted entries (unpickling raises
             # anything from OSError to ValueError) all degrade to a miss.
             self.misses += 1
+            _metrics.inc("cache.misses")
+            logger.debug("cache miss %s (absent or unreadable)", key[:12])
             return None
         if (
             not isinstance(envelope, dict)
             or envelope.get("version") != CACHE_VERSION
         ):
             self.misses += 1
+            _metrics.inc("cache.misses")
+            logger.debug("cache miss %s (stale envelope version)", key[:12])
             return None
         self.hits += 1
+        _metrics.inc("cache.hits")
         return envelope.get("payload")
 
     def store(self, key: str, payload: Any) -> None:
@@ -170,7 +180,10 @@ class ResultCache:
                     pass
                 raise
         except OSError:
-            pass  # cache is an optimization; never fail the computation
+            # Cache is an optimization; never fail the computation.
+            logger.debug("cache store of %s failed", key[:12], exc_info=True)
+        else:
+            _metrics.inc("cache.stores")
 
     def clear(self) -> None:
         """Remove every cached entry (keeps the root directory)."""
@@ -183,6 +196,29 @@ class ResultCache:
                         f.unlink()
                     except OSError:
                         pass
+
+    # ------------------------------------------------------------------ #
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready hit/miss summary (CLI reports, run manifests)."""
+        return {
+            "dir": str(self.root),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary, logged at the end of experiment runs."""
+        return (
+            f"result cache {self.root}: {self.hits} hits, "
+            f"{self.misses} misses ({self.hit_ratio:.0%} hit ratio)"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -47,12 +47,17 @@ completion is detected per request and bailed to ``Disk.serve``.
 
 from __future__ import annotations
 
+import logging
+import time
+import warnings
 from bisect import bisect_left
 from math import inf
 from typing import Sequence
 
 import numpy as np
 
+from .. import obs
+from ..obs import metrics as _metrics
 from .interface import Controller, TimedDirective
 from ..ir.nodes import PowerAction, PowerCall
 from ..trace.request import Trace
@@ -70,6 +75,8 @@ __all__ = [
     "reset_replay_coverage",
     "VECTOR_MIN_REQUESTS",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Clock used to charge directive call overhead (Tm), paper §4.1.
 _CLOCK_HZ = 750e6
@@ -301,6 +308,7 @@ def _replay_stepwise(
     responses: list[float],
     busy: list[list[BusyInterval]],
     collect_busy_intervals: bool,
+    rpm_counts: dict[int, int] | None = None,
 ) -> tuple[int, float]:
     """Reference per-sub-request replay; returns (num_directives, end_time).
 
@@ -361,6 +369,9 @@ def _replay_stepwise(
             for j in range(indptr_l[ri], indptr_l[ri + 1]):
                 disk_id = disk_l[j]
                 done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
+                if rpm_counts is not None:
+                    r = disks[disk_id].rpm
+                    rpm_counts[r] = rpm_counts.get(r, 0) + 1
                 if track:
                     disk = disks[disk_id]
                     start = disk.last_service_start_s
@@ -424,6 +435,9 @@ def _replay_stepwise(
             for j in range(indptr_l[ri], indptr_l[ri + 1]):
                 disk_id = disk_l[j]
                 done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
+                if rpm_counts is not None:
+                    r = disks[disk_id].rpm
+                    rpm_counts[r] = rpm_counts.get(r, 0) + 1
                 if track:
                     disk = disks[disk_id]
                     start = disk.last_service_start_s
@@ -469,6 +483,7 @@ def _run_vector(
     responses: list[float],
     busy: list[list[BusyInterval]],
     collect: bool,
+    rpm_counts: dict[int, int] | None = None,
 ) -> tuple[int, float, bool]:
     """Batch-replay requests ``[ri, we)``; all touched disks are plain.
 
@@ -554,6 +569,8 @@ def _run_vector(
         stats.add_many("active", svc_d, tables.active_w[rpm])
         stats.num_requests += int(idx.size)
         stats.bytes_served += int(plan.sub_nbytes[idx_abs].sum())
+        if rpm_counts is not None:
+            rpm_counts[rpm] = rpm_counts.get(rpm, 0) + int(idx.size)
         disk.last_service_start_s = float(td[-1])
         end = float(comp_d[-1])
         disk.cursor_s = end
@@ -588,6 +605,7 @@ def _replay_segmented(
     responses: list[float],
     busy: list[list[BusyInterval]],
     collect_busy_intervals: bool,
+    rpm_counts: dict[int, int] | None = None,
 ) -> tuple[int, float]:
     """Segmented replay; returns (num_directives, end_time).
 
@@ -728,6 +746,9 @@ def _replay_segmented(
             # Nothing was served through the mirror since the refresh, so
             # the Disk and its stats are already current.
             return
+        if rpm_counts is not None:
+            r = m_rpm[d]
+            rpm_counts[r] = rpm_counts.get(r, 0) + served
         s = stats_l[d]
         s.time_s["idle"] = m_idle_t[d]
         s.energy_j["idle"] = m_idle_e[d]
@@ -839,6 +860,7 @@ def _replay_segmented(
                     ri, delay, bailed = _run_vector(
                         plan, geom, tables, disks, req_times, ri, we, delay,
                         tnext, pc0, nonplain, responses, busy, collect,
+                        rpm_counts,
                     )
                     # On a guard trip the scalar kernel absorbs the
                     # overlapping request (it models queueing exactly)
@@ -881,6 +903,11 @@ def _replay_segmented(
                                         t, nb_l[j], seek_name_l[j]
                                     )
                                     _refresh(d)
+                                    if rpm_counts is not None:
+                                        r = disks[d].rpm
+                                        rpm_counts[r] = (
+                                            rpm_counts.get(r, 0) + 1
+                                        )
                                     cov["subrequests_stepwise"] += 1
                                     fired += 1
                                     if collect:
@@ -943,6 +970,9 @@ def _replay_segmented(
                 if m_valid[d]:
                     _flush(d)
                 done = serves[d](t0, nb_l[j], seek_name_l[j])
+                if rpm_counts is not None:
+                    r = disks[d].rpm
+                    rpm_counts[r] = rpm_counts.get(r, 0) + 1
                 if collect:
                     disk = disks[d]
                     busy[d].append(BusyInterval(d, disk.last_service_start_s, done))
@@ -1036,6 +1066,12 @@ def simulate(
     (the batched kernels do not emit per-interval events).  Reactive
     TPM's autonomous spin-down is handled in-kernel via an exact per-serve
     due check.
+
+    No fallback is silent: each forced routing is logged (DEBUG) with its
+    reason and recorded in ``SimulationResult.engine`` /
+    ``SimulationResult.engine_forced``; explicitly requesting
+    ``engine="segmented"`` with a recorder attached additionally raises a
+    :class:`RuntimeWarning` because the request cannot be honoured.
     """
     if engine not in ("auto", "stepwise", "segmented"):
         raise SimulationError(f"unknown replay engine {engine!r}")
@@ -1071,11 +1107,47 @@ def simulate(
     responses: list[float] = []
     busy: list[list[BusyInterval]] = [[] for _ in disks]
 
-    segmented = (
-        engine != "stepwise"
-        and not reactive
-        and recorder is None
-    )
+    # ------------------------------------------------------------------ #
+    # Engine selection.  Nothing here is silent: every routing away from
+    # the requested/auto engine is logged with its reason, recorded in the
+    # result's ``engine_forced`` metadata, and counted in ``sim.fallbacks``.
+    segmented = engine != "stepwise"
+    forced = ""
+    if segmented and reactive:
+        segmented = False
+        forced = "reactive-controller"
+        logger.debug(
+            "%s/%s: reactive controller %s observes per-sub-request "
+            "completions; routing to the stepwise reference loop",
+            trace.program_name, ctrl.name, type(ctrl).__name__,
+        )
+    if segmented and recorder is not None:
+        segmented = False
+        forced = "timeline-recorder"
+        if engine == "segmented":
+            # The caller explicitly asked for the batched engine *and*
+            # attached a timeline recorder — the two are incompatible
+            # (batch kernels do not emit per-interval events), so the
+            # request cannot be honoured.  Warn loudly rather than
+            # silently substituting the reference loop.
+            warnings.warn(
+                "engine='segmented' is incompatible with a timeline "
+                "recorder; falling back to the stepwise reference engine "
+                "(recorded in SimulationResult.engine_forced)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            logger.warning(
+                "%s/%s: explicit engine='segmented' overridden by "
+                "timeline recorder; replaying stepwise",
+                trace.program_name, ctrl.name,
+            )
+        else:
+            logger.debug(
+                "%s/%s: timeline recorder attached; batch kernels emit "
+                "no per-interval events, replaying stepwise",
+                trace.program_name, ctrl.name,
+            )
     if (
         segmented
         and engine == "auto"
@@ -1089,17 +1161,55 @@ def simulate(
         # identical result.  Measured crossover on the bundled workloads
         # sits below one directive per 24 requests.
         segmented = False
-    if segmented:
-        REPLAY_COVERAGE["replays_segmented"] += 1
-        num_directives, end_time = _replay_segmented(
-            trace, plan, disks, pm, timed, responses, busy, collect_busy_intervals
+        forced = "directive-dense"
+        logger.debug(
+            "%s/%s: directive-dense stream (%d directives for %d "
+            "requests, >= 1 per 24); stepwise loop is faster",
+            trace.program_name, ctrl.name,
+            len(timed) + len(trace.directives), plan.num_requests,
         )
-    else:
-        REPLAY_COVERAGE["replays_stepwise"] += 1
-        REPLAY_COVERAGE["subrequests_stepwise"] += plan.num_subrequests
-        num_directives, end_time = _replay_stepwise(
-            trace, plan, disks, ctrl, reactive, timed, responses, busy,
-            collect_busy_intervals,
+    engine_used = "segmented" if segmented else "stepwise"
+
+    observing = obs.enabled()
+    rpm_counts: dict[int, int] | None = {} if observing else None
+    t_replay0 = time.perf_counter() if observing else 0.0
+    with obs.span(
+        "sim.replay",
+        program=trace.program_name,
+        scheme=ctrl.name,
+        engine=engine_used,
+        requests=plan.num_requests,
+        subrequests=plan.num_subrequests,
+    ) as sp:
+        if forced:
+            sp.set(forced=forced)
+        if segmented:
+            REPLAY_COVERAGE["replays_segmented"] += 1
+            num_directives, end_time = _replay_segmented(
+                trace, plan, disks, pm, timed, responses, busy,
+                collect_busy_intervals, rpm_counts,
+            )
+        else:
+            REPLAY_COVERAGE["replays_stepwise"] += 1
+            REPLAY_COVERAGE["subrequests_stepwise"] += plan.num_subrequests
+            num_directives, end_time = _replay_stepwise(
+                trace, plan, disks, ctrl, reactive, timed, responses, busy,
+                collect_busy_intervals, rpm_counts,
+            )
+        sp.set(directives=num_directives)
+
+    if observing:
+        _metrics.inc("sim.replays", engine=engine_used, scheme=ctrl.name)
+        if forced:
+            _metrics.inc("sim.fallbacks", reason=forced)
+        _metrics.inc("sim.requests", plan.num_requests)
+        _metrics.inc("sim.directives", num_directives)
+        if rpm_counts:
+            for rpm, count in rpm_counts.items():
+                _metrics.inc("sim.subrequests", count, rpm=rpm)
+        _metrics.observe(
+            "sim.replay_wall_s", time.perf_counter() - t_replay0,
+            scheme=ctrl.name,
         )
 
     for disk in disks:
@@ -1117,4 +1227,6 @@ def simulate(
         num_directives=num_directives,
         busy_intervals=tuple(tuple(b) for b in busy) if collect_busy_intervals else (),
         request_responses=tuple(responses),
+        engine=engine_used,
+        engine_forced=forced,
     )

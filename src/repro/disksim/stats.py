@@ -72,6 +72,14 @@ class SimulationResult:
     #: Per logical request, its blocking response time, aligned with the
     #: trace's request order (input to measurement-based cycle estimation).
     request_responses: tuple[float, ...] = field(default=())
+    #: Replay engine that actually ran (``"stepwise"``/``"segmented"``).
+    #: Metadata only — excluded from equality so the engines' bit-identical
+    #: results still compare equal (``""`` on results from older caches).
+    engine: str = field(default="", compare=False)
+    #: Why the replay was routed away from the requested/auto engine
+    #: (``"reactive-controller"``, ``"timeline-recorder"``,
+    #: ``"directive-dense"``; empty when nothing was forced).
+    engine_forced: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.execution_time_s < 0:

@@ -6,6 +6,7 @@ Usage::
     repro-experiments fig3 fig4 table3
     repro-experiments --jobs 4 all
     repro-experiments --no-cache fig5
+    repro-experiments --obs --trace-out run.trace.json table2
 
 Reports render as fixed-width text tables (the same renderings recorded in
 EXPERIMENTS.md).  All artifacts sharing the default configuration reuse one
@@ -13,19 +14,38 @@ set of simulations; completed suite runs additionally persist under
 ``.repro-cache/`` (see :mod:`repro.cache`), so re-rendering is near-free —
 ``--no-cache`` forces everything to be recomputed.  ``--jobs N`` (or
 ``$REPRO_JOBS``) fans independent suite runs out over N worker processes.
+
+Observability (:mod:`repro.obs`) is off by default.  ``--obs`` (or
+``REPRO_OBS=1``) records spans and metrics and writes a run manifest;
+``--trace-out PATH`` additionally exports the span timeline as Chrome
+trace-event JSON (loadable in Perfetto / ``chrome://tracing``) and implies
+``--obs``.  ``-v``/``-vv`` raise the ``repro`` logger to INFO/DEBUG on
+stderr.  Reports always go to **stdout**; every diagnostic line (cache
+summary, manifest path) goes to **stderr**, keeping rendered artifacts
+byte-stable under any flag combination.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+import time
 from typing import Sequence
 
 from . import ablations, extensions, fig3, fig4, fig5_6, fig7_8, fig13, table1, table2, table3
+from .. import obs
 from ..cache import ResultCache
+from ..disksim.simulator import replay_coverage
+from ..obs.manifest import build_manifest, write_manifest
 from .runner import ExperimentContext
 
 __all__ = ["main", "EXPERIMENT_IDS", "run_experiment"]
+
+# Named explicitly (not ``__name__``): ``python -m repro.experiments.cli``
+# runs this module as ``__main__``, which would escape the ``repro`` logger
+# hierarchy the ``-v`` flag configures.
+logger = logging.getLogger("repro.experiments.cli")
 
 EXPERIMENT_IDS: tuple[str, ...] = (
     "fig2",
@@ -47,6 +67,9 @@ EXPERIMENT_IDS: tuple[str, ...] = (
     "summary_edp",
     "gap_anatomy",
 )
+
+#: Default manifest filename when ``--obs`` is on without ``--manifest-out``.
+DEFAULT_MANIFEST_NAME = "repro-run-manifest.json"
 
 
 def run_experiment(exp_id: str, ctx: ExperimentContext) -> list:
@@ -96,7 +119,22 @@ def run_experiment(exp_id: str, ctx: ExperimentContext) -> list:
     raise SystemExit(f"unknown experiment {exp_id!r}; choose from {EXPERIMENT_IDS}")
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def _configure_logging(verbosity: int) -> None:
+    """Map ``-v`` counts onto the ``repro`` logger (0: silent, 1: INFO,
+    2+: DEBUG), with a plain stderr handler."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -126,10 +164,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="persistent result cache location (default: .repro-cache "
         "or $REPRO_CACHE_DIR)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="record spans/metrics (repro.obs) and write a run manifest",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the span timeline as Chrome trace-event JSON "
+        "(Perfetto-loadable); implies --obs",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="PATH",
+        help=f"run-manifest path (default with --obs: {DEFAULT_MANIFEST_NAME})",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        help="-v: INFO engine logs on stderr; -vv: DEBUG "
+        "(incl. replay-engine routing decisions)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     ids = list(args.experiments)
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
+
+    observing = args.obs or args.trace_out is not None or obs.env_requests_obs()
+    if observing:
+        obs.enable()
+
     if args.no_cache:
         cache: ResultCache | bool | None = False
     elif args.cache_dir is not None:
@@ -137,11 +211,76 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         cache = None
     ctx = ExperimentContext(jobs=args.jobs, cache=cache)
+
+    phases: list[dict] = []
+    t_run0 = time.perf_counter()
     for exp_id in ids:
-        for rep in run_experiment(exp_id, ctx):
+        t0 = time.perf_counter()
+        with obs.span("experiment", id=exp_id):
+            reports = run_experiment(exp_id, ctx)
+        phases.append(
+            {"name": exp_id, "wall_s": round(time.perf_counter() - t0, 6)}
+        )
+        logger.info("%s rendered in %.2fs", exp_id, phases[-1]["wall_s"])
+        for rep in reports:
             print(rep.render())
             print()
+    total_wall_s = time.perf_counter() - t_run0
+
+    # Satellite: surface the persistent cache's hit/miss stats.  One line,
+    # on stderr — stdout stays byte-identical to a no-flag run.
+    cache_stats = ctx.cache_stats()
+    if cache_stats is not None:
+        print(ctx.result_cache.summary(), file=sys.stderr)
+
+    if observing:
+        _write_obs_artifacts(args, ids, ctx, phases, total_wall_s, cache_stats)
     return 0
+
+
+def _write_obs_artifacts(
+    args: argparse.Namespace,
+    ids: list[str],
+    ctx: ExperimentContext,
+    phases: list[dict],
+    total_wall_s: float,
+    cache_stats: dict | None,
+) -> None:
+    """Export the Chrome trace and the run manifest (``--obs`` epilogue)."""
+    config = {
+        "experiments": ids,
+        "jobs": ctx.jobs,
+        "cache": cache_stats["dir"] if cache_stats else None,
+        "num_disks": ctx.params.num_disks,
+    }
+    manifest = build_manifest(
+        command="repro-experiments",
+        config=config,
+        phases=phases,
+        cache_stats=cache_stats,
+        engine_stats=dict(replay_coverage()),
+        metrics=obs.metrics.snapshot(),
+        extra={"total_wall_s": round(total_wall_s, 6)},
+    )
+    manifest_path = args.manifest_out or DEFAULT_MANIFEST_NAME
+    write_manifest(manifest_path, manifest)
+    print(f"run manifest: {manifest_path}", file=sys.stderr)
+
+    if args.trace_out is not None:
+        from ..obs.export import write_chrome_trace
+
+        recorder = obs.get_recorder()
+        if isinstance(recorder, obs.SpanRecorder):
+            write_chrome_trace(
+                args.trace_out,
+                recorder,
+                metadata={"command": "repro-experiments", "experiments": ids},
+            )
+            print(
+                f"span timeline ({len(recorder.spans)} spans): "
+                f"{args.trace_out}",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover

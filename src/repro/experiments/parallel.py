@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .. import obs
 from ..cache import ResultCache
 from ..disksim.params import SubsystemParams
 from ..disksim.simulator import simulate
@@ -136,6 +137,69 @@ def _run_suite_spec(payload: tuple[SuiteSpec, str | None]):
     )
 
 
+#: Pid that last reset this process's worker-side observability state.
+_OBS_FRESH_PID: int | None = None
+
+
+def _reset_worker_obs() -> None:
+    """Shed observability state inherited from the parent process.
+
+    Under the ``fork`` start method a pool worker begins life with a *copy*
+    of the parent's metrics registry and span recorder — everything the
+    parent recorded before the fork.  Shipping that copy back in the
+    worker's envelope would double-count it on merge, so the first task a
+    worker runs resets the registry and installs a fresh recorder (under
+    ``spawn`` both are empty and this is a no-op).
+    """
+    global _OBS_FRESH_PID
+    pid = os.getpid()
+    if _OBS_FRESH_PID == pid:
+        return
+    _OBS_FRESH_PID = pid
+    obs.metrics.reset()
+    if obs.enabled():
+        obs.enable(obs.SpanRecorder())
+
+
+def _obs_envelope(flag: bool) -> dict | None:
+    """Drain this worker's observability state for shipping to the parent.
+
+    ``flag`` is whether the *parent* had observability on when it submitted
+    the task; the worker may also have enabled itself via ``REPRO_OBS``
+    (the env is inherited across the pool spawn).  Either way the drained
+    snapshot leaves the worker's registry/recorder empty, so per-task
+    envelopes never double-count.
+    """
+    if not (flag or obs.enabled()):
+        return None
+    rec = obs.get_recorder()
+    return {
+        "metrics": obs.metrics.drain(),
+        "spans": rec.drain(),
+        "events": rec.drain_events() if isinstance(rec, obs.SpanRecorder) else [],
+    }
+
+
+def _run_suite_spec_obs(payload: tuple[SuiteSpec, str | None, bool]):
+    """Pool-worker wrapper: run the suite, ship results + obs envelope."""
+    spec, cache_root, obs_flag = payload
+    _reset_worker_obs()
+    if obs_flag and not obs.enabled():
+        obs.enable()
+    result = _run_suite_spec((spec, cache_root))
+    return result, _obs_envelope(obs_flag)
+
+
+def _run_replay_task_obs(payload: tuple[ReplayTask, bool]):
+    """Pool-worker wrapper: run one replay, ship result + obs envelope."""
+    task, obs_flag = payload
+    _reset_worker_obs()
+    if obs_flag and not obs.enabled():
+        obs.enable()
+    result = _run_replay_task(task)
+    return result, _obs_envelope(obs_flag)
+
+
 def _run_replay_task(task: ReplayTask) -> SimulationResult:
     """Worker: replay one scheme against its (directive-bearing) trace."""
     from ..controllers.compiler_directed import CompilerDirected
@@ -197,17 +261,36 @@ class SuiteExecutor:
         return ProcessPoolExecutor(max_workers=min(self.jobs, num_tasks))
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge_envelope(envelope: dict | None) -> None:
+        """Fold a worker's drained metrics/spans into this process."""
+        if not envelope:
+            return
+        obs.metrics.merge(envelope.get("metrics", {}))
+        rec = obs.get_recorder()
+        if isinstance(rec, obs.SpanRecorder):
+            rec.absorb(envelope.get("spans", []), envelope.get("events", []))
+
     def run_suites(self, specs: Sequence[SuiteSpec]) -> list:
         """Run one scheme suite per spec; results in spec order."""
-        payloads = [(spec, self.cache_root) for spec in specs]
         if self.serial or len(specs) <= 1:
-            return [_run_suite_spec(p) for p in payloads]
+            # In-process: metrics/spans land on the live registry directly.
+            return [_run_suite_spec((spec, self.cache_root)) for spec in specs]
+        obs_flag = obs.enabled()
+        payloads = [(spec, self.cache_root, obs_flag) for spec in specs]
         with self._pool(len(specs)) as pool:
-            return list(pool.map(_run_suite_spec, payloads))
+            pairs = list(pool.map(_run_suite_spec_obs, payloads))
+        for _, envelope in pairs:
+            self._merge_envelope(envelope)
+        return [result for result, _ in pairs]
 
     def run_replays(self, tasks: Sequence[ReplayTask]) -> list[SimulationResult]:
         """Replay the given schemes; results in task order."""
         if self.serial or len(tasks) <= 1:
             return [_run_replay_task(t) for t in tasks]
+        obs_flag = obs.enabled()
         with self._pool(len(tasks)) as pool:
-            return list(pool.map(_run_replay_task, tasks))
+            pairs = list(pool.map(_run_replay_task_obs, [(t, obs_flag) for t in tasks]))
+        for _, envelope in pairs:
+            self._merge_envelope(envelope)
+        return [result for result, _ in pairs]

@@ -162,3 +162,14 @@ class ExperimentContext:
         """Default-configuration suites for the whole Table 2 benchmark set."""
         self.prefetch_defaults()
         return {name: self.suite(name) for name in WORKLOAD_NAMES}
+
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> dict | None:
+        """Persistent-cache hit/miss stats for reports and run manifests.
+
+        Only the parent process's lookups are counted here; worker-side
+        lookups surface through the observability metrics
+        (``cache.hits``/``cache.misses``) when ``--obs`` is on.
+        """
+        cache = self.result_cache
+        return cache.stats() if cache is not None else None

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..analysis.access import NestAccess, analyze_program
 from ..analysis.cycles import (
     EstimationModel,
@@ -121,6 +122,30 @@ def run_schemes(
     unknown = set(schemes) - set(SCHEME_NAMES)
     if unknown:
         raise ReproError(f"unknown schemes {sorted(unknown)}")
+    with obs.span(
+        "suite.run", program=program.name, schemes=len(schemes)
+    ) as suite_span:
+        suite = _run_schemes(
+            program, layout, params, options, estimation, schemes,
+            accesses, timing, cache, executor, engine,
+        )
+        suite_span.set(results=len(suite.results))
+        return suite
+
+
+def _run_schemes(
+    program: Program,
+    layout: SubsystemLayout,
+    params: SubsystemParams,
+    options: TraceOptions,
+    estimation: EstimationModel,
+    schemes: Sequence[str],
+    accesses: Sequence[NestAccess] | None,
+    timing: ProgramTiming | None,
+    cache: ResultCache | None,
+    executor,
+    engine: str,
+) -> SchemeSuite:
     if accesses is None:
         accesses = analyze_program(program)
     if timing is None:
@@ -131,6 +156,11 @@ def run_schemes(
     if cache is not None:
         trace_key = trace_fingerprint(program, layout, options)
         trace = cache.load(trace_key)
+        obs.event(
+            "suite.trace_cache",
+            program=program.name,
+            outcome="hit" if trace is not None else "miss",
+        )
     if trace is None:
         trace = generate_trace(
             program, layout, options, accesses=accesses, timing=timing

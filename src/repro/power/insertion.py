@@ -31,7 +31,9 @@ from ..analysis.cycles import (
     scale_timing,
 )
 from ..analysis.dap import DiskAccessPattern, build_dap
+from .. import obs
 from ..analysis.idle import IdleGap, idle_gaps_from_intervals
+from ..obs import metrics as _metrics
 from ..disksim.params import SubsystemParams
 from ..disksim.powermodel import PowerModel
 from ..ir.nodes import PowerAction, PowerCall
@@ -118,6 +120,41 @@ def plan_power_calls(
     """
     if kind not in ("tpm", "drpm"):
         raise AnalysisError(f"unknown scheme kind {kind!r}")
+    with obs.span(
+        "power.plan", program=program.name, kind=kind,
+        disks=layout.num_disks,
+    ) as _sp:
+        plan = _plan_power_calls(
+            program, layout, params, kind, estimation, accesses, dap,
+            safety_margin_s, call_overhead_cycles, measured, cache_bytes,
+            preactivate,
+        )
+        _sp.set(
+            calls=plan.num_calls,
+            gaps=len(plan.decisions),
+            acted_gaps=len(plan.acted_gaps),
+        )
+        _metrics.inc("power.calls_planned", plan.num_calls, kind=kind)
+        _metrics.inc(
+            "power.gaps_acted", len(plan.acted_gaps), kind=kind
+        )
+        return plan
+
+
+def _plan_power_calls(
+    program: Program,
+    layout: SubsystemLayout,
+    params: SubsystemParams,
+    kind: str,
+    estimation: EstimationModel | None,
+    accesses: Sequence[NestAccess] | None,
+    dap: DiskAccessPattern | None,
+    safety_margin_s: float,
+    call_overhead_cycles: float,
+    measured: ProgramTiming | None,
+    cache_bytes: int | None,
+    preactivate: bool,
+) -> CompilerPlan:
     est_model = estimation or EstimationModel()
     if measured is not None:
         est = scale_timing(measured, est_model.scale_factors(program))

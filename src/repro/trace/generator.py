@@ -41,8 +41,10 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..analysis.access import NestAccess, analyze_program
 from ..analysis.cycles import ProgramTiming, compute_timing
+from ..obs import metrics as _metrics
 from ..ir.nodes import AccessMode, PowerCall
 from ..ir.program import Program
 from ..layout.files import SubsystemLayout
@@ -112,23 +114,31 @@ def generate_trace(
     counters (equivalence tests compare them against the reference path).
     """
     opts = options or TraceOptions()
-    if accesses is None:
-        accesses = analyze_program(program)
-    if timing is None:
-        timing = compute_timing(program)
-    _check_accesses(program, accesses)
+    with obs.span(
+        "trace.generate", program=program.name, disks=layout.num_disks
+    ) as sp:
+        if accesses is None:
+            accesses = analyze_program(program)
+        if timing is None:
+            timing = compute_timing(program)
+        _check_accesses(program, accesses)
 
-    columns, hits, misses = _generate_columns(layout, opts, accesses, timing)
-    if stats is not None:
-        stats["hits"] = hits
-        stats["misses"] = misses
-    return Trace(
-        program_name=program.name,
-        layout=layout,
-        directives=(),
-        total_compute_s=timing.total_seconds,
-        columns=columns,
-    )
+        columns, hits, misses = _generate_columns(layout, opts, accesses, timing)
+        if stats is not None:
+            stats["hits"] = hits
+            stats["misses"] = misses
+        num_requests = int(columns.nominal_time_s.size)
+        sp.set(requests=num_requests, cache_hits=hits, cache_misses=misses)
+        _metrics.inc("trace.cache_hits", hits)
+        _metrics.inc("trace.cache_misses", misses)
+        _metrics.inc("trace.requests", num_requests)
+        return Trace(
+            program_name=program.name,
+            layout=layout,
+            directives=(),
+            total_compute_s=timing.total_seconds,
+            columns=columns,
+        )
 
 
 def _generate_columns(

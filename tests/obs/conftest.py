@@ -1,0 +1,19 @@
+"""Observability tests always start and finish with obs switched off.
+
+The recorder and registry are process-wide singleton state; leaking an
+enabled registry between tests would make counter assertions order-
+dependent (and would silently instrument every other test in the run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable(reset_metrics=True)
+    yield
+    obs.disable(reset_metrics=True)

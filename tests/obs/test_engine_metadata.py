@@ -1,0 +1,99 @@
+"""Engine routing is never silent: result metadata, warnings, metrics.
+
+``simulate`` records the engine it actually ran (``SimulationResult.engine``)
+and why an auto/requested choice was overridden (``engine_forced``); an
+explicit ``engine="segmented"`` that cannot be honoured raises a
+``RuntimeWarning``.  Both fields are ``compare=False`` so result equality —
+the contract the cache and the equivalence suite rely on — is unaffected.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import obs
+from repro.controllers.drpm import ReactiveDRPM
+from repro.disksim.params import SubsystemParams
+from repro.disksim.simulator import simulate
+from repro.disksim.timeline import TimelineRecorder
+from repro.layout.files import FileEntry, SubsystemLayout
+from repro.layout.striping import Striping
+from repro.trace.request import IORequest, Trace
+from repro.util.units import KB
+
+
+def _trace(num_disks=2):
+    layout = SubsystemLayout(
+        num_disks=num_disks,
+        entries=(FileEntry("A", 1024 * KB, Striping(0, num_disks, 64 * KB), 0),),
+    )
+    reqs = (
+        IORequest(0.0, "A", 0, 8 * KB, False),
+        IORequest(2.0, "A", 64 * KB, 8 * KB, False),
+    )
+    return Trace("t", layout, reqs, (), 5.0)
+
+
+@pytest.fixture
+def p():
+    return SubsystemParams(num_disks=2)
+
+
+def test_plain_run_reports_segmented_unforced(p):
+    res = simulate(_trace(), p)
+    assert res.engine == "segmented"
+    assert res.engine_forced == ""
+
+
+def test_explicit_stepwise_is_a_choice_not_a_fallback(p):
+    res = simulate(_trace(), p, engine="stepwise")
+    assert res.engine == "stepwise"
+    assert res.engine_forced == ""
+
+
+def test_reactive_controller_forces_stepwise(p):
+    res = simulate(_trace(), p, ReactiveDRPM(p.drpm))
+    assert res.engine == "stepwise"
+    assert res.engine_forced == "reactive-controller"
+
+
+def test_recorder_with_auto_engine_falls_back_quietly(p):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any warning would fail the test
+        res = simulate(_trace(), p, recorder=TimelineRecorder())
+    assert res.engine == "stepwise"
+    assert res.engine_forced == "timeline-recorder"
+
+
+def test_recorder_with_explicit_segmented_warns(p):
+    with pytest.warns(RuntimeWarning, match="timeline recorder"):
+        res = simulate(
+            _trace(), p, recorder=TimelineRecorder(), engine="segmented"
+        )
+    assert res.engine == "stepwise"
+    assert res.engine_forced == "timeline-recorder"
+
+
+def test_engine_metadata_does_not_break_result_equality(p):
+    fast = simulate(_trace(), p)
+    slow = simulate(_trace(), p, engine="stepwise")
+    assert fast.engine != slow.engine
+    assert fast == slow  # engine fields are compare=False
+
+
+def test_fallbacks_counted_when_observing(p):
+    obs.enable()
+    simulate(_trace(), p, recorder=TimelineRecorder())
+    simulate(_trace(), p, ReactiveDRPM(p.drpm))
+    simulate(_trace(), p)
+    assert obs.metrics.counter("sim.fallbacks", reason="timeline-recorder") == 1
+    assert obs.metrics.counter("sim.fallbacks", reason="reactive-controller") == 1
+    assert obs.metrics.counter("sim.replays", engine="segmented", scheme="Base") == 1
+    # per-RPM service counts cover both requests' sub-request fan-out
+    snap = obs.metrics.snapshot()["counters"]
+    rpm_total = sum(
+        v for k, v in snap.items() if k.startswith("sim.subrequests{rpm=")
+    )
+    assert rpm_total > 0

@@ -303,14 +303,60 @@ def write_trace_report(path: str | Path, repeats: int = 3) -> dict:
     return trace
 
 
+#: Allowed slowdown of the obs-disabled engine vs the committed baseline.
+OBS_OVERHEAD_TOLERANCE = 0.02
+
+
+def check_obs_overhead(repeats: int = 3) -> tuple[bool, str]:
+    """Gate the disabled observability layer's cost on the full suite set.
+
+    ``repro.obs`` must be free when off: every instrumented call site
+    reduces to an attribute load plus a no-op call, and the per-RPM serve
+    accounting is gated on a ``None`` check.  This measures
+    ``all_suites_serial_uncached`` (min of ``repeats``, obs disabled — the
+    default) and compares it against the committed ``BENCH_engine.json``
+    baseline with the :data:`OBS_OVERHEAD_TOLERANCE` (2 %) tolerance.
+    Returns ``(ok, message)``; missing/foreign baselines skip rather than
+    fail (the committed numbers are only meaningful on the machine that
+    produced them).
+    """
+    from repro import obs
+    from repro.experiments.runner import ExperimentContext
+
+    baseline_path = REPO / "BENCH_engine.json"
+    if not baseline_path.exists():
+        return True, "obs overhead: skipped (no BENCH_engine.json baseline)"
+    try:
+        committed = json.loads(baseline_path.read_text())
+        baseline_s = committed["optimized"]["timings_s"][
+            "all_suites_serial_uncached"
+        ]
+    except (KeyError, ValueError):
+        return True, "obs overhead: skipped (baseline lacks the suite timing)"
+    if obs.enabled():  # the gate measures the *disabled* path
+        obs.disable()
+    now_s = min(
+        _time(lambda: ExperimentContext(cache=False).all_suites())
+        for _ in range(repeats)
+    )
+    limit_s = baseline_s * (1.0 + OBS_OVERHEAD_TOLERANCE)
+    msg = (
+        f"obs-disabled all_suites_serial_uncached: {now_s:.3f}s "
+        f"(baseline {baseline_s:.3f}s, limit {limit_s:.3f}s)"
+    )
+    return now_s <= limit_s, msg
+
+
 def run_smoke() -> int:
     """Quick hot-path regression check for CI.
 
     Runs the trace microbench once per workload (asserting bit-identity of
     the two generator paths), the simulator microbench on one workload,
     plus one serial-uncached suite; fails when the columnar pipeline has
-    lost its edge over the seed algorithm or the segmented replay engine
-    has lost its edge on the directive-free Base replay.
+    lost its edge over the seed algorithm, the segmented replay engine
+    has lost its edge on the directive-free Base replay, or the disabled
+    observability layer costs more than the committed-baseline tolerance
+    on the full suite set.
     """
     from repro.workloads import all_workloads
 
@@ -338,6 +384,11 @@ def run_smoke() -> int:
     else:
         print(f"  segmented Base replay speedup: "
               f"{base_row['speedup_segmented']}x")
+    obs_ok, obs_msg = check_obs_overhead()
+    print(f"  {obs_msg}")
+    if not obs_ok:
+        print("SMOKE FAIL: obs-disabled engine exceeds baseline tolerance")
+        failed = True
     if failed:
         return 1
     print("smoke ok")

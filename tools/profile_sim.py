@@ -44,6 +44,12 @@ def main(argv: list[str] | None = None) -> int:
         help="print the replay-engine coverage counters after the run",
     )
     parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="run with repro.obs enabled and print the metric snapshot "
+        "(engine selection, fallbacks, per-RPM service counts, cache)",
+    )
+    parser.add_argument(
         "--engine",
         default="auto",
         choices=("auto", "stepwise", "segmented"),
@@ -51,6 +57,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro import obs
     from repro.disksim.simulator import replay_coverage, reset_replay_coverage
     from repro.experiments.schemes import run_workload
     from repro.workloads.registry import WORKLOAD_NAMES, build_workload
@@ -61,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown workloads {sorted(unknown)}; choose from {WORKLOAD_NAMES}")
     workloads = [build_workload(n) for n in names]
 
+    if args.metrics:
+        # Note: observability adds per-replay bookkeeping, so profile rows
+        # are no longer strictly comparable to a --metrics-free run.
+        obs.enable()
     reset_replay_coverage()
     profiler = cProfile.Profile()
     profiler.enable()
@@ -75,6 +86,17 @@ def main(argv: list[str] | None = None) -> int:
         print("replay engine coverage:")
         for key, value in cov.items():
             print(f"  {key}: {value}")
+    if args.metrics:
+        snap = obs.metrics.snapshot()
+        print("metric snapshot:")
+        for key in sorted(snap["counters"]):
+            print(f"  {key}: {snap['counters'][key]}")
+        for key in sorted(snap["histograms"]):
+            h = snap["histograms"][key]
+            print(
+                f"  {key}: count={h['count']} sum={h['sum']:.4f}s "
+                f"max={h['max']:.4f}s"
+            )
     return 0
 
 

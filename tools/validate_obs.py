@@ -1,0 +1,107 @@
+"""Validate observability artifacts: Chrome trace JSON and run manifests.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/validate_obs.py --trace run.trace.json \
+                                                --manifest repro-run-manifest.json
+
+Checks the emitted span timeline against the Chrome trace-event contract
+(:func:`repro.obs.export.validate_chrome_trace`) and the run manifest
+against its schema (:func:`repro.obs.manifest.validate_manifest`),
+printing a one-line summary per file and every problem found.  Exits
+non-zero when any file is missing or invalid — this is the check the CI
+obs-smoke job applies to a fresh ``repro-experiments --obs`` run.
+
+``--require-spans NAME [NAME ...]`` additionally asserts the trace
+contains complete events with the given names (e.g. ``suite.run``
+``sim.replay``), which catches an exporter that emits structurally valid
+but empty timelines.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> tuple[object, list[str]]:
+    try:
+        return json.loads(path.read_text()), []
+    except FileNotFoundError:
+        return None, [f"{path}: file not found"]
+    except json.JSONDecodeError as exc:
+        return None, [f"{path}: not valid JSON ({exc})"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="Chrome trace-event JSON written by --trace-out",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="run manifest written by --obs / --manifest-out",
+    )
+    parser.add_argument(
+        "--require-spans",
+        nargs="*",
+        default=(),
+        metavar="NAME",
+        help="span names the trace must contain at least once",
+    )
+    args = parser.parse_args(argv)
+    if args.trace is None and args.manifest is None:
+        parser.error("nothing to validate: pass --trace and/or --manifest")
+
+    from repro.obs.export import span_names, validate_chrome_trace
+    from repro.obs.manifest import validate_manifest
+
+    problems: list[str] = []
+
+    if args.trace is not None:
+        path = Path(args.trace)
+        obj, errs = _load(path)
+        problems += errs
+        if obj is not None:
+            errs = [f"{path}: {p}" for p in validate_chrome_trace(obj)]
+            problems += errs
+            if not errs:
+                names = set(span_names(obj))
+                missing = [n for n in args.require_spans if n not in names]
+                problems += [
+                    f"{path}: required span {n!r} absent" for n in missing
+                ]
+                print(
+                    f"trace ok: {path} "
+                    f"({len(obj['traceEvents'])} events, "
+                    f"{len(names)} distinct span names)"
+                )
+
+    if args.manifest is not None:
+        path = Path(args.manifest)
+        obj, errs = _load(path)
+        problems += errs
+        if obj is not None:
+            errs = [f"{path}: {p}" for p in validate_manifest(obj)]
+            problems += errs
+            if not errs:
+                counters = obj["metrics"].get("counters", {})
+                print(
+                    f"manifest ok: {path} "
+                    f"({len(obj['phases'])} phases, "
+                    f"{len(counters)} metric counters)"
+                )
+
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
