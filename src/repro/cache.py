@@ -54,7 +54,9 @@ __all__ = [
 
 #: Bump whenever simulator/planner behaviour changes in a way that alters
 #: results — stale entries from older code versions then never match.
-CACHE_VERSION = 1
+#: v2: DiskStats grew fault counters and suite fingerprints gained the
+#: fault regime (fault configs must never alias clean runs).
+CACHE_VERSION = 2
 
 #: Bump whenever the trace generator's output could change (request
 #: emission order, coalescing, chunking, cache-filter semantics) — cached
@@ -83,10 +85,13 @@ def program_fingerprint(program) -> str:
     return fingerprint("program", repr(program.name), repr(program))
 
 
-def suite_fingerprint(program, layout, params, options, estimation) -> str:
-    """Content hash of one (program, layout, params, options, estimation)
-    suite configuration — everything a scheme replay's output depends on
-    besides the scheme itself."""
+def suite_fingerprint(program, layout, params, options, estimation, faults=None) -> str:
+    """Content hash of one (program, layout, params, options, estimation,
+    faults) suite configuration — everything a scheme replay's output
+    depends on besides the scheme itself.  ``faults`` is the optional
+    :class:`~repro.faults.FaultConfig` (a frozen dataclass of numbers, so
+    its ``repr`` is deterministic); clean runs hash ``faults:None`` and can
+    therefore never alias a faulty regime."""
     return fingerprint(
         f"cache-version:{CACHE_VERSION}",
         program_fingerprint(program),
@@ -94,6 +99,7 @@ def suite_fingerprint(program, layout, params, options, estimation) -> str:
         repr(params),
         repr(options),
         repr(estimation),
+        f"faults:{faults!r}",
     )
 
 

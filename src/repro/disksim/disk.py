@@ -71,6 +71,16 @@ class DiskStats:
     num_spin_downs: int = 0
     num_spin_ups: int = 0
     num_rpm_shifts: int = 0
+    #: Fault accounting (``repro.faults``): transient sub-request errors,
+    #: the retries they triggered, retries abandoned on timeout, failed
+    #: spin-up attempts, missed pre-activation deadlines, and sub-requests
+    #: served degraded (at the pre-directive state) because of a miss.
+    num_request_errors: int = 0
+    num_request_retries: int = 0
+    num_request_timeouts: int = 0
+    num_spinup_failures: int = 0
+    num_deadline_misses: int = 0
+    num_degraded_serves: int = 0
     #: Idle seconds spent at each RPM level (diagnostics for the planner).
     idle_time_by_rpm: dict[int, float] = field(default_factory=dict)
 
@@ -148,6 +158,9 @@ class Disk:
         "_standby_since_s",
         "last_standby_s",
         "recorder",
+        "faults",
+        "_spinup_seq",
+        "_spinup_chain",
         "_lvl_rpm",
         "_lvl_latency",
         "_lvl_rate",
@@ -163,6 +176,7 @@ class Disk:
         auto_spindown_threshold_s: float | None = None,
         initial_rpm: int | None = None,
         recorder=None,
+        faults=None,
     ):
         self.disk_id = disk_id
         self.pm = power_model
@@ -194,6 +208,19 @@ class Disk:
         self.last_standby_s: float = 0.0
         #: Optional :class:`~repro.disksim.timeline.TimelineRecorder`.
         self.recorder = recorder
+        #: Optional :class:`~repro.faults.FaultPlan`.  Spin-up jitter and
+        #: failure chains live entirely inside the state machine — both
+        #: replay engines reach spin-ups only through ``serve`` and the
+        #: power calls, so keying the draws on a per-disk event ordinal
+        #: keeps them engine-invariant for free.
+        self.faults = faults
+        #: Ordinal of the next spin-up *event* on this disk (one event may
+        #: span several attempts when the fault plan injects failures).
+        self._spinup_seq: int = 0
+        #: Remaining attempts of an in-flight faulty spin-up event, as
+        #: ``(duration_s, power_w, ends_in_standby)`` triples drained by
+        #: ``_complete_transition`` ahead of any deferred power call.
+        self._spinup_chain: list[tuple[float, float, bool]] = []
         #: Per-level constants memoized for the current RPM (``serve``'s
         #: fast path re-derives them only when the level changes).
         self._lvl_rpm: int = -1
@@ -267,6 +294,16 @@ class Disk:
         self._transition_to_standby = False
         self.idle_anchor_s = end
         self._auto_armed = True
+        if self._spinup_chain:
+            # Continue a faulty spin-up event: the retry attempt starts the
+            # instant the failed one ends, ahead of any deferred power call
+            # (the directive takes effect once the disk is actually up).
+            dur, power, fail = self._spinup_chain.pop(0)
+            self.stats.num_spin_ups += 1
+            self._begin_transition(
+                self.cursor_s, dur, power, "spin_up", to_standby=fail
+            )
+            return
         if self._pending_action is not None:
             action, rpm = self._pending_action
             self._pending_action = None
@@ -379,7 +416,26 @@ class Disk:
         if self._standby_since_s is not None:
             self.last_standby_s = max(0.0, t - self._standby_since_s)
             self._standby_since_s = None
-        self._begin_transition(t, d, p, "spin_up", to_standby=False)
+        fault = None
+        if self.faults is not None:
+            seq = self._spinup_seq
+            self._spinup_seq = seq + 1
+            fault = self.faults.spinup_fault(self.disk_id, seq)
+        if fault is None:
+            self._begin_transition(t, d, p, "spin_up", to_standby=False)
+            return
+        # Faulty event: a bounded chain of attempts at datasheet power, each
+        # stretched by its jitter; the first ``failures`` attempts end back
+        # in standby, the last always succeeds (retry is bounded by
+        # construction — the plan never draws more failures than retries).
+        self.stats.num_spinup_failures += fault.failures
+        chain = [
+            (d + fault.jitter_s[i], p, i < fault.failures)
+            for i in range(fault.attempts)
+        ]
+        dur0, p0, fail0 = chain[0]
+        self._spinup_chain = chain[1:]
+        self._begin_transition(t, dur0, p0, "spin_up", to_standby=fail0)
 
     def spin_down(self, t: float) -> None:
         """Explicit ``spin_down(disk)`` call (paper §3).
@@ -538,10 +594,26 @@ class Disk:
         self.advance(max(t_issue, self.cursor_s))
         start = t_issue
         guard = 0
+        # Silent-stall audit: a directive arriving mid-spin-up parks in
+        # ``_pending_action`` and a faulty spin-up may chain retries, so the
+        # wait below must *prove* progress each turn — every iteration must
+        # change the (cursor, transition, standby) signature, else the
+        # transition queue has wedged and we fail loudly instead of looping
+        # a request into a 100-iteration timeout with no diagnosis.
+        prev_sig: tuple | None = None
         while True:
             guard += 1
             if guard > 100:  # pragma: no cover - defensive
                 raise SimulationError("serve wait loop failed to converge")
+            sig = (self.cursor_s, self._transition_end_s, self.standby)
+            if sig == prev_sig:
+                raise SimulationError(
+                    f"disk {self.disk_id}: request issued at {t_issue} stalled "
+                    f"(no progress at cursor {self.cursor_s}; transition end "
+                    f"{self._transition_end_s}, standby={self.standby}, "
+                    f"pending={self._pending_action})"
+                )
+            prev_sig = sig
             if self.in_transition:
                 end = self._transition_end_s
                 assert end is not None
@@ -556,6 +628,29 @@ class Disk:
         svc = self.pm.service_time_s(nbytes, self.rpm, seek)
         active_power = self.pm.active_power_w(self.rpm)
         return self._finish_service(start, svc, active_power, self.rpm, nbytes)
+
+    def serve_faulty(
+        self, t_issue: float, nbytes: int, seek: str, errors: int
+    ) -> float:
+        """Service a sub-request whose fault plan drew ``errors`` transient
+        failures: each failed attempt is re-served after an exponential
+        backoff, unless the next retry would start past the per-request
+        timeout — then the request completes failed (timeout counted) at
+        the last attempt's end.  Every attempt runs the exact ``serve``
+        state machine, so both replay engines produce identical timelines.
+        """
+        rates = self.faults.config.rates
+        stats = self.stats
+        done = self.serve(t_issue, nbytes, seek)
+        for attempt in range(errors):
+            stats.num_request_errors += 1
+            retry_at = done + rates.request_backoff_s * (2.0 ** attempt)
+            if retry_at - t_issue > rates.request_timeout_s:
+                stats.num_request_timeouts += 1
+                return done
+            stats.num_request_retries += 1
+            done = self.serve(retry_at, nbytes, seek)
+        return done
 
     # ------------------------------------------------------------------ #
     def finalize(self, t_end: float) -> None:

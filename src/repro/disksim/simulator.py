@@ -309,6 +309,8 @@ def _replay_stepwise(
     busy: list[list[BusyInterval]],
     collect_busy_intervals: bool,
     rpm_counts: dict[int, int] | None = None,
+    directives: Sequence | None = None,
+    fault_plan=None,
 ) -> tuple[int, float]:
     """Reference per-sub-request replay; returns (num_directives, end_time).
 
@@ -328,10 +330,21 @@ def _replay_stepwise(
     disk_l = geom.disk_l
     nb_l = geom.nb_l
     seek_name_l = geom.seek_name_l
-    directives = trace.directives
+    if directives is None:
+        directives = trace.directives
     num_requests = len(req_times)
     num_dir_records = len(directives)
     serves = [d.serve for d in disks]
+    # Fault threading: ``flags[ri]`` marks requests with at least one
+    # faulty sub-request; those dispatch per-sub to ``serve_faulty``.  A
+    # zero-rate plan materializes no flags (nothing can fault), so the hot
+    # loop pays one ``is not None`` test per request.
+    if fault_plan is not None and fault_plan.request_flags is not None:
+        flags = fault_plan.request_flags
+        sub_errors = fault_plan.sub_errors
+    else:
+        flags = None
+        sub_errors = None
     append_response = responses.append
     on_complete = ctrl.on_request_complete if reactive else None
     track = collect_busy_intervals or reactive
@@ -366,9 +379,15 @@ def _replay_stepwise(
 
             t_exec = req_times[ri] + delay
             completion = t_exec
+            faulty = flags is not None and flags[ri]
             for j in range(indptr_l[ri], indptr_l[ri + 1]):
                 disk_id = disk_l[j]
-                done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
+                if faulty and (errs := sub_errors.get(j, 0)):
+                    done = disks[disk_id].serve_faulty(
+                        t_exec, nb_l[j], seek_name_l[j], errs
+                    )
+                else:
+                    done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
                 if rpm_counts is not None:
                     r = disks[disk_id].rpm
                     rpm_counts[r] = rpm_counts.get(r, 0) + 1
@@ -432,9 +451,15 @@ def _replay_stepwise(
                 timed_idx += 1
 
             completion = t_exec
+            faulty = flags is not None and flags[ri]
             for j in range(indptr_l[ri], indptr_l[ri + 1]):
                 disk_id = disk_l[j]
-                done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
+                if faulty and (errs := sub_errors.get(j, 0)):
+                    done = disks[disk_id].serve_faulty(
+                        t_exec, nb_l[j], seek_name_l[j], errs
+                    )
+                else:
+                    done = serves[disk_id](t_exec, nb_l[j], seek_name_l[j])
                 if rpm_counts is not None:
                     r = disks[disk_id].rpm
                     rpm_counts[r] = rpm_counts.get(r, 0) + 1
@@ -606,6 +631,8 @@ def _replay_segmented(
     busy: list[list[BusyInterval]],
     collect_busy_intervals: bool,
     rpm_counts: dict[int, int] | None = None,
+    directives: Sequence | None = None,
+    fault_plan=None,
 ) -> tuple[int, float]:
     """Segmented replay; returns (num_directives, end_time).
 
@@ -627,7 +654,8 @@ def _replay_segmented(
     nb_l = geom.nb_l
     seek_name_l = geom.seek_name_l
     reqmask = geom.request_masks()
-    directives = trace.directives
+    if directives is None:
+        directives = trace.directives
     n = len(req_times)
     num_dir_records = len(directives)
     num_timed = len(timed)
@@ -641,6 +669,22 @@ def _replay_segmented(
     tnext = timed[0].time_s if num_timed else inf
     ri = 0
     di = 0
+
+    # Fault threading: requests with a faulty sub-request must run through
+    # the exact state machine (``serve_faulty`` replays every retry attempt
+    # on ``Disk.serve``), so the batch-kernel windows truncate at the next
+    # flagged request.  ``flagged`` is sorted; the pointer advances
+    # monotonically with ``ri``.  A zero-rate plan flags nothing.
+    if fault_plan is not None and fault_plan.request_flags is not None:
+        flags = fault_plan.request_flags
+        sub_errors = fault_plan.sub_errors
+        flagged = fault_plan.flagged_requests
+    else:
+        flags = None
+        sub_errors = None
+        flagged = []
+    fr_n = len(flagged)
+    fr_idx = 0
 
     # Disks leave the plainly-spinning state only when a directive or a
     # serve touches them, so plainness is tracked incrementally: a mask
@@ -832,6 +876,18 @@ def _replay_segmented(
                     we += 1
                 if we == ri:
                     force_stepwise = True
+            if fr_idx < fr_n:
+                # Truncate the kernel window at the next fault-flagged
+                # request; if that request is the current one, serve it on
+                # the exact path below.
+                while fr_idx < fr_n and flagged[fr_idx] < ri:
+                    fr_idx += 1
+                if fr_idx < fr_n:
+                    nf = flagged[fr_idx]
+                    if nf == ri:
+                        force_stepwise = True
+                    elif nf < we:
+                        we = nf
 
             if not force_stepwise:
                 if tnext is not inf:
@@ -961,15 +1017,19 @@ def _replay_segmented(
                 continue
 
             # Exact stepwise service of request ri (it touches a disk in
-            # transition or standby).
+            # transition or standby, or carries fault-flagged sub-requests).
             completion = t0
             s = indptr_l[ri]
             e = indptr_l[ri + 1]
+            faulty = flags is not None and flags[ri]
             for j in range(s, e):
                 d = disk_l[j]
                 if m_valid[d]:
                     _flush(d)
-                done = serves[d](t0, nb_l[j], seek_name_l[j])
+                if faulty and (errs := sub_errors.get(j, 0)):
+                    done = disks[d].serve_faulty(t0, nb_l[j], seek_name_l[j], errs)
+                else:
+                    done = serves[d](t0, nb_l[j], seek_name_l[j])
                 if rpm_counts is not None:
                     r = disks[d].rpm
                     rpm_counts[r] = rpm_counts.get(r, 0) + 1
@@ -1046,8 +1106,19 @@ def simulate(
     recorder=None,
     plan: ReplayPlan | None = None,
     engine: str = "auto",
+    faults=None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``params`` with an optional controller.
+
+    ``faults`` optionally supplies a :class:`~repro.faults.FaultConfig`;
+    the regime is materialized into a :class:`~repro.faults.FaultPlan`
+    against this trace's replay plan *before* engine dispatch, so both
+    engines consume the same event schedule: pre-activation directives
+    slip their deadlines up front (the shifted streams replace the clean
+    ones), per-sub-request transient errors route flagged requests through
+    the exact retry state machine, and spin-up jitter/failure chains live
+    inside :class:`~repro.disksim.disk.Disk`.  A zero-rate config threads
+    the same code paths and reproduces the clean result bit-identically.
 
     ``recorder`` optionally attaches a
     :class:`~repro.disksim.timeline.TimelineRecorder` to every disk,
@@ -1085,6 +1156,11 @@ def simulate(
         plan = ReplayPlan.for_trace(trace)
     elif not plan.matches(trace):
         raise SimulationError("replay plan was built for a different request stream")
+    fault_plan = None
+    if faults is not None:
+        from ..faults import FaultPlan
+
+        fault_plan = FaultPlan(faults, plan)
     pm = PowerModel(params.disk, params.drpm)
     disks = [
         Disk(
@@ -1092,6 +1168,7 @@ def simulate(
             pm,
             auto_spindown_threshold_s=ctrl.auto_spindown_threshold_s,
             recorder=recorder,
+            faults=fault_plan,
         )
         for i in range(params.num_disks)
     ]
@@ -1103,6 +1180,21 @@ def simulate(
     timed: Sequence[TimedDirective] = sorted(
         ctrl.timed_directives(), key=lambda d: d.time_s
     )
+    # Deadline misses shift pre-activation directives *before* engine
+    # dispatch: both engines replay the already-slipped streams, and the
+    # requests a slip strands at the pre-directive disk state simply serve
+    # there — the graceful-degradation semantics fall out of the ordinary
+    # replay rules (low-RPM service for the DRPM family, a reactive
+    # spin-up for the TPM family), with the directive honoured late.
+    directives = trace.directives
+    trace_misses: tuple = ()
+    timed_misses: tuple = ()
+    if fault_plan is not None:
+        top_rpm = params.disk.rpm
+        directives, trace_misses = fault_plan.delay_trace_directives(
+            directives, top_rpm
+        )
+        timed, timed_misses = fault_plan.delay_timed_directives(timed, top_rpm)
 
     responses: list[float] = []
     busy: list[list[BusyInterval]] = [[] for _ in disks]
@@ -1151,7 +1243,7 @@ def simulate(
     if (
         segmented
         and engine == "auto"
-        and 24 * (len(timed) + len(trace.directives)) >= plan.num_requests
+        and 24 * (len(timed) + len(directives)) >= plan.num_requests
     ):
         # Directive-dense replays (a DRPM plan brackets every exploited
         # gap with two level shifts, oracle or compiler-inserted) chop the
@@ -1166,7 +1258,7 @@ def simulate(
             "%s/%s: directive-dense stream (%d directives for %d "
             "requests, >= 1 per 24); stepwise loop is faster",
             trace.program_name, ctrl.name,
-            len(timed) + len(trace.directives), plan.num_requests,
+            len(timed) + len(directives), plan.num_requests,
         )
     engine_used = "segmented" if segmented else "stepwise"
 
@@ -1183,20 +1275,35 @@ def simulate(
     ) as sp:
         if forced:
             sp.set(forced=forced)
+        if fault_plan is not None:
+            sp.set(fault_seed=faults.seed)
         if segmented:
             REPLAY_COVERAGE["replays_segmented"] += 1
             num_directives, end_time = _replay_segmented(
                 trace, plan, disks, pm, timed, responses, busy,
-                collect_busy_intervals, rpm_counts,
+                collect_busy_intervals, rpm_counts, directives, fault_plan,
             )
         else:
             REPLAY_COVERAGE["replays_stepwise"] += 1
             REPLAY_COVERAGE["subrequests_stepwise"] += plan.num_subrequests
             num_directives, end_time = _replay_stepwise(
                 trace, plan, disks, ctrl, reactive, timed, responses, busy,
-                collect_busy_intervals, rpm_counts,
+                collect_busy_intervals, rpm_counts, directives, fault_plan,
             )
         sp.set(directives=num_directives)
+
+    if fault_plan is not None:
+        # Deadline-miss and degraded-serve accounting is derived from the
+        # (engine-invariant) miss windows and the plan's nominal
+        # coordinates, so both engines report identical counters.  Oracle
+        # (absolute-time) windows count misses only: their times live on
+        # the realized timeline, which nominal coordinates cannot index.
+        for d_id, _, _ in trace_misses:
+            disks[d_id].stats.num_deadline_misses += 1
+        for d_id, _, _ in timed_misses:
+            disks[d_id].stats.num_deadline_misses += 1
+        for d_id, cnt in fault_plan.degraded_counts(plan, trace_misses).items():
+            disks[d_id].stats.num_degraded_serves += cnt
 
     if observing:
         _metrics.inc("sim.replays", engine=engine_used, scheme=ctrl.name)
@@ -1211,6 +1318,24 @@ def simulate(
             "sim.replay_wall_s", time.perf_counter() - t_replay0,
             scheme=ctrl.name,
         )
+        if fault_plan is not None:
+            stats_list = [d.stats for d in disks]
+            for metric, total in (
+                ("sim.faults.request_errors",
+                 sum(s.num_request_errors for s in stats_list)),
+                ("sim.faults.request_retries",
+                 sum(s.num_request_retries for s in stats_list)),
+                ("sim.faults.request_timeouts",
+                 sum(s.num_request_timeouts for s in stats_list)),
+                ("sim.faults.spinup_failures",
+                 sum(s.num_spinup_failures for s in stats_list)),
+                ("sim.faults.deadline_misses",
+                 len(trace_misses) + len(timed_misses)),
+                ("sim.faults.degraded_serves",
+                 sum(s.num_degraded_serves for s in stats_list)),
+            ):
+                if total:
+                    _metrics.inc(metric, total, scheme=ctrl.name)
 
     for disk in disks:
         disk.finalize(end_time)

@@ -66,6 +66,7 @@ EXPERIMENT_IDS: tuple[str, ...] = (
     "ext_pdc",
     "summary_edp",
     "gap_anatomy",
+    "fault_sensitivity",
 )
 
 #: Default manifest filename when ``--obs`` is on without ``--manifest-out``.
@@ -116,6 +117,10 @@ def run_experiment(exp_id: str, ctx: ExperimentContext) -> list:
         from . import gaps
 
         return [gaps.run(ctx)]
+    if exp_id == "fault_sensitivity":
+        from . import faults as faults_exp
+
+        return [faults_exp.run(ctx)]
     raise SystemExit(f"unknown experiment {exp_id!r}; choose from {EXPERIMENT_IDS}")
 
 
@@ -165,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
         "or $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-injection seed (repro.faults); only meaningful with "
+        "--fault-rates (default seed: 1)",
+    )
+    parser.add_argument(
+        "--fault-rates",
+        default=None,
+        metavar="SPEC",
+        help="apply a deterministic fault regime to every replay: "
+        "comma-separated key=value knobs (e.g. "
+        "'deadline_miss_p=0.1,request_error_p=0.002') or the "
+        "'severity=X' shorthand; see repro.faults.FaultRates",
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help="record spans/metrics (repro.obs) and write a run manifest",
@@ -210,7 +232,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache = ResultCache(args.cache_dir)
     else:
         cache = None
-    ctx = ExperimentContext(jobs=args.jobs, cache=cache)
+
+    faults = None
+    if args.fault_rates is not None:
+        from ..faults import DEFAULT_FAULT_SEED, FaultConfig, parse_fault_rates
+
+        seed = args.fault_seed if args.fault_seed is not None else DEFAULT_FAULT_SEED
+        faults = FaultConfig(seed=seed, rates=parse_fault_rates(args.fault_rates))
+        logger.info("fault regime: %r", faults)
+    elif args.fault_seed is not None:
+        logger.warning("--fault-seed without --fault-rates has no effect")
+    ctx = ExperimentContext(jobs=args.jobs, cache=cache, faults=faults)
 
     phases: list[dict] = []
     t_run0 = time.perf_counter()
@@ -252,6 +284,7 @@ def _write_obs_artifacts(
         "jobs": ctx.jobs,
         "cache": cache_stats["dir"] if cache_stats else None,
         "num_disks": ctx.params.num_disks,
+        "faults": repr(ctx.faults) if ctx.faults is not None else None,
     }
     manifest = build_manifest(
         command="repro-experiments",

@@ -36,6 +36,7 @@ from ..cache import ResultCache
 from ..disksim.params import SubsystemParams
 from ..disksim.simulator import simulate
 from ..disksim.stats import SimulationResult
+from ..faults import FaultConfig
 from ..layout.files import SubsystemLayout, default_layout
 from ..trace.request import Trace
 from ..util.errors import ReproError
@@ -95,6 +96,9 @@ class SuiteSpec:
     #: Opaque tag identifying the configuration (sweep key); returned
     #: untouched so callers can re-associate results.
     key: tuple = ()
+    #: Optional :class:`~repro.faults.FaultConfig` applied to every replay
+    #: of the suite (a frozen dataclass of numbers — cheap to pickle).
+    faults: FaultConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,8 @@ class ReplayTask:
     #: Replay engine selector, forwarded to ``simulate`` (see
     #: :func:`repro.disksim.simulator.simulate`).
     engine: str = "auto"
+    #: Optional :class:`~repro.faults.FaultConfig` forwarded to ``simulate``.
+    faults: FaultConfig | None = None
 
 
 def _run_suite_spec(payload: tuple[SuiteSpec, str | None]):
@@ -134,6 +140,7 @@ def _run_suite_spec(payload: tuple[SuiteSpec, str | None]):
         wl.estimation,
         schemes=spec.schemes or SCHEME_NAMES,
         cache=cache,
+        faults=spec.faults,
     )
 
 
@@ -224,7 +231,7 @@ def _run_replay_task(task: ReplayTask) -> SimulationResult:
         ctrl = CompilerDirected("drpm")
     else:
         raise ReproError(f"unknown replay scheme {scheme!r}")
-    return simulate(trace, params, ctrl, engine=task.engine)
+    return simulate(trace, params, ctrl, engine=task.engine, faults=task.faults)
 
 
 class SuiteExecutor:

@@ -28,6 +28,7 @@ from ..analysis.access import NestAccess, analyze_program
 from ..analysis.cycles import ProgramTiming, compute_timing
 from ..cache import ResultCache
 from ..disksim.params import SubsystemParams
+from ..faults import FaultConfig
 from ..layout.files import SubsystemLayout, default_layout
 from ..workloads.base import Workload
 from ..workloads.registry import WORKLOAD_NAMES, build_workload
@@ -47,6 +48,9 @@ class ExperimentContext:
     #: ``None`` resolves the environment (on by default), ``False`` (or any
     #: falsy value) disables, or pass a :class:`ResultCache` directly.
     cache: "ResultCache | bool | None" = None
+    #: Optional fault regime (:class:`~repro.faults.FaultConfig`) applied to
+    #: every suite this context runs; per-call ``faults`` overrides win.
+    faults: FaultConfig | None = None
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _suites: dict[tuple, SchemeSuite] = field(default_factory=dict)
     _analyses: dict[str, tuple] = field(default_factory=dict, repr=False)
@@ -108,11 +112,13 @@ class ExperimentContext:
         params: SubsystemParams | None = None,
         layout: SubsystemLayout | None = None,
         key: tuple = (),
+        faults: FaultConfig | None = None,
     ) -> SchemeSuite:
         """Scheme suite for one benchmark under one configuration.
 
-        ``key`` must uniquely tag any non-default ``params``/``layout``
-        combination (sweep modules pass e.g. ``("stripe_size", 32768)``).
+        ``key`` must uniquely tag any non-default ``params``/``layout``/
+        ``faults`` combination (sweep modules pass e.g.
+        ``("stripe_size", 32768)`` or ``("fault_severity", 0.1)``).
         """
         cache_key = (name, key)
         if cache_key not in self._suites:
@@ -132,6 +138,7 @@ class ExperimentContext:
                 timing=timing,
                 cache=self.result_cache,
                 executor=None if executor.serial else executor,
+                faults=faults if faults is not None else self.faults,
             )
         return self._suites[cache_key]
 
@@ -155,7 +162,10 @@ class ExperimentContext:
     def prefetch_defaults(self, names: Sequence[str] | None = None) -> None:
         """Prefetch the default-configuration suite of each benchmark."""
         self.prefetch(
-            [SuiteSpec(name, params=self.params) for name in names or WORKLOAD_NAMES]
+            [
+                SuiteSpec(name, params=self.params, faults=self.faults)
+                for name in names or WORKLOAD_NAMES
+            ]
         )
 
     def all_suites(self) -> dict[str, SchemeSuite]:

@@ -98,6 +98,7 @@ def run_schemes(
     cache: ResultCache | None = None,
     executor=None,
     engine: str = "auto",
+    faults=None,
 ) -> SchemeSuite:
     """Simulate ``program`` under each scheme in ``schemes``.
 
@@ -118,6 +119,11 @@ def run_schemes(
     ``engine`` selects the replay engine (see
     :func:`~repro.disksim.simulator.simulate`); the default picks the
     segmented batch engine wherever it applies.
+    ``faults`` optionally applies a :class:`~repro.faults.FaultConfig` to
+    every replay of the suite (the event schedule is scheme-invariant —
+    the same sub-request error draws hit every scheme); the suite cache
+    fingerprint includes the regime, so faulty results never alias clean
+    ones.
     """
     unknown = set(schemes) - set(SCHEME_NAMES)
     if unknown:
@@ -127,7 +133,7 @@ def run_schemes(
     ) as suite_span:
         suite = _run_schemes(
             program, layout, params, options, estimation, schemes,
-            accesses, timing, cache, executor, engine,
+            accesses, timing, cache, executor, engine, faults,
         )
         suite_span.set(results=len(suite.results))
         return suite
@@ -145,6 +151,7 @@ def _run_schemes(
     cache: ResultCache | None,
     executor,
     engine: str,
+    faults=None,
 ) -> SchemeSuite:
     if accesses is None:
         accesses = analyze_program(program)
@@ -172,7 +179,7 @@ def _run_schemes(
     replay_plan = ReplayPlan.for_trace(trace)
 
     suite_fp = (
-        suite_fingerprint(program, layout, params, options, estimation)
+        suite_fingerprint(program, layout, params, options, estimation, faults)
         if cache is not None
         else None
     )
@@ -195,6 +202,7 @@ def _run_schemes(
             collect_busy_intervals=True,
             plan=replay_plan,
             engine=engine,
+            faults=faults,
         )
         _store("Base", base)
     measured = measured_timing(
@@ -245,6 +253,7 @@ def _run_schemes(
                 params=params,
                 base=base if scheme in ("ITPM", "IDRPM") else None,
                 engine=engine,
+                faults=faults,
             )
             for scheme in pending
         ]
@@ -255,22 +264,23 @@ def _run_schemes(
             if scheme == "TPM":
                 ctrl: Controller = ReactiveTPM(params.effective_tpm_threshold_s)
                 results[scheme] = simulate(
-                    trace, params, ctrl, plan=replay_plan, engine=engine
+                    trace, params, ctrl, plan=replay_plan, engine=engine,
+                    faults=faults,
                 )
             elif scheme == "ITPM":
                 results[scheme] = simulate(
                     trace, params, OracleTPM(base, params), plan=replay_plan,
-                    engine=engine,
+                    engine=engine, faults=faults,
                 )
             elif scheme == "DRPM":
                 results[scheme] = simulate(
                     trace, params, ReactiveDRPM(params.drpm), plan=replay_plan,
-                    engine=engine,
+                    engine=engine, faults=faults,
                 )
             elif scheme == "IDRPM":
                 results[scheme] = simulate(
                     trace, params, OracleDRPM(base, params), plan=replay_plan,
-                    engine=engine,
+                    engine=engine, faults=faults,
                 )
             else:
                 kind = "tpm" if scheme == "CMTPM" else "drpm"
@@ -280,6 +290,7 @@ def _run_schemes(
                     CompilerDirected(kind),
                     plan=replay_plan,
                     engine=engine,
+                    faults=faults,
                 )
 
     for scheme in pending:
@@ -311,6 +322,7 @@ def run_workload(
     cache: ResultCache | None = None,
     executor=None,
     engine: str = "auto",
+    faults=None,
 ) -> SchemeSuite:
     """Run one Table 2 benchmark under (by default) Table 1 parameters."""
     p = params or SubsystemParams()
@@ -327,4 +339,5 @@ def run_workload(
         cache=cache,
         executor=executor,
         engine=engine,
+        faults=faults,
     )

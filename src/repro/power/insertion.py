@@ -93,6 +93,7 @@ def plan_power_calls(
     measured: ProgramTiming | None = None,
     cache_bytes: int | None = None,
     preactivate: bool = True,
+    slack_margin_frac: float = 0.0,
 ) -> CompilerPlan:
     """Run the full compiler pipeline for CMTPM (``kind="tpm"``) or CMDRPM
     (``kind="drpm"``).
@@ -117,6 +118,12 @@ def plan_power_calls(
     delay — the ablation quantifying what pre-activation buys (paper §3:
     "if we do not use pre-activation ... we incur the associated spin-up
     delay fully").
+
+    ``slack_margin_frac`` widens each gap's pre-activation margin by that
+    fraction of its residual slack (see :func:`repro.power.planner.plan_gaps`)
+    — a robustness knob for environments where directives land late or
+    spin-ups run slow (:mod:`repro.faults`).  The default ``0.0`` is
+    bit-identical to the fixed-margin compiler.
     """
     if kind not in ("tpm", "drpm"):
         raise AnalysisError(f"unknown scheme kind {kind!r}")
@@ -127,7 +134,7 @@ def plan_power_calls(
         plan = _plan_power_calls(
             program, layout, params, kind, estimation, accesses, dap,
             safety_margin_s, call_overhead_cycles, measured, cache_bytes,
-            preactivate,
+            preactivate, slack_margin_frac,
         )
         _sp.set(
             calls=plan.num_calls,
@@ -154,6 +161,7 @@ def _plan_power_calls(
     measured: ProgramTiming | None,
     cache_bytes: int | None,
     preactivate: bool,
+    slack_margin_frac: float = 0.0,
 ) -> CompilerPlan:
     est_model = estimation or EstimationModel()
     if measured is not None:
@@ -191,7 +199,7 @@ def _plan_power_calls(
         gaps = idle_gaps_from_intervals(
             intervals[disk], disk, horizon, min_gap_s=min_gap
         )
-        for dec in plan_gaps(gaps, pm, kind, safety_margin_s):
+        for dec in plan_gaps(gaps, pm, kind, safety_margin_s, slack_margin_frac):
             decisions.append(dec)
             if not dec.acts:
                 continue

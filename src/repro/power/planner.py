@@ -63,11 +63,23 @@ class GapDecision:
 
 
 def plan_tpm_gap(
-    gap: IdleGap, pm: PowerModel, safety_margin_s: float = 0.0
+    gap: IdleGap,
+    pm: PowerModel,
+    safety_margin_s: float = 0.0,
+    slack_margin_frac: float = 0.0,
 ) -> GapDecision:
-    """Optimal TPM use of one gap (spin down or do nothing)."""
+    """Optimal TPM use of one gap (spin down or do nothing).
+
+    ``slack_margin_frac`` widens the pre-activation margin by that fraction
+    of the gap's residual slack (what remains after the round-trip and the
+    fixed margin): a robustness knob trading standby residency for
+    tolerance to late directives and slow spin-ups (:mod:`repro.faults`).
+    Zero (the default) is bit-identical to the fixed-margin planner.
+    """
     if safety_margin_s < 0:
         raise AnalysisError("safety margin must be >= 0")
+    if not 0.0 <= slack_margin_frac < 1.0:
+        raise AnalysisError("slack margin fraction must be in [0, 1)")
     length = gap.duration_s
     t_down, t_up = pm.spin_down_time_s, pm.spin_up_time_s
     idle_cost = pm.idle_power_w(pm.disk.rpm) * length
@@ -82,34 +94,46 @@ def plan_tpm_gap(
         return GapDecision(
             gap, GapMode.STANDBY, None, gap.start_s, None, idle_cost - cost
         )
-    usable = length - t_down - t_up - safety_margin_s
+    margin = safety_margin_s
+    if slack_margin_frac:
+        slack = length - t_down - t_up - safety_margin_s
+        if slack > 0:
+            margin = safety_margin_s + slack_margin_frac * slack
+    usable = length - t_down - t_up - margin
     if usable <= 0:
         return none
     cost = (
         pm.spin_down_energy_j
         + pm.spin_up_energy_j
         + pm.standby_power_w * usable
-        + pm.idle_power_w(pm.disk.rpm) * safety_margin_s
+        + pm.idle_power_w(pm.disk.rpm) * margin
     )
     if cost >= idle_cost:
         return none
-    up_at = gap.end_s - t_up - safety_margin_s
+    up_at = gap.end_s - t_up - margin
     return GapDecision(
         gap, GapMode.STANDBY, None, gap.start_s, up_at, idle_cost - cost
     )
 
 
 def plan_drpm_gap(
-    gap: IdleGap, pm: PowerModel, safety_margin_s: float = 0.0
+    gap: IdleGap,
+    pm: PowerModel,
+    safety_margin_s: float = 0.0,
+    slack_margin_frac: float = 0.0,
 ) -> GapDecision:
     """Optimal DRPM use of one gap: the energy-minimizing reachable level.
 
     Vectorized over all levels; the disk is assumed to enter the gap at
     full speed (the planner's own up-transitions guarantee it for the
-    next gap).
+    next gap).  ``slack_margin_frac`` reserves that fraction of each
+    level's residual slack as extra pre-activation margin (charged at top
+    idle power, like the fixed margin) — see :func:`plan_tpm_gap`.
     """
     if safety_margin_s < 0:
         raise AnalysisError("safety margin must be >= 0")
+    if not 0.0 <= slack_margin_frac < 1.0:
+        raise AnalysisError("slack margin fraction must be in [0, 1)")
     length = gap.duration_s
     top = pm.disk.rpm
     levels = np.asarray(pm.levels)
@@ -121,15 +145,28 @@ def plan_drpm_gap(
     usable = length - t_down - t_up - margin
     p_idle = pm.idle_power_per_level
     p_top = pm.idle_power_w(top)
+    if slack_margin_frac and not gap.trailing:
+        extra = slack_margin_frac * np.maximum(usable, 0.0)
+        usable = usable - extra
+    else:
+        extra = np.zeros_like(t_down)
     # Transition segments draw the faster level's power == top level here.
-    cost = p_top * (t_down + t_up) + p_idle * np.maximum(usable, 0.0) + p_top * margin
+    cost = (
+        p_top * (t_down + t_up)
+        + p_idle * np.maximum(usable, 0.0)
+        + p_top * (margin + extra)
+    )
     cost = np.where(usable >= 0, cost, np.inf)
     idle_cost = p_top * length
     best = int(np.argmin(cost))
     best_rpm = int(levels[best])
     if best_rpm == top or not np.isfinite(cost[best]) or cost[best] >= idle_cost:
         return GapDecision(gap, GapMode.NONE, None, gap.start_s, None, 0.0)
-    up_at = None if gap.trailing else gap.end_s - float(t_up[best]) - margin
+    up_at = (
+        None
+        if gap.trailing
+        else gap.end_s - float(t_up[best]) - margin - float(extra[best])
+    )
     return GapDecision(
         gap,
         GapMode.RPM,
@@ -141,7 +178,10 @@ def plan_drpm_gap(
 
 
 def _plan_drpm_gaps(
-    gaps: Sequence[IdleGap], pm: PowerModel, safety_margin_s: float
+    gaps: Sequence[IdleGap],
+    pm: PowerModel,
+    safety_margin_s: float,
+    slack_margin_frac: float = 0.0,
 ) -> list[GapDecision]:
     """Batch form of :func:`plan_drpm_gap` over a whole gap list.
 
@@ -164,10 +204,19 @@ def _plan_drpm_gaps(
     t_up = np.where(trailing[:, None], 0.0, t_down[None, :])
     margin = np.where(trailing, 0.0, safety_margin_s)
     usable = length[:, None] - t_down[None, :] - t_up - margin[:, None]
+    if slack_margin_frac:
+        extra = np.where(
+            trailing[:, None],
+            0.0,
+            slack_margin_frac * np.maximum(usable, 0.0),
+        )
+        usable = usable - extra
+    else:
+        extra = np.zeros_like(usable)
     cost = (
         p_top * (t_down[None, :] + t_up)
         + p_idle[None, :] * np.maximum(usable, 0.0)
-        + p_top * margin[:, None]
+        + p_top * (margin[:, None] + extra)
     )
     cost = np.where(usable >= 0, cost, np.inf)
     idle_cost = p_top * length
@@ -175,6 +224,7 @@ def _plan_drpm_gaps(
     rows = np.arange(len(gaps))
     cost_b = cost[rows, best]
     t_up_b = t_up[rows, best]
+    extra_b = extra[rows, best]
     acts = np.isfinite(cost_b) & (cost_b < idle_cost)
 
     decisions: list[GapDecision] = []
@@ -187,7 +237,7 @@ def _plan_drpm_gaps(
         up_at = (
             None
             if gap.trailing
-            else gap.end_s - float(t_up_b[i]) - safety_margin_s
+            else gap.end_s - float(t_up_b[i]) - safety_margin_s - float(extra_b[i])
         )
         append(
             GapDecision(
@@ -207,12 +257,18 @@ def plan_gaps(
     pm: PowerModel,
     kind: str,
     safety_margin_s: float = 0.0,
+    slack_margin_frac: float = 0.0,
 ) -> list[GapDecision]:
     """Plan a list of gaps with the TPM or DRPM policy (``kind``)."""
     if safety_margin_s < 0:
         raise AnalysisError("safety margin must be >= 0")
+    if not 0.0 <= slack_margin_frac < 1.0:
+        raise AnalysisError("slack margin fraction must be in [0, 1)")
     if kind == "tpm":
-        return [plan_tpm_gap(g, pm, safety_margin_s) for g in gaps]
+        return [
+            plan_tpm_gap(g, pm, safety_margin_s, slack_margin_frac)
+            for g in gaps
+        ]
     if kind == "drpm":
-        return _plan_drpm_gaps(gaps, pm, safety_margin_s)
+        return _plan_drpm_gaps(gaps, pm, safety_margin_s, slack_margin_frac)
     raise AnalysisError(f"unknown planning kind {kind!r} (use 'tpm' or 'drpm')")

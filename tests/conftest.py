@@ -7,7 +7,10 @@ tests build the real Table 2 workloads.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.disksim.params import DiskParams, DRPMParams, SubsystemParams
 from repro.disksim.powermodel import PowerModel
@@ -15,6 +18,18 @@ from repro.ir.builder import ProgramBuilder
 from repro.layout.files import default_layout
 from repro.trace.generator import TraceOptions
 from repro.util.units import KB
+
+
+# Coverage instrumentation (pytest-cov in CI, tools/measure_coverage.py
+# locally) slows every example enough to trip hypothesis's per-example
+# deadline; the "coverage" profile drops it.  Select with
+# HYPOTHESIS_PROFILE=coverage (the CI coverage job does).
+settings.register_profile(
+    "coverage",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture()

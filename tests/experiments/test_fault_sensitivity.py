@@ -1,0 +1,78 @@
+"""Fault-sensitivity experiment and the CLI fault flags."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.faults import fault_sensitivity
+from repro.experiments.runner import ExperimentContext
+from repro.faults import DEFAULT_FAULT_SEED, FaultConfig, FaultRates
+
+
+def test_fault_sensitivity_report_shape_and_erosion():
+    ctx = ExperimentContext(cache=False)
+    rep = fault_sensitivity(ctx, benchmark="swim", severities=(0.0, 0.4))
+    assert rep.experiment_id == "fault_sensitivity"
+    assert list(rep.rows) == ["sev=0", "sev=0.4"]
+    # Reactive DRPM is deadline-free: its normalized energy stays put.
+    drpm0 = rep.value("sev=0", "E_DRPM")
+    drpm1 = rep.value("sev=0.4", "E_DRPM")
+    assert drpm1 == pytest.approx(drpm0, rel=0.05)
+    # The compiler-directed scheme pays for missed deadlines: energy rises
+    # and the miss/degraded counters actually fire.
+    assert rep.value("sev=0.4", "E_CMDRPM") > rep.value("sev=0", "E_CMDRPM")
+    assert rep.value("sev=0", "misses") == 0.0
+    assert rep.value("sev=0.4", "misses") > 0
+    assert rep.value("sev=0.4", "degraded") > 0
+
+
+def test_fault_sensitivity_zero_severity_reuses_clean_suite():
+    ctx = ExperimentContext(cache=False)
+    clean = ctx.suite("swim")
+    rep = fault_sensitivity(ctx, benchmark="swim", severities=(0.0,))
+    assert ctx.suite("swim") is clean  # memo key () — no duplicate run
+    assert rep.value("sev=0", "misses") == 0.0
+
+
+# --------------------------------------------------------------------- #
+# CLI flags
+# --------------------------------------------------------------------- #
+def test_cli_parses_fault_flags():
+    args = build_parser().parse_args(
+        ["--fault-seed", "7", "--fault-rates", "severity=0.1", "table2"]
+    )
+    assert args.fault_seed == 7
+    assert args.fault_rates == "severity=0.1"
+
+
+def test_cli_builds_fault_config(monkeypatch, capsys):
+    """main() must hand the experiment context the parsed regime."""
+    seen = {}
+
+    def fake_run(exp_id, ctx):
+        seen["faults"] = ctx.faults
+        from repro.experiments.report import ExperimentReport
+
+        return [ExperimentReport("fig2", "stub", columns=("x",))]
+
+    monkeypatch.setattr("repro.experiments.cli.run_experiment", fake_run)
+    rc = main(["--no-cache", "--fault-rates", "severity=0.2", "fig2"])
+    assert rc == 0
+    assert seen["faults"] == FaultConfig(
+        seed=DEFAULT_FAULT_SEED, rates=FaultRates.from_severity(0.2)
+    )
+    capsys.readouterr()
+
+
+def test_cli_without_fault_flags_leaves_faults_unset(monkeypatch, capsys):
+    seen = {}
+
+    def fake_run(exp_id, ctx):
+        seen["faults"] = ctx.faults
+        from repro.experiments.report import ExperimentReport
+
+        return [ExperimentReport("fig2", "stub", columns=("x",))]
+
+    monkeypatch.setattr("repro.experiments.cli.run_experiment", fake_run)
+    assert main(["--no-cache", "fig2"]) == 0
+    assert seen["faults"] is None
+    capsys.readouterr()

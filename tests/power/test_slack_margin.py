@@ -1,0 +1,151 @@
+"""Slack-aware pre-activation margin (``slack_margin_frac``).
+
+The robustness knob reserves a fraction of each gap's residual slack as
+extra wake-up lead: the default ``0.0`` must be bit-identical to the
+fixed-margin planner, a positive fraction must only move ``up_at``
+earlier (never later) and never violate feasibility, and the scalar and
+batch DRPM planners must agree exactly at every fraction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.idle import IdleGap
+from repro.disksim.params import DiskParams, DRPMParams, SubsystemParams
+from repro.disksim.powermodel import PowerModel
+from repro.layout.files import default_layout
+from repro.power.insertion import plan_power_calls
+from repro.power.planner import (
+    GapMode,
+    _plan_drpm_gaps,
+    plan_drpm_gap,
+    plan_gaps,
+    plan_tpm_gap,
+)
+from repro.util.errors import AnalysisError
+from repro.workloads.registry import build_workload
+
+
+@pytest.fixture()
+def pm():
+    return PowerModel(DiskParams(), DRPMParams())
+
+
+def _gap(duration, trailing=False, start=100.0):
+    return IdleGap(disk=0, start_s=start, end_s=start + duration, trailing=trailing)
+
+
+_GAPS = [
+    _gap(5.0), _gap(12.0), _gap(30.0), _gap(120.0), _gap(600.0),
+    _gap(30.0, trailing=True), _gap(600.0, trailing=True),
+]
+
+
+# --------------------------------------------------------------------- #
+# Zero fraction is the identity
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["tpm", "drpm"])
+def test_zero_fraction_is_bit_identical(pm, kind):
+    base = plan_gaps(_GAPS, pm, kind, safety_margin_s=0.05)
+    explicit = plan_gaps(
+        _GAPS, pm, kind, safety_margin_s=0.05, slack_margin_frac=0.0
+    )
+    assert base == explicit
+
+
+# --------------------------------------------------------------------- #
+# Positive fractions: earlier wake-ups, intact feasibility
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ["tpm", "drpm"])
+@pytest.mark.parametrize("frac", [0.1, 0.25, 0.5])
+def test_positive_fraction_moves_up_at_earlier(pm, kind, frac):
+    base = plan_gaps(_GAPS, pm, kind, safety_margin_s=0.05)
+    widened = plan_gaps(
+        _GAPS, pm, kind, safety_margin_s=0.05, slack_margin_frac=frac
+    )
+    for b, w in zip(base, widened):
+        if w.up_at_s is not None and b.up_at_s is not None:
+            assert w.up_at_s <= b.up_at_s
+            # Feasibility: the wake-up still starts inside the gap.
+            assert w.gap.start_s <= w.up_at_s <= w.gap.end_s
+        if w.acts and b.acts:
+            # Extra margin is pure insurance: it can only cost energy.
+            assert w.est_saving_j <= b.est_saving_j + 1e-12
+
+
+@pytest.mark.parametrize("kind", ["tpm", "drpm"])
+def test_trailing_gaps_unaffected(pm, kind):
+    trailing = [g for g in _GAPS if g.trailing]
+    base = plan_gaps(trailing, pm, kind, safety_margin_s=0.05)
+    widened = plan_gaps(
+        trailing, pm, kind, safety_margin_s=0.05, slack_margin_frac=0.5
+    )
+    assert base == widened  # no return transition, no deadline, no margin
+
+
+# --------------------------------------------------------------------- #
+# Scalar ⇔ batch DRPM agreement at every fraction
+# --------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(
+    frac=st.floats(0.0, 0.99, allow_nan=False),
+    margin=st.floats(0.0, 1.0, allow_nan=False),
+    duration=st.floats(0.5, 2000.0, allow_nan=False),
+    trailing=st.booleans(),
+)
+def test_scalar_batch_drpm_agree(frac, margin, duration, trailing):
+    pm = PowerModel(DiskParams(), DRPMParams())
+    gap = _gap(duration, trailing=trailing)
+    scalar = plan_drpm_gap(gap, pm, margin, frac)
+    (batch,) = _plan_drpm_gaps([gap], pm, margin, frac)
+    assert scalar == batch
+
+
+def test_tpm_margin_grows_with_fraction(pm):
+    gap = _gap(600.0)
+    decs = [
+        plan_tpm_gap(gap, pm, 0.05, frac) for frac in (0.0, 0.2, 0.4, 0.8)
+    ]
+    ups = [d.up_at_s for d in decs]
+    assert all(d.mode is GapMode.STANDBY for d in decs)
+    assert ups == sorted(ups, reverse=True)  # strictly earlier each step
+    assert len(set(ups)) == len(ups)
+
+
+# --------------------------------------------------------------------- #
+# Validation and end-to-end threading
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("bad", [-0.1, 1.0, 2.5])
+def test_invalid_fraction_rejected(pm, bad):
+    with pytest.raises(AnalysisError, match="slack margin"):
+        plan_tpm_gap(_GAPS[0], pm, 0.05, bad)
+    with pytest.raises(AnalysisError, match="slack margin"):
+        plan_drpm_gap(_GAPS[0], pm, 0.05, bad)
+    with pytest.raises(AnalysisError, match="slack margin"):
+        plan_gaps(_GAPS, pm, "tpm", 0.05, bad)
+
+
+def test_plan_power_calls_threads_fraction():
+    wl = build_workload("swim")
+    params = SubsystemParams()
+    layout = default_layout(wl.program.arrays, num_disks=params.num_disks)
+    base = plan_power_calls(wl.program, layout, params, "drpm", wl.estimation)
+    same = plan_power_calls(
+        wl.program, layout, params, "drpm", wl.estimation, slack_margin_frac=0.0
+    )
+    assert base.placements == same.placements
+    assert base.decisions == same.decisions
+    widened = plan_power_calls(
+        wl.program, layout, params, "drpm", wl.estimation, slack_margin_frac=0.3
+    )
+    moved = 0
+    base_by_gap = {(d.gap.disk, d.gap.start_s): d for d in base.decisions}
+    for d in widened.decisions:
+        b = base_by_gap.get((d.gap.disk, d.gap.start_s))
+        if b is None or d.up_at_s is None or b.up_at_s is None:
+            continue
+        assert d.up_at_s <= b.up_at_s + 1e-12
+        if d.up_at_s < b.up_at_s:
+            moved += 1
+    assert moved > 0

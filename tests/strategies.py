@@ -9,6 +9,10 @@ which the cross-module property tests assert as a meta-check.
 Kept deliberately small (tens of iterations, tiny arrays) so whole
 pipelines — analysis, trace generation, simulation, transformation — run in
 milliseconds per example.
+
+Also here: :func:`fault_rates` / :func:`fault_configs`, random (but valid
+and runtime-bounded) :mod:`repro.faults` regimes for the fault-equivalence
+property tests.
 """
 
 from __future__ import annotations
@@ -17,12 +21,13 @@ from dataclasses import dataclass
 
 from hypothesis import strategies as st
 
+from repro.faults import FaultConfig, FaultRates
 from repro.ir.arrays import Array, StorageOrder
 from repro.ir.expr import Affine, var
 from repro.ir.nodes import AccessMode, ArrayRef, Loop, Statement
 from repro.ir.program import Program
 
-__all__ = ["programs", "perfect_2d_nests"]
+__all__ = ["programs", "perfect_2d_nests", "fault_rates", "fault_configs"]
 
 
 @dataclass
@@ -134,6 +139,55 @@ def programs(
 
     return Program(
         name="hypo", arrays=tuple(arrays), nests=tuple(nests), clock_hz=1e6
+    )
+
+
+def _prob(hi: float = 1.0):
+    """A probability in [0, hi] biased toward the interesting corners."""
+    return st.one_of(
+        st.just(0.0),
+        st.just(hi),
+        st.floats(0.0, hi, allow_nan=False, allow_infinity=False),
+    )
+
+
+@st.composite
+def fault_rates(draw, allow_null: bool = True):
+    """A random valid :class:`repro.faults.FaultRates`.
+
+    Bounds are chosen so any regime stays cheap to replay: jitter and
+    deadline slips of a few seconds, short retry chains, sub-request error
+    rates capped well below 1 (every sub-request erroring multiplies the
+    stepwise serve count by the retry bound).
+    """
+    rates = FaultRates(
+        spinup_jitter_p=draw(_prob()),
+        spinup_jitter_max_s=draw(st.floats(0.0, 3.0, allow_nan=False)),
+        spinup_fail_p=draw(_prob()),
+        spinup_max_retries=draw(st.integers(0, 4)),
+        request_error_p=draw(_prob(0.2)),
+        request_max_retries=draw(st.integers(1, 4)),
+        request_backoff_s=draw(st.floats(0.0, 0.05, allow_nan=False)),
+        request_timeout_s=draw(st.floats(0.001, 2.0, allow_nan=False)),
+        deadline_miss_p=draw(_prob()),
+        deadline_miss_max_s=draw(st.floats(0.0, 5.0, allow_nan=False)),
+    )
+    if not allow_null and rates.is_null:
+        rates = FaultRates(
+            spinup_jitter_p=1.0,
+            spinup_jitter_max_s=max(rates.spinup_jitter_max_s, 0.1),
+            deadline_miss_p=rates.deadline_miss_p,
+            request_error_p=rates.request_error_p,
+        )
+    return rates
+
+
+@st.composite
+def fault_configs(draw, allow_null: bool = True):
+    """A random :class:`repro.faults.FaultConfig` (seed + rates)."""
+    return FaultConfig(
+        seed=draw(st.integers(0, 2**31 - 1)),
+        rates=draw(fault_rates(allow_null=allow_null)),
     )
 
 
