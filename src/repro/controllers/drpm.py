@@ -27,6 +27,7 @@ from __future__ import annotations
 from ..disksim.disk import Disk
 from ..disksim.params import DRPMParams
 from ..disksim.powermodel import PowerModel
+from ..power.planner import drpm_window_step
 from .base import Controller
 
 __all__ = ["ReactiveDRPM"]
@@ -90,16 +91,11 @@ class ReactiveDRPM(Controller):
         self._window_count[d] = 0
         prev = self._prev_mean[d]
         self._prev_mean[d] = mean
-        if prev is None or prev <= 0:
+        target = drpm_window_step(prev, mean, disk.rpm, self.drpm)
+        if target is None:
             return
-        delta = (mean - prev) / prev
-        if delta > self.drpm.upper_tolerance:
-            if disk.rpm != self.drpm.max_rpm:
-                disk.set_rpm(t_complete, self.drpm.max_rpm)
-                # Reference resets: the next comparison starts from the
-                # recovered (full-speed) service level.
-                self._prev_mean[d] = None
-        elif delta < self.drpm.lower_tolerance:
-            idx = self.drpm.level_index(disk.rpm)
-            if idx > 0:
-                disk.set_rpm(t_complete, self.drpm.levels[idx - 1])
+        disk.set_rpm(t_complete, target)
+        if target == self.drpm.max_rpm:
+            # Reference resets: the next comparison starts from the
+            # recovered (full-speed) service level.
+            self._prev_mean[d] = None

@@ -242,6 +242,25 @@ class Disk:
     def in_transition(self) -> bool:
         return self._transition_end_s is not None
 
+    @property
+    def mirrorable(self) -> bool:
+        """Whether the segmented engine may shadow this disk in its mirror.
+
+        The vectorized replay (:mod:`repro.disksim.simulator`) keeps a
+        per-disk copy of the fields ``serve``/``set_rpm``/``spin_down``/
+        ``spin_up`` read and write — cursor, ready, idle anchor, RPM,
+        standby flag, one in-flight transition — and only writes them back
+        at flush points.  Two pieces of state are deliberately *not*
+        mirrored, because they queue further work whose dispatch order the
+        mirror cannot reproduce without re-implementing the whole state
+        machine: a pending deferred action (directive issued mid-transition)
+        and a multi-level spin-up chain.  While either is set the engine
+        must drive this disk through the exact methods; it checks this
+        property at refresh points and routes the disk scalar-exact until
+        the queued work drains.
+        """
+        return self._pending_action is None and not self._spinup_chain
+
     def _begin_transition(
         self,
         start_s: float,

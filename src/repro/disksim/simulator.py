@@ -20,16 +20,26 @@ Two replay engines produce bit-identical results:
 
 * **stepwise** — the reference per-sub-request state machine:
   ``Disk.serve`` once per sub-request, directives merged inline.
-* **segmented** — splits the merged request/directive stream into
-  *quiescent segments* (no pending compiler/oracle/timed directive, a
-  non-reactive controller, no auto-spindown armed, no transition in
-  flight on any disk the segment touches) and replays each segment with
-  a batched kernel: per-request service maxima are a vectorized table
-  lookup, the closed-loop ``delay`` feedback is a short scan, and
-  idle/active time and energy accrue per (disk, state, RPM) in bulk at
-  segment end.  Requests that touch a disk mid-transition or in standby,
-  reactive controllers (TPM/DRPM), and timeline recording fall back to
-  the exact ``Disk.serve`` state machine unchanged.
+* **segmented** — maintains a per-disk *mirror* of the fields the request
+  path reads and writes (cursor, ready, idle anchor, RPM, standby flag,
+  one in-flight transition, per-state time/energy partial sums) and
+  replays the merged stream against it.  Power directives are
+  *segment-boundary state edits*: between kernel windows the directive
+  mutates the mirror exactly as ``Disk.set_rpm``/``spin_down``/
+  ``spin_up`` would, so IDRPM/CMTPM/CMDRPM replays stay batched instead
+  of ending a segment.  Windows with no disk in a mirrored-busy or
+  exact-routed state run the vectorized kernel (service maxima as table
+  lookups, closed-loop ``delay`` as a short scan, idle/active accrual in
+  bulk); windows touching a busy disk run a scalar mirror loop that
+  resolves the in-flight transition inline.  Reactive DRPM's window
+  heuristic is folded into both via :func:`repro.power.planner.
+  drpm_window_step`.  Only genuinely entangled cases escape to the exact
+  ``Disk`` methods — a directive landing inside a transition, an
+  auto-spindown falling due, a standby wake, a spin-up fault, or queued
+  deferred work (see :attr:`Disk.mirrorable`) — and each escape is
+  counted by reason in :func:`replay_coverage` and the
+  ``sim.fallbacks{reason}`` metric.  Timeline recording still replays
+  stepwise.
 
 Within a quiescent segment the synchronous model guarantees every
 sub-request starts exactly at its issue time: the app blocks until the
@@ -50,7 +60,8 @@ from __future__ import annotations
 import logging
 import time
 import warnings
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
+from itertools import repeat
 from math import inf
 from typing import Sequence
 
@@ -74,6 +85,12 @@ __all__ = [
     "replay_coverage",
     "reset_replay_coverage",
     "VECTOR_MIN_REQUESTS",
+    "VECTOR_MIN_SUBREQUESTS",
+    "VECTOR_MIN_SUBREQUESTS_PM",
+    "DRPM_VECTOR_MIN_WINDOW",
+    "AUTO_VECTOR_MIN_REQUESTS",
+    "AUTO_MIN_REQUESTS",
+    "AUTO_ROUTING",
 ]
 
 logger = logging.getLogger(__name__)
@@ -81,17 +98,92 @@ logger = logging.getLogger(__name__)
 #: Clock used to charge directive call overhead (Tm), paper §4.1.
 _CLOCK_HZ = 750e6
 
-#: Minimum quiescent-run length (in requests) for the NumPy batch kernel;
-#: shorter runs (e.g. the ~5-request gaps between DRPM level directives)
-#: use the scalar mini-kernel, which skips array setup overhead.
+#: Minimum quiescent-run length (in requests) before the NumPy batch
+#: kernel is even considered; the binding gate is
+#: :data:`VECTOR_MIN_SUBREQUESTS` on the truncated window.
 VECTOR_MIN_REQUESTS = 64
+
+#: Minimum *sub-request* count (after hot/fault truncation) for the NumPy
+#: batch kernel.  The kernel carries ~0.2 ms of fixed array setup per
+#: window while the scalar mirror serves a sub in ~1 µs, so the measured
+#: crossover sits near 300 subs on this container; shorter windows (e.g.
+#: single-disk request streams cut every ~24 requests by DRPM level
+#: directives) run the scalar mirror, which has no setup cost.
+VECTOR_MIN_SUBREQUESTS = 256
+
+#: Lower sub-request floor for power-managed replays (reactive TPM/DRPM).
+#: Their scalar alternative is the general per-sub loop with auto-due and
+#: window-fold checks (~2× the tight loop's cost), which moves the
+#: crossover down; DRPM windows in particular are count-bounded at
+#: ``window_size × num_disks`` subs and would otherwise never vectorize.
+VECTOR_MIN_SUBREQUESTS_PM = 96
+
+#: Reactive-DRPM vector gate: a DRPM vector window is count-bounded at
+#: ``window_size × num_disks`` sub-requests (every disk's window must stay
+#: open across it).  Below this product the windows are too short to
+#: amortize the kernel's per-window setup — measured a net loss at the
+#: default ``window_size=30`` with 8 disks (~240-sub ceiling) — so such
+#: replays keep the scalar mirror kernel end to end.
+DRPM_VECTOR_MIN_WINDOW = 512
+
+#: Reactive-TPM vector gate: every autonomous spin-down costs one
+#: re-probe round trip through the driver (fire-bound recomputation plus
+#: window setup), which on short streams outweighs what the vector kernel
+#: saves between fires.  Streams below this request count keep the scalar
+#: mirror kernel; above it the fire-bounded vector windows win (measured
+#: crossover between the 7k- and 12k-request Table 2 traces).
+AUTO_VECTOR_MIN_REQUESTS = 8192
+
+#: Maximum scalar-window length (in requests) while timed directives are
+#: pending.  Deferral keeps serving disks the due directives do not touch,
+#: so without a cap one due directive on an idle disk could pin the whole
+#: remaining stream to the scalar kernel; every ``cap`` requests the
+#: driver drains and re-probes for a vector window instead.
+DEFER_WINDOW_REQUESTS = 128
+
+#: Minimum stream length (in requests) for the segmented engine under
+#: ``engine="auto"``: below this the mirror/kernel setup costs more than
+#: the whole stepwise replay.  Measured crossover on this container — see
+#: ``AUTO_ROUTING`` (recorded in run manifests) and docs/performance.md.
+AUTO_MIN_REQUESTS = 48
+
+#: The ``auto`` routing rule in manifest-ready form.  Since directives
+#: became boundary edits the only remaining engine-level crossover is
+#: stream length; the in-kernel vector/scalar crossovers (measured on this
+#: container, see docs/performance.md) ride along so a run manifest
+#: records the full routing policy that produced its numbers.
+AUTO_ROUTING: dict = {
+    "rule": "segmented if num_requests >= min_requests",
+    "min_requests": AUTO_MIN_REQUESTS,
+    "directive_density_cutoff": None,
+    "vector_min_requests": VECTOR_MIN_REQUESTS,
+    "vector_min_subrequests": VECTOR_MIN_SUBREQUESTS,
+    "vector_min_subrequests_pm": VECTOR_MIN_SUBREQUESTS_PM,
+    "auto_vector_min_requests": AUTO_VECTOR_MIN_REQUESTS,
+    "drpm_vector_min_window": DRPM_VECTOR_MIN_WINDOW,
+    "defer_window_requests": DEFER_WINDOW_REQUESTS,
+}
 
 #: Engine observability: how much of the replay ran on which path.
 #: ``subrequests_stepwise`` counts sub-requests served through the exact
-#: ``Disk.serve`` state machine (the whole replay for reactive schemes;
-#: fallback requests for segmented replays), ``subrequests_vector`` /
+#: ``Disk.serve`` state machine (the whole replay for stepwise routing;
+#: per-sub escapes for segmented replays), ``subrequests_vector`` /
 #: ``subrequests_scalar`` count the batched kernels, and ``bailouts``
-#: counts per-request kernel exits on the rounding guard.
+#: counts per-request vector-kernel exits on the rounding guard.
+#: ``segments_scalar`` counts *maximal* scalar-kernel runs — directive
+#: boundary edits (``directive_edits``) and per-sub escapes do not close a
+#: segment, only a vector run does.  ``fallback_*`` keys count the per-sub
+#: and per-call escapes to the exact state machine by reason;
+#: ``directive_mid_service`` counts calls clamped to a mirror cursor (the
+#: call landed while the disk was busy); ``windows_scalar_short_run``
+#: counts windows too short for the vector kernel.
+#:
+#: The counters are a plain module-global dict — deliberately: they sit on
+#: the hottest loops and a registry indirection is measurable there.  The
+#: contract is single-process: pool workers each accumulate their own copy,
+#: and :func:`simulate` additionally mirrors per-replay deltas into
+#: ``repro.obs.metrics`` (prefix ``sim.coverage.``) when observability is
+#: enabled, which *is* drained and merged across workers.
 REPLAY_COVERAGE: dict[str, int] = {}
 
 
@@ -106,6 +198,14 @@ def reset_replay_coverage() -> None:
         subrequests_scalar=0,
         subrequests_stepwise=0,
         bailouts=0,
+        directive_edits=0,
+        directive_mid_service=0,
+        windows_scalar_short_run=0,
+        fallback_transition_entangled=0,
+        fallback_auto_spindown=0,
+        fallback_spinup_fault=0,
+        fallback_standby_wake=0,
+        fallback_fault_flagged=0,
     )
 
 
@@ -136,6 +236,21 @@ def apply_call(disk: Disk, t: float, call: PowerCall) -> None:
         raise SimulationError(f"unknown power action {call.action}")
 
 
+_REACTIVE_DRPM_TYPE = None
+
+
+def _reactive_drpm_type():
+    """The :class:`ReactiveDRPM` class, imported lazily and cached —
+    :mod:`repro.controllers` imports this package, so a module-top import
+    would cycle."""
+    global _REACTIVE_DRPM_TYPE
+    if _REACTIVE_DRPM_TYPE is None:
+        from ..controllers.drpm import ReactiveDRPM
+
+        _REACTIVE_DRPM_TYPE = ReactiveDRPM
+    return _REACTIVE_DRPM_TYPE
+
+
 # ---------------------------------------------------------------------- #
 # Per-plan derived geometry and per-power-model service tables
 # ---------------------------------------------------------------------- #
@@ -161,6 +276,7 @@ class _PlanGeometry:
         "counts",
         "nbytes_f",
         "subs_by_disk",
+        "disk_cnt_at_req",
         "reqmask",
     )
 
@@ -177,6 +293,7 @@ class _PlanGeometry:
         self.counts = None
         self.nbytes_f = None
         self.subs_by_disk = None
+        self.disk_cnt_at_req = None
         self.reqmask = None
 
     def nbytes_float(self) -> np.ndarray:
@@ -192,6 +309,12 @@ class _PlanGeometry:
             self.counts = np.diff(plan.indptr)
             self.subs_by_disk = [
                 np.nonzero(plan.sub_disk == d)[0] for d in range(plan.num_disks)
+            ]
+            # Per disk, how many of its subs precede each request boundary
+            # (``cnt[d][k]`` = subs of disk d in requests [0, k)); turns the
+            # per-window ``searchsorted`` pair into two O(1) lookups.
+            self.disk_cnt_at_req = [
+                np.searchsorted(sbd, plan.indptr) for sbd in self.subs_by_disk
             ]
         self.nbytes_float()
 
@@ -509,12 +632,19 @@ def _run_vector(
     busy: list[list[BusyInterval]],
     collect: bool,
     rpm_counts: dict[int, int] | None = None,
+    drpm_fold: tuple[list[float], list[int], np.ndarray] | None = None,
 ) -> tuple[int, float, bool]:
     """Batch-replay requests ``[ri, we)``; all touched disks are plain.
 
     Returns ``(next_request, delay, bailed)``; ``bailed`` means request
     ``next_request`` overlaps a previous completion (rounding guard) and
     must continue on the scalar kernel, which models queueing exactly.
+
+    With ``drpm_fold`` (reactive DRPM), each disk's normalized response
+    ratios accumulate into the controller's window state ``(sum, count)``.
+    The caller guarantees no window closes inside ``[ri, we)``; the fold
+    is a sequential left-to-right accumulate, bit-equal to the scalar
+    ``+=`` chain.
     """
     geom.vector_views()
     indptr_l = geom.indptr_l
@@ -551,14 +681,15 @@ def _run_vector(
     r_append = responses.append
     pc = pc0
     bailed = False
-    for i in range(ri, we):
-        t = req_times[i] + delay
+    mx_win = mx[ri:we] if mx_off == 0 else mx
+    for tn, m in zip(req_times[ri:we], mx_win):
+        t = tn + delay
         if t >= tnext:
             break
         if t < pc:
             bailed = True
             break
-        comp = t + mx[i - mx_off]
+        comp = t + m
         resp = comp - t
         r_append(resp)
         delay += resp
@@ -574,12 +705,14 @@ def _run_vector(
 
     sk = indptr_l[k]
     rep_t = np.repeat(np.array(t_list, dtype=np.float64), geom.counts[ri:k])
+    cnt_at = geom.disk_cnt_at_req
     for disk in disks:
-        sbd = geom.subs_by_disk[disk.disk_id]
-        lo = int(np.searchsorted(sbd, s0))
-        hi = int(np.searchsorted(sbd, sk))
+        cnt_d = cnt_at[disk.disk_id]
+        lo = int(cnt_d[ri])
+        hi = int(cnt_d[k])
         if lo == hi:
             continue
+        sbd = geom.subs_by_disk[disk.disk_id]
         idx_abs = sbd[lo:hi]
         idx = idx_abs - s0
         td = rep_t[idx]
@@ -596,6 +729,14 @@ def _run_vector(
         stats.bytes_served += int(plan.sub_nbytes[idx_abs].sum())
         if rpm_counts is not None:
             rpm_counts[rpm] = rpm_counts.get(rpm, 0) + int(idx.size)
+        if drpm_fold is not None:
+            dw_sum, dw_cnt, top_np = drpm_fold
+            d_id = disk.disk_id
+            acc = np.empty(idx.size + 1)
+            acc[0] = dw_sum[d_id]
+            acc[1:] = (comp_d - td) / top_np[idx_abs]
+            dw_sum[d_id] = float(np.add.accumulate(acc)[-1])
+            dw_cnt[d_id] += int(idx.size)
         disk.last_service_start_s = float(td[-1])
         end = float(comp_d[-1])
         disk.cursor_s = end
@@ -606,8 +747,7 @@ def _run_vector(
         if collect:
             d_id = disk.disk_id
             busy[d_id].extend(
-                BusyInterval(d_id, a, b)
-                for a, b in zip(td.tolist(), comp_d.tolist())
+                map(BusyInterval, repeat(d_id), td.tolist(), comp_d.tolist())
             )
 
     cov = REPLAY_COVERAGE
@@ -633,17 +773,47 @@ def _replay_segmented(
     rpm_counts: dict[int, int] | None = None,
     directives: Sequence | None = None,
     fault_plan=None,
+    drpm=None,
 ) -> tuple[int, float]:
     """Segmented replay; returns (num_directives, end_time).
 
     The driver walks the merged request/directive stream like the stepwise
-    engine but hands maximal quiescent runs to the batch kernels.  A run
-    ends at the next trace directive (known boundary), at the first
-    request whose issue time reaches the next timed directive (discovered
-    inside the kernel scan, since issue times depend on the closed-loop
-    delay), or at the first request touching a disk that is not plainly
-    spinning.  Directives and standby/transition service run through the
-    exact state-machine code paths.
+    engine, batching quiescent runs through the vector kernel and everything
+    else through the persistent per-disk *mirror* — flat locals performing
+    ``Disk.serve``'s exact arithmetic without per-sub method dispatch.
+
+    Power directives are *boundary edits*: a call that does not overlap an
+    in-flight service updates the mirror's (state, RPM, pending-transition)
+    image directly — the exact settle/begin-transition arithmetic of
+    ``Disk.set_rpm``/``spin_down``/``spin_up`` — so DRPM- and TPM-family
+    replays stay on the batched path instead of ending a segment.  Only
+    genuinely entangled calls fall through to the exact state machine
+    (flush → ``apply_call`` → re-mirror), with the reason counted per kind
+    in the coverage counters:
+
+    * ``fallback_transition_entangled`` — the call lands inside an
+      in-flight transition (the state machine parks it in
+      ``_pending_action``, whose completion chaining the mirror does not
+      model);
+    * ``fallback_auto_spindown`` — the disk runs an autonomous spin-down
+      policy, so ``advance``'s fire check must arbitrate the edit;
+    * ``fallback_spinup_fault`` — the spin-up would draw a fault (jittered
+      retry chains live in ``Disk``);
+    * ``fallback_standby_wake`` — a request found the disk spun down (the
+      serve-path spin-up, including its fault draws, runs exactly);
+    * ``fallback_fault_flagged`` — the sub-request carries transient
+      errors (``serve_faulty`` replays every retry on ``Disk.serve``).
+
+    A mirror transition is *serveable*: a request that arrives while a
+    mirror-initiated spin-up or RPM shift is in flight waits it out with
+    the slow-path arithmetic (partial accrual, completion, idle settle at
+    the new level) without leaving the batched path.
+
+    When ``drpm`` (a :class:`~repro.disksim.params.DRPMParams`) is given,
+    the reactive-DRPM window heuristic runs *in kernel*: the per-sub
+    normalized-response fold and the window-boundary level decision
+    (:func:`repro.power.planner.drpm_window_step`) are applied as boundary
+    edits, so reactive DRPM no longer routes stepwise under ``auto``.
     """
     num_disks = len(disks)
     geom = _geometry(plan)
@@ -662,19 +832,37 @@ def _replay_segmented(
     serves = [d.serve for d in disks]
     append_response = responses.append
     cov = REPLAY_COVERAGE
+    # High-frequency coverage counters accumulate in locals (one dict op
+    # per replay instead of several per window/directive).
+    seg_scalar_c = 0
+    subs_scalar_c = 0
+    subs_step_c = 0
+    short_run_c = 0
+    dir_edits_c = 0
     collect = collect_busy_intervals
+    counting = rpm_counts is not None
     delay = 0.0
     num_directives = 0
     timed_idx = 0
     tnext = timed[0].time_s if num_timed else inf
     ri = 0
     di = 0
+    # Deferred timed directives: a timed call is an absolute-time,
+    # zero-overhead edit on exactly one disk, so it commutes with serves
+    # on every other disk.  Instead of closing the window at ``tnext``,
+    # the scalar kernel accumulates the due-but-unapplied directives'
+    # target set (``pend_mask``, scanned up to ``pidx``) and keeps
+    # serving until a request actually touches one of those disks; the
+    # next return to the driver drains them, in time order, before any
+    # other mirror activity.  ``pidx``/``pend_mask`` reset at each drain.
+    pidx = 0
+    pend_mask = 0
 
-    # Fault threading: requests with a faulty sub-request must run through
-    # the exact state machine (``serve_faulty`` replays every retry attempt
-    # on ``Disk.serve``), so the batch-kernel windows truncate at the next
-    # flagged request.  ``flagged`` is sorted; the pointer advances
-    # monotonically with ``ri``.  A zero-rate plan flags nothing.
+    # Fault threading: flagged sub-requests run through ``serve_faulty``
+    # (the exact retry state machine); *clean* sub-requests of a flagged
+    # request still take the mirror fast path — the stepwise loop also
+    # dispatches per sub-request.  The vector kernel (whole-request
+    # batches) truncates its window at the next flagged request.
     if fault_plan is not None and fault_plan.request_flags is not None:
         flags = fault_plan.request_flags
         sub_errors = fault_plan.sub_errors
@@ -685,54 +873,76 @@ def _replay_segmented(
         flagged = []
     fr_n = len(flagged)
     fr_idx = 0
+    have_flags = flags is not None
 
-    # Disks leave the plainly-spinning state only when a directive or a
-    # serve touches them, so plainness is tracked incrementally: a mask
-    # (with a parallel id list for cheap iteration) rechecked per disk at
-    # each touch point instead of scanning every disk per request.
-    nonplain = 0
-    nonplain_ids: list[int] = []
+    # Transition constants for mirror boundary edits — the exact values
+    # ``_start_spin_down``/``_start_spin_up``/``_start_rpm_shift`` compute.
+    standby_w = pm.standby_power_w
+    tr_pair = pm._transition_by_pair
+    sd_dur = pm.spin_down_time_s
+    sd_pw = pm.spin_down_energy_j / sd_dur if sd_dur > 0 else 0.0
+    su_dur = pm.spin_up_time_s
+    su_pw = pm.spin_up_energy_j / su_dur if su_dur > 0 else 0.0
 
-    def _recheck(mask: int) -> int:
-        nonlocal nonplain, nonplain_ids
-        changed = False
-        for d_id in range(num_disks):
-            if not (mask >> d_id) & 1:
-                continue
-            disk = disks[d_id]
-            busy_disk = (
-                disk._transition_end_s is not None
-                or disk.standby
-                or disk._pending_action is not None
-            )
-            bit = 1 << d_id
-            if busy_disk:
-                if not nonplain & bit:
-                    nonplain |= bit
-                    changed = True
-            elif nonplain & bit:
-                nonplain &= ~bit
-                changed = True
-        if changed:
-            nonplain_ids = [d for d in range(num_disks) if (nonplain >> d) & 1]
-        return nonplain
-
-    # Persistent scalar mirror: the short-run kernel performs the stepwise
-    # fast path's exact arithmetic — idle gap, service, completion,
-    # per-state accumulator adds — on flat per-disk mirrors of the serve
-    # state instead of dispatching ``Disk.serve`` per sub-request.  The
-    # mirrors live across segments (the dominant cost of a per-segment
-    # kernel would be rebuilding them: oracle DRPM replays have ~1-request
-    # segments); a disk's mirror is flushed back to the ``Disk`` only when
-    # something else needs that disk current — a directive lands on it, a
-    # stepwise serve or the vector kernel touches it, or the replay ends —
-    # and refreshed lazily at the next scalar run.
     level_row = tables.level_row
     row_list = tables.row_list
     idle_w_by = tables.idle_w
     active_w_by = tables.active_w
     stats_l = [d.stats for d in disks]
+
+    #: Reactive TPM: any disk may autonomously spin down after its idleness
+    #: threshold.  The scalar kernel performs the exact due check per
+    #: sub-request (``advance``'s fire condition) and routes due serves
+    #: through the state machine; the vector kernel has no per-sub check,
+    #: so its windows are bounded at the earliest possible fire instant
+    #: (see ``vnext`` below) where the scalar kernel takes over.
+    auto_active = any(d.auto_spindown_threshold_s is not None for d in disks)
+
+    # In-kernel reactive DRPM (see docstring).  The baseline row is the
+    # full-speed service-time table row — bit-equal to the
+    # ``pm.service_time_s(nbytes, max_rpm, seek)`` memo the controller
+    # keeps, so the fold reproduces its control signal exactly.
+    drpm_on = drpm is not None
+    if drpm_on:
+        from ..power.planner import drpm_window_step as drpm_step
+
+        drpm_wsize = drpm.window_size
+        drpm_max = drpm.max_rpm
+        drpm_top_row = row_list(level_row[drpm_max])
+        dw_sum = [0.0] * num_disks
+        dw_cnt = [0] * num_disks
+        dw_prev: list = [None] * num_disks
+        # Vector windows fold completed sub-requests into the same window
+        # accumulators (sequentially, via ``np.add.accumulate``, so the
+        # left-fold is bit-equal to the scalar ``+=`` chain); windows are
+        # truncated before any disk's window-closing sub-request, so the
+        # boundary itself always fires on the scalar path.
+        drpm_fold = (dw_sum, dw_cnt, tables.row_np(level_row[drpm_max]))
+        geom.vector_views()
+        subs_by_disk = geom.subs_by_disk
+        disk_cnt_at_req = geom.disk_cnt_at_req
+    else:
+        drpm_fold = None
+    use_vector = (
+        not auto_active or n >= AUTO_VECTOR_MIN_REQUESTS
+    ) and (
+        not drpm_on or drpm_wsize * num_disks >= DRPM_VECTOR_MIN_WINDOW
+    )
+    min_subs = (
+        VECTOR_MIN_SUBREQUESTS_PM
+        if auto_active or drpm_on
+        else VECTOR_MIN_SUBREQUESTS
+    )
+    general_loop = auto_active or drpm_on
+
+    # Persistent scalar mirror: flat per-disk images of the serve state
+    # (cursors, RPM-level rows, idle/active accumulators) plus the fields
+    # boundary edits touch (pending transition, standby bookkeeping).  A
+    # mirror is flushed back to its ``Disk`` only when something else needs
+    # the object current — an entangled call, an exact serve, the vector
+    # kernel, or the end of replay — and refreshed lazily afterwards.
     m_valid = [False] * num_disks
+    m_dirty = [False] * num_disks
     m_cur = [0.0] * num_disks
     m_rdy = [0.0] * num_disks
     m_idle_t = [0.0] * num_disks
@@ -745,6 +955,7 @@ def _replay_segmented(
     m_n = [0] * num_disks
     m_b = [0] * num_disks
     m_last = [0.0] * num_disks
+    m_lre = [0.0] * num_disks
     m_rpm = [0] * num_disks
     m_svc: list = [()] * num_disks
     m_iw = [0.0] * num_disks
@@ -752,15 +963,50 @@ def _replay_segmented(
     m_thr: list = [None] * num_disks
     m_anchor = [0.0] * num_disks
     m_armed = [False] * num_disks
-    #: Reactive TPM: any disk may autonomously spin down after its idleness
-    #: threshold.  The scalar kernel performs the exact due check per
-    #: sub-request (``advance``'s fire condition) and routes due serves
-    #: through the state machine; the vector kernel (which has no per-sub
-    #: check) is bypassed entirely.
-    auto_active = any(d.auto_spindown_threshold_s is not None for d in disks)
+    # Pending-transition image (``None`` end = no transition in flight).
+    m_tr_end: list = [None] * num_disks
+    m_tr_pw = [0.0] * num_disks
+    m_tr_state = [""] * num_disks
+    m_tr_rpm: list = [None] * num_disks
+    m_tr_sb = [False] * num_disks
+    # Standby / spin-up bookkeeping image.
+    m_standby = [False] * num_disks
+    m_sb_since: list = [None] * num_disks
+    m_last_sb = [0.0] * num_disks
+    m_spseq = [0] * num_disks
+
+    # ``exact_mask``: disks whose state the mirror refuses to hold (pending
+    # deferred action, faulty spin-up chain, or auto-spindown policy while
+    # transitioning/spun down) — every touch goes through the state
+    # machine.  ``busy_mask``: mirrored disks with a transition in flight
+    # or in standby — serves dispatch to the slow sub path, the vector
+    # kernel excludes them.  ``hot`` is their union.
+    exact_mask = 0
+    busy_mask = 0
+    hot = 0
+    fired = 0
+    # Mirrors start unrefreshed; the only later bulk invalidation is the
+    # flush-all before a vector window, which re-raises this flag so the
+    # scalar kernel's refresh scan can be skipped everywhere else.
+    mirrors_stale = True
+    # A "scalar segment" is a maximal run of mirror-kernel requests: only
+    # the vector kernel closes one (directive edits and per-sub escapes do
+    # not), so the vector:scalar segment ratio measures real coverage.
+    seg_open = False
 
     def _refresh(d: int) -> None:
+        nonlocal exact_mask, busy_mask, hot
         disk = disks[d]
+        bit = 1 << d
+        if not disk.mirrorable or (
+            auto_active and (disk._transition_end_s is not None or disk.standby)
+        ):
+            m_valid[d] = False
+            exact_mask |= bit
+            busy_mask &= ~bit
+            hot = exact_mask | busy_mask
+            return
+        exact_mask &= ~bit
         s = stats_l[d]
         r = disk.rpm
         m_rpm[d] = r
@@ -781,18 +1027,33 @@ def _replay_segmented(
         m_anyidle[d] = False
         m_n[d] = 0
         m_b[d] = 0
+        e = disk._transition_end_s
+        m_tr_end[d] = e
+        if e is not None:
+            m_tr_pw[d] = disk._transition_power_w
+            m_tr_state[d] = disk._transition_state
+            m_tr_rpm[d] = disk._transition_target_rpm
+            m_tr_sb[d] = disk._transition_to_standby
+        sb = disk.standby
+        m_standby[d] = sb
+        m_sb_since[d] = disk._standby_since_s
+        m_last_sb[d] = disk.last_standby_s
+        m_spseq[d] = disk._spinup_seq
+        if e is not None or sb:
+            busy_mask |= bit
+        else:
+            busy_mask &= ~bit
+        hot = exact_mask | busy_mask
+        m_dirty[d] = False
         m_valid[d] = True
 
     def _flush(d: int) -> None:
         m_valid[d] = False
         served = m_n[d]
-        if not served:
-            # Nothing was served through the mirror since the refresh, so
-            # the Disk and its stats are already current.
+        if not served and not m_dirty[d]:
+            # Nothing was served or edited through the mirror since the
+            # refresh, so the Disk and its stats are already current.
             return
-        if rpm_counts is not None:
-            r = m_rpm[d]
-            rpm_counts[r] = rpm_counts.get(r, 0) + served
         s = stats_l[d]
         s.time_s["idle"] = m_idle_t[d]
         s.energy_j["idle"] = m_idle_e[d]
@@ -800,16 +1061,325 @@ def _replay_segmented(
         s.energy_j["active"] = m_act_e[d]
         if m_hadkey[d] or m_anyidle[d]:
             s.idle_time_by_rpm[m_rpm[d]] = m_brpm[d]
-        s.num_requests += served
-        s.bytes_served += m_b[d]
         disk = disks[d]
-        end = m_cur[d]
-        disk.cursor_s = end
-        disk.ready_s = end
-        disk.idle_anchor_s = end
-        disk.last_request_end_s = end
-        disk.last_service_start_s = m_last[d]
-        disk._auto_armed = True
+        disk.rpm = m_rpm[d]
+        disk.cursor_s = m_cur[d]
+        disk.ready_s = m_rdy[d]
+        disk.idle_anchor_s = m_anchor[d]
+        disk._auto_armed = m_armed[d]
+        disk.standby = m_standby[d]
+        disk._standby_since_s = m_sb_since[d]
+        disk.last_standby_s = m_last_sb[d]
+        disk._spinup_seq = m_spseq[d]
+        e = m_tr_end[d]
+        disk._transition_end_s = e
+        if e is not None:
+            disk._transition_power_w = m_tr_pw[d]
+            disk._transition_state = m_tr_state[d]
+            disk._transition_target_rpm = m_tr_rpm[d]
+            disk._transition_to_standby = m_tr_sb[d]
+        else:
+            disk._transition_target_rpm = None
+            disk._transition_to_standby = False
+        if served:
+            s.num_requests += served
+            s.bytes_served += m_b[d]
+            disk.last_service_start_s = m_last[d]
+            disk.last_request_end_s = m_lre[d]
+
+    def _switch_level(d: int, new: int) -> None:
+        # Hand the old level's idle-by-RPM bucket back before re-pointing
+        # the mirror at the new level's rows and bucket.
+        s = stats_l[d]
+        if m_hadkey[d] or m_anyidle[d]:
+            s.idle_time_by_rpm[m_rpm[d]] = m_brpm[d]
+        m_rpm[d] = new
+        m_svc[d] = row_list(level_row[new])
+        m_iw[d] = idle_w_by[new]
+        m_aw[d] = active_w_by[new]
+        m_brpm[d] = s.idle_time_by_rpm.get(new, 0.0)
+        m_hadkey[d] = new in s.idle_time_by_rpm
+        m_anyidle[d] = False
+
+    def _complete_m(d: int) -> None:
+        # Mirror of ``_complete_transition`` (no pending action or spin-up
+        # chain can exist on a mirrored disk, so neither retry branch is
+        # reachable).  Transition-state keys are not mirrored, so the
+        # accrual lands directly on the stats — the adds interleave freely
+        # with the mirrored idle/active accumulators (independent keys).
+        nonlocal busy_mask, hot
+        end = m_tr_end[d]
+        c = m_cur[d]
+        s = stats_l[d]
+        dur = end - c if end > c else 0.0
+        st = m_tr_state[d]
+        s.time_s[st] += dur
+        s.energy_j[st] += dur * m_tr_pw[d]
+        if end > c:
+            m_cur[d] = end
+        tgt = m_tr_rpm[d]
+        if tgt is not None and tgt != m_rpm[d]:
+            _switch_level(d, tgt)
+        to_sb = m_tr_sb[d]
+        if to_sb and not m_standby[d]:
+            m_sb_since[d] = end
+        m_standby[d] = to_sb
+        m_tr_end[d] = None
+        m_anchor[d] = end
+        m_armed[d] = True
+        m_dirty[d] = True
+        if not to_sb:
+            busy_mask &= ~(1 << d)
+            hot = exact_mask | busy_mask
+
+    def _begin(
+        d: int, start: float, dur: float, power: float, state: str,
+        tgt, to_sb: bool,
+    ) -> None:
+        # Mirror of ``_begin_transition`` (the caller has already settled
+        # the base state to ``start``, and no transition is in flight).
+        nonlocal busy_mask, hot
+        e = start + dur
+        m_tr_end[d] = e
+        m_tr_pw[d] = power
+        m_tr_state[d] = state
+        m_tr_rpm[d] = tgt
+        m_tr_sb[d] = to_sb
+        if e > m_rdy[d]:
+            m_rdy[d] = e
+        m_dirty[d] = True
+        busy_mask |= 1 << d
+        hot = exact_mask | busy_mask
+
+    def _edit(dk: int, t: float, call, clamp: bool) -> None:
+        """Apply one power call as a mirror boundary edit at time ``t``.
+
+        ``clamp`` marks timed (oracle) calls, which take effect at the
+        disk's cursor if replay drifted past the planned instant; trace
+        calls keep ``advance``'s backwards-time guard instead.
+        """
+        nonlocal dir_edits_c
+        bit = 1 << dk
+        if not m_valid[dk] and not exact_mask & bit:
+            _refresh(dk)
+        if exact_mask & bit:
+            target = disks[dk]
+            if clamp:
+                c = target.cursor_s
+                if c > t:
+                    t = c
+            apply_call(target, t, call)
+            _refresh(dk)
+            return
+        action = call.action
+        is_rpm = action is PowerAction.SET_RPM
+        if is_rpm and call.rpm not in level_row:
+            raise SimulationError(f"unsupported RPM level {call.rpm}")
+        c = m_cur[dk]
+        if t < c:
+            if not clamp and t < c - 1e-9:
+                raise SimulationError(
+                    f"disk {dk}: advance to {t} precedes cursor {c}"
+                )
+            cov["directive_mid_service"] += 1
+            t = c
+        # Entanglement checks — these are the only calls that leave the
+        # batched path.
+        reason = None
+        e = m_tr_end[dk]
+        if m_thr[dk] is not None:
+            reason = "auto_spindown"
+        elif e is not None:
+            if e > t + 1e-9:
+                reason = "transition_entangled"
+            else:
+                # Due transition: complete it first, exactly as the
+                # ``advance(t)`` prologue of every power call would.  The
+                # completion may land within EPS past ``t``; the cursor
+                # then stays at the completion instant.
+                _complete_m(dk)
+                c = m_cur[dk]
+                if t < c:
+                    t = c
+        if (
+            reason is None
+            and action is PowerAction.SPIN_UP
+            and m_standby[dk]
+            and fault_plan is not None
+            and fault_plan.spinup_fault(dk, m_spseq[dk]) is not None
+        ):
+            reason = "spinup_fault"
+        if reason is not None:
+            cov["fallback_" + reason] += 1
+            _flush(dk)
+            target = disks[dk]
+            if clamp:
+                c2 = target.cursor_s
+                if c2 > t:
+                    t = c2
+            apply_call(target, t, call)
+            _refresh(dk)
+            return
+        # Settle the base state from the mirror cursor to the call instant
+        # (``_settle_idle``'s arithmetic), then dispatch.
+        if t > c:
+            dur = t - c
+            if m_standby[dk]:
+                s = stats_l[dk]
+                s.time_s["standby"] += dur
+                s.energy_j["standby"] += dur * standby_w
+            else:
+                m_idle_t[dk] += dur
+                m_idle_e[dk] += dur * m_iw[dk]
+                m_brpm[dk] += dur
+                m_anyidle[dk] = True
+            m_cur[dk] = t
+        m_dirty[dk] = True
+        if is_rpm:
+            if m_standby[dk]:
+                raise SimulationError(
+                    f"disk {dk}: set_RPM while spun down is invalid"
+                )
+            tgt = call.rpm
+            if tgt != m_rpm[dk]:
+                dur_pw = tr_pair[(m_rpm[dk], tgt)]
+                stats_l[dk].num_rpm_shifts += 1
+                _begin(dk, t, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False)
+        elif action is PowerAction.SPIN_DOWN:
+            if not m_standby[dk]:
+                stats_l[dk].num_spin_downs += 1
+                _begin(dk, t, sd_dur, sd_pw, "spin_down", None, True)
+        else:  # SPIN_UP
+            if m_standby[dk]:
+                stats_l[dk].num_spin_ups += 1
+                since = m_sb_since[dk]
+                if since is not None:
+                    m_last_sb[dk] = t - since if t > since else 0.0
+                    m_sb_since[dk] = None
+                if fault_plan is not None:
+                    m_spseq[dk] += 1
+                _begin(dk, t, su_dur, su_pw, "spin_up", None, False)
+        dir_edits_c += 1
+
+    def _sub_slow(d: int, j: int, t: float, errs: int) -> float:
+        """Serve sub-request ``j`` on a hot (or faulty) disk at ``t``.
+
+        A faultless mirror transition not headed to standby is waited out
+        in mirror — the serve slow path's exact arithmetic (partial
+        accrual, completion, idle settle at the new level, then service at
+        ``max(t, ready, cursor)``).  Everything else flushes and runs the
+        state machine, re-mirroring afterwards.
+        """
+        nonlocal fired
+        if (
+            errs == 0
+            and m_valid[d]
+            and m_tr_end[d] is not None
+            and not m_tr_sb[d]
+        ):
+            e = m_tr_end[d]
+            c = m_cur[d]
+            ta = t if t > c else c
+            s = stats_l[d]
+            if e > ta + 1e-9:
+                # Mid-transition: partial accrual to the issue time, then
+                # completion at the transition end (``advance(ta)`` +
+                # ``advance(end)``, two sequential adds).
+                dur = ta - c if ta > c else 0.0
+                st = m_tr_state[d]
+                s.time_s[st] += dur
+                s.energy_j[st] += dur * m_tr_pw[d]
+                if ta > c:
+                    m_cur[d] = ta
+                _complete_m(d)
+            else:
+                # Due: complete, then settle idle to the issue time at the
+                # post-transition level.
+                _complete_m(d)
+                c2 = m_cur[d]
+                if ta > c2:
+                    dur = ta - c2
+                    m_idle_t[d] += dur
+                    m_idle_e[d] += dur * m_iw[d]
+                    m_brpm[d] += dur
+                    m_anyidle[d] = True
+                    m_cur[d] = ta
+            start = t
+            r = m_rdy[d]
+            if r > start:
+                start = r
+            c3 = m_cur[d]
+            if c3 > start:
+                start = c3
+            svc = m_svc[d][j]
+            done = start + svc
+            m_act_t[d] += svc
+            m_act_e[d] += svc * m_aw[d]
+            m_cur[d] = done
+            m_rdy[d] = done
+            m_anchor[d] = done
+            m_armed[d] = True
+            m_last[d] = start
+            m_lre[d] = done
+            m_n[d] += 1
+            m_b[d] += nb_l[j]
+            if counting:
+                r2 = m_rpm[d]
+                rpm_counts[r2] = rpm_counts.get(r2, 0) + 1
+            if collect:
+                busy[d].append(BusyInterval(d, start, done))
+        else:
+            if m_valid[d]:
+                _flush(d)
+                if errs == 0:
+                    cov["fallback_standby_wake"] += 1
+            if errs:
+                cov["fallback_fault_flagged"] += 1
+                done = disks[d].serve_faulty(t, nb_l[j], seek_name_l[j], errs)
+            else:
+                done = serves[d](t, nb_l[j], seek_name_l[j])
+            fired += 1
+            disk = disks[d]
+            start = disk.last_service_start_s
+            if counting:
+                r2 = disk.rpm
+                rpm_counts[r2] = rpm_counts.get(r2, 0) + 1
+            if collect:
+                busy[d].append(BusyInterval(d, start, done))
+            _refresh(d)
+        if drpm_on:
+            dw_sum[d] += (done - start) / drpm_top_row[j]
+            dw_cnt[d] += 1
+            if dw_cnt[d] == drpm_wsize:
+                _drpm_boundary(d, done)
+        return done
+
+    def _drpm_boundary(d: int, t_fire: float) -> None:
+        # Window boundary: the controller's exact decision sequence —
+        # compute the mean, roll the reference, step via the shared
+        # planner kernel, and reset the reference after a recovery ramp.
+        mean = dw_sum[d] / dw_cnt[d]
+        dw_sum[d] = 0.0
+        dw_cnt[d] = 0
+        prev = dw_prev[d]
+        dw_prev[d] = mean
+        rcur = m_rpm[d] if m_valid[d] else disks[d].rpm
+        tgt = drpm_step(prev, mean, rcur, drpm)
+        if tgt is None:
+            return
+        # The disk just completed a service at ``t_fire``, so its cursor
+        # sits exactly there: ``set_rpm``'s advance is a no-op and the
+        # shift begins immediately.
+        if m_valid[d]:
+            dur_pw = tr_pair[(rcur, tgt)]
+            stats_l[d].num_rpm_shifts += 1
+            _begin(d, t_fire, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False)
+        else:
+            disks[d].set_rpm(t_fire, tgt)
+            _refresh(d)
+        if tgt == drpm_max:
+            dw_prev[d] = None
+        cov["directive_edits"] += 1
 
     while True:
         # Requests strictly before the next trace directive's nominal time
@@ -831,253 +1401,375 @@ def _replay_segmented(
                 # Oracle directives due before this request fire first, at
                 # their own absolute times (they were planned against the
                 # realized timeline, which a zero-penalty oracle shares
-                # with this replay).  If replay drifted past the planned
-                # instant, the call takes effect when the disk frees up.
-                touched = 0
+                # with this replay), as mirror boundary edits.
                 while timed_idx < num_timed and timed[timed_idx].time_s <= t0:
                     td = timed[timed_idx]
-                    dk = td.call.disk
-                    if m_valid[dk]:
-                        _flush(dk)
-                    target = disks[dk]
-                    apply_call(target, max(td.time_s, target.cursor_s), td.call)
+                    _edit(td.call.disk, td.time_s, td.call, True)
                     num_directives += 1
                     timed_idx += 1
-                    touched |= 1 << dk
                 tnext = timed[timed_idx].time_s if timed_idx < num_timed else inf
-                _recheck(touched)
+                pidx = timed_idx
+                pend_mask = 0
                 continue
 
-            force_stepwise = False
-            if nonplain:
-                # A transition that ends at or before this request's issue
-                # time completes now, exactly as the serve/advance
-                # machinery would complete it (zero-length idle settle,
-                # then the segment accrues the post-transition idle gap in
-                # one piece).
-                advanced = 0
-                for d_id in nonplain_ids:
-                    disk = disks[d_id]
-                    end = disk._transition_end_s
-                    while end is not None and end <= t0:
-                        disk.advance(end)
+            we = bound
+            vec_we = ri
+            vnext = tnext
+            due_mask = 0
+            if use_vector and bound - ri >= VECTOR_MIN_REQUESTS:
+                if auto_active:
+                    # Earliest instant any plain disk could trip its
+                    # idleness threshold: armed disks from their anchor,
+                    # unarmed disks from the window's first issue time
+                    # (arming sets the anchor at a serve completion, never
+                    # earlier).  In-window serves only push anchors — and
+                    # so every true fire time — later, so the vector
+                    # window is safe up to ``vnext``; the scalar kernel's
+                    # exact per-sub due check takes over there.  A disk
+                    # already *overdue* fires only when it is next served,
+                    # so instead of pinning ``vnext`` in the past it joins
+                    # ``due_mask`` and the window truncates at its first
+                    # touch.
+                    t0w = req_times[ri] + delay
+                    for d in range(num_disks):
+                        if (hot >> d) & 1:
+                            continue
+                        if m_valid[d]:
+                            thr_o = m_thr[d]
+                            if thr_o is not None:
+                                if m_armed[d]:
+                                    fd = m_anchor[d] + thr_o
+                                    if fd <= t0w:
+                                        due_mask |= 1 << d
+                                    elif fd < vnext:
+                                        vnext = fd
+                                elif t0w + thr_o < vnext:
+                                    vnext = t0w + thr_o
+                        else:
+                            dk_o = disks[d]
+                            thr_o = dk_o.auto_spindown_threshold_s
+                            if thr_o is not None:
+                                if dk_o._auto_armed:
+                                    fd = dk_o.idle_anchor_s + thr_o
+                                    if fd <= t0w:
+                                        due_mask |= 1 << d
+                                    elif fd < vnext:
+                                        vnext = fd
+                                elif t0w + thr_o < vnext:
+                                    vnext = t0w + thr_o
+                vec_we = bound
+                if vnext is not inf:
+                    # Timed directives no longer close the scalar window —
+                    # the kernel defers them per disk — but the vector
+                    # kernel still stops at ``vnext``, so its window is
+                    # bounded there.  A probe answers the dense case
+                    # (window shorter than the vector minimum) in O(1)
+                    # before paying for the bisect.
+                    probe = ri + VECTOR_MIN_REQUESTS
+                    if probe > bound or req_times[probe - 1] + delay >= vnext:
+                        vec_we = ri
+                    else:
+                        cut = bisect_left(req_times, vnext - delay, ri, bound) + 1
+                        if cut < vec_we:
+                            vec_we = cut
+                if drpm_on and vec_we - ri >= VECTOR_MIN_REQUESTS:
+                    # Reactive-DRPM window boundaries close on completion
+                    # *counts*, not times: truncate before the request
+                    # holding any disk's window-closing sub-request, so
+                    # the boundary (and any level shift it starts) always
+                    # runs on the exact scalar path.
+                    se = indptr_l[vec_we]
+                    for d in range(num_disks):
+                        sbd = subs_by_disk[d]
+                        bi = (
+                            int(disk_cnt_at_req[d][ri])
+                            + drpm_wsize - dw_cnt[d] - 1
+                        )
+                        if bi < sbd.size:
+                            j_abs = int(sbd[bi])
+                            if j_abs < se:
+                                rq = bisect_right(indptr_l, j_abs) - 1
+                                if rq < vec_we:
+                                    vec_we = rq
+                                    se = indptr_l[vec_we]
+            if hot:
+                # Transitions that end at or before this issue time
+                # complete now, exactly as the serve/advance machinery
+                # would complete them; exact disks get a chance to
+                # re-mirror once their state machine quiesces.
+                h = hot
+                while h:
+                    low = h & -h
+                    h -= low
+                    d = low.bit_length() - 1
+                    if m_valid[d]:
+                        if m_tr_end[d] is not None and m_tr_end[d] <= t0:
+                            _complete_m(d)
+                    else:
+                        disk = disks[d]
                         end = disk._transition_end_s
-                        advanced |= 1 << d_id
-                if advanced:
-                    _recheck(advanced)
-            if nonplain == 0:
-                we = bound
-            else:
-                # Batch only requests that avoid the busy/spun-down disks;
-                # stepwise replay would not interact with those disks
-                # either, so skipping them is exact.
-                we = ri
-                while we < bound and not reqmask[we] & nonplain:
-                    we += 1
-                if we == ri:
-                    force_stepwise = True
-            if fr_idx < fr_n:
-                # Truncate the kernel window at the next fault-flagged
-                # request; if that request is the current one, serve it on
-                # the exact path below.
-                while fr_idx < fr_n and flagged[fr_idx] < ri:
-                    fr_idx += 1
-                if fr_idx < fr_n:
-                    nf = flagged[fr_idx]
-                    if nf == ri:
-                        force_stepwise = True
-                    elif nf < we:
-                        we = nf
+                        while end is not None and end <= t0:
+                            disk.advance(end)
+                            end = disk._transition_end_s
+                        _refresh(d)
 
-            if not force_stepwise:
-                if tnext is not inf:
-                    # Upper-bound the kernel window at the next timed
-                    # directive (delay only grows, so requests past this
-                    # nominal time certainly truncate) to avoid computing
-                    # service maxima the scan will never use.
-                    cut = bisect_left(req_times, tnext - delay, ri, we) + 1
-                    if cut < we:
-                        we = cut
-                run_scalar = True
-                if not auto_active and we - ri >= VECTOR_MIN_REQUESTS:
+            if use_vector and vec_we - ri >= VECTOR_MIN_REQUESTS:
+                # Vector window: truncate at the first request touching a
+                # hot or overdue disk and at the next fault-flagged
+                # request; all are handled sub-by-sub on the scalar path.
+                wv = vec_we
+                hmask = hot | due_mask
+                if hmask:
+                    k2 = ri
+                    while k2 < wv and not reqmask[k2] & hmask:
+                        k2 += 1
+                    wv = k2
+                if fr_idx < fr_n:
+                    while fr_idx < fr_n and flagged[fr_idx] < ri:
+                        fr_idx += 1
+                    if fr_idx < fr_n and flagged[fr_idx] < wv:
+                        wv = flagged[fr_idx]
+                if (
+                    wv - ri >= VECTOR_MIN_REQUESTS
+                    and indptr_l[wv] - indptr_l[ri] >= min_subs
+                ):
                     # The vector kernel reads and writes the Disk objects
                     # directly, so any live mirrors hand back first.
                     for d in range(num_disks):
                         if m_valid[d]:
                             _flush(d)
+                    mirrors_stale = True
                     pc0 = 0.0
                     for disk in disks:
-                        if not (nonplain >> disk.disk_id) & 1:
+                        if not (hot >> disk.disk_id) & 1:
                             c = disk.cursor_s
                             r = disk.ready_s
                             m = c if c >= r else r
                             if m > pc0:
                                 pc0 = m
+                    ri0 = ri
                     ri, delay, bailed = _run_vector(
-                        plan, geom, tables, disks, req_times, ri, we, delay,
-                        tnext, pc0, nonplain, responses, busy, collect,
-                        rpm_counts,
+                        plan, geom, tables, disks, req_times, ri, wv, delay,
+                        vnext, pc0, hot, responses, busy, collect,
+                        rpm_counts, drpm_fold,
                     )
+                    if ri > ri0:
+                        seg_open = False
                     # On a guard trip the scalar kernel absorbs the
                     # overlapping request (it models queueing exactly)
                     # and carries the rest of the window.
-                    run_scalar = bailed
-                if run_scalar:
-                    # Inline scalar kernel over the persistent mirrors: the
-                    # exact arithmetic of ``Disk.serve``'s plain fast path,
-                    # including the queueing case where a request's issue
-                    # time lands before the disk's previous completion
-                    # (no idle accrues; service starts at the busy cursor).
-                    for d in range(num_disks):
-                        if not (nonplain >> d) & 1 and not m_valid[d]:
-                            _refresh(d)
-                    k = ri
-                    fired = 0
-                    while k < we:
-                        t = req_times[k] + delay
-                        if t >= tnext:
+                    if not bailed:
+                        continue
+            elif use_vector:
+                short_run_c += 1
+
+            # Scalar mirror kernel over [ri, we): the exact arithmetic of
+            # ``Disk.serve``'s plain fast path on the mirrors, including
+            # the queueing case where a request's issue time lands before
+            # the disk's previous completion (no idle accrues; service
+            # starts at the busy cursor).  Hot and faulty sub-requests
+            # dispatch to the slow sub path without closing the segment.
+            # Requests touching no hot disk on a plain (no auto-spindown,
+            # no reactive-DRPM) replay take a branch-free tight loop; the
+            # general loop keeps the per-sub dispatch.  Reactive DRPM
+            # stays on the general loop because a window boundary can
+            # start a shift between two subs of one request.
+            if mirrors_stale:
+                for d in range(num_disks):
+                    if not m_valid[d] and not (exact_mask >> d) & 1:
+                        _refresh(d)
+                mirrors_stale = False
+            if tnext is not inf or (use_vector and (auto_active or drpm_on)):
+                # Cap the scalar run so the driver periodically drains due
+                # directives and re-probes for a vector window.  Without
+                # the cap, a due directive on an untouched disk — or an
+                # auto/DRPM run that just crossed a fire bound or window
+                # boundary — would pin the whole remaining stream to the
+                # scalar kernel.
+                cap = ri + DEFER_WINDOW_REQUESTS
+                if cap < we:
+                    we = cap
+            k = ri
+            fired = 0
+            brk = False
+            jlo = indptr_l[ri]
+            while k < we:
+                t = req_times[k] + delay
+                if t >= tnext:
+                    # One or more timed directives are due.  Fold their
+                    # target disks into the pending set; only a request
+                    # touching a pending disk ends the window (the drain
+                    # then applies the directives, in time order, before
+                    # it is served).
+                    while pidx < num_timed:
+                        tdp = timed[pidx]
+                        if tdp.time_s > t:
                             break
-                        comp = t
-                        for j in range(indptr_l[k], indptr_l[k + 1]):
-                            d = disk_l[j]
-                            c = m_cur[d]
-                            if auto_active:
-                                thr_d = m_thr[d]
-                                if (
-                                    thr_d is not None
-                                    and m_armed[d]
-                                    and m_anchor[d] + thr_d
-                                    < (t if t > c else c) - 1e-9
-                                ):
-                                    # The idleness threshold elapsed before
-                                    # this serve: run the spin-down /
-                                    # standby / spin-up sequence through
-                                    # the exact state machine, then
-                                    # re-mirror the disk.
-                                    _flush(d)
-                                    done = serves[d](
-                                        t, nb_l[j], seek_name_l[j]
-                                    )
-                                    _refresh(d)
-                                    if rpm_counts is not None:
-                                        r = disks[d].rpm
-                                        rpm_counts[r] = (
-                                            rpm_counts.get(r, 0) + 1
-                                        )
-                                    cov["subrequests_stepwise"] += 1
-                                    fired += 1
-                                    if collect:
-                                        busy[d].append(
-                                            BusyInterval(
-                                                d,
-                                                disks[d].last_service_start_s,
-                                                done,
-                                            )
-                                        )
-                                    if done > comp:
-                                        comp = done
-                                    continue
-                            if t > c:
-                                dur = t - c
-                                m_idle_t[d] += dur
-                                m_idle_e[d] += dur * m_iw[d]
-                                m_brpm[d] += dur
-                                m_anyidle[d] = True
-                                start = t
-                            else:
-                                start = c
-                            r = m_rdy[d]
-                            if r > start:
-                                start = r
-                            svc = m_svc[d][j]
-                            done = start + svc
-                            m_act_t[d] += svc
-                            m_act_e[d] += svc * m_aw[d]
-                            m_cur[d] = done
-                            m_rdy[d] = done
-                            m_anchor[d] = done
-                            m_armed[d] = True
-                            m_last[d] = start
-                            m_n[d] += 1
-                            m_b[d] += nb_l[j]
-                            if collect:
-                                busy[d].append(BusyInterval(d, start, done))
+                        pend_mask |= 1 << tdp.call.disk
+                        pidx += 1
+                    if reqmask[k] & pend_mask:
+                        break
+                jhi = indptr_l[k + 1]
+                comp = t
+                faulty = have_flags and flags[k]
+                if faulty or general_loop or reqmask[k] & hot:
+                    for j in range(jlo, jhi):
+                        d = disk_l[j]
+                        if (hot >> d) & 1:
+                            done = _sub_slow(
+                                d, j, t,
+                                sub_errors.get(j, 0) if faulty else 0,
+                            )
                             if done > comp:
                                 comp = done
-                        resp = comp - t
-                        append_response(resp)
-                        delay += resp
-                        k += 1
-                    if k > ri:
-                        cov["segments_scalar"] += 1
-                        cov["subrequests_scalar"] += (
-                            indptr_l[k] - indptr_l[ri] - fired
-                        )
-                    ri = k
-                continue
-
-            # Exact stepwise service of request ri (it touches a disk in
-            # transition or standby, or carries fault-flagged sub-requests).
-            completion = t0
-            s = indptr_l[ri]
-            e = indptr_l[ri + 1]
-            faulty = flags is not None and flags[ri]
-            for j in range(s, e):
-                d = disk_l[j]
-                if m_valid[d]:
-                    _flush(d)
-                if faulty and (errs := sub_errors.get(j, 0)):
-                    done = disks[d].serve_faulty(t0, nb_l[j], seek_name_l[j], errs)
+                            continue
+                        if faulty and (errs := sub_errors.get(j, 0)):
+                            done = _sub_slow(d, j, t, errs)
+                            if done > comp:
+                                comp = done
+                            continue
+                        c = m_cur[d]
+                        if auto_active:
+                            thr_d = m_thr[d]
+                            if (
+                                thr_d is not None
+                                and m_armed[d]
+                                and m_anchor[d] + thr_d
+                                < (t if t > c else c) - 1e-9
+                            ):
+                                # The idleness threshold elapsed before
+                                # this serve: run the spin-down / standby
+                                # / spin-up sequence through the exact
+                                # state machine, then re-mirror the disk.
+                                cov["fallback_auto_spindown"] += 1
+                                _flush(d)
+                                done = serves[d](t, nb_l[j], seek_name_l[j])
+                                _refresh(d)
+                                fired += 1
+                                brk = True
+                                if counting:
+                                    r2 = disks[d].rpm
+                                    rpm_counts[r2] = rpm_counts.get(r2, 0) + 1
+                                if collect:
+                                    busy[d].append(
+                                        BusyInterval(
+                                            d,
+                                            disks[d].last_service_start_s,
+                                            done,
+                                        )
+                                    )
+                                if done > comp:
+                                    comp = done
+                                continue
+                        if t > c:
+                            dur = t - c
+                            m_idle_t[d] += dur
+                            m_idle_e[d] += dur * m_iw[d]
+                            m_brpm[d] += dur
+                            m_anyidle[d] = True
+                            start = t
+                        else:
+                            start = c
+                        r = m_rdy[d]
+                        if r > start:
+                            start = r
+                        svc = m_svc[d][j]
+                        done = start + svc
+                        m_act_t[d] += svc
+                        m_act_e[d] += svc * m_aw[d]
+                        m_cur[d] = done
+                        m_rdy[d] = done
+                        m_anchor[d] = done
+                        m_armed[d] = True
+                        m_last[d] = start
+                        m_lre[d] = done
+                        m_n[d] += 1
+                        m_b[d] += nb_l[j]
+                        if counting:
+                            r2 = m_rpm[d]
+                            rpm_counts[r2] = rpm_counts.get(r2, 0) + 1
+                        if collect:
+                            busy[d].append(BusyInterval(d, start, done))
+                        if drpm_on:
+                            dw_sum[d] += (done - start) / drpm_top_row[j]
+                            dw_cnt[d] += 1
+                            if dw_cnt[d] == drpm_wsize:
+                                _drpm_boundary(d, done)
+                        if done > comp:
+                            comp = done
                 else:
-                    done = serves[d](t0, nb_l[j], seek_name_l[j])
-                if rpm_counts is not None:
-                    r = disks[d].rpm
-                    rpm_counts[r] = rpm_counts.get(r, 0) + 1
-                if collect:
-                    disk = disks[d]
-                    busy[d].append(BusyInterval(d, disk.last_service_start_s, done))
-                if done > completion:
-                    completion = done
-            response = completion - t0
-            append_response(response)
-            delay += response
-            cov["subrequests_stepwise"] += e - s
-            # Serving can complete a transition or spin a standby disk
-            # back up; disks this request did not touch cannot have
-            # changed state.
-            if nonplain & reqmask[ri]:
-                _recheck(nonplain & reqmask[ri])
-            ri += 1
+                    for j in range(jlo, jhi):
+                        d = disk_l[j]
+                        c = m_cur[d]
+                        if t > c:
+                            dur = t - c
+                            m_idle_t[d] += dur
+                            m_idle_e[d] += dur * m_iw[d]
+                            m_brpm[d] += dur
+                            m_anyidle[d] = True
+                            start = t
+                        else:
+                            start = c
+                        r = m_rdy[d]
+                        if r > start:
+                            start = r
+                        svc = m_svc[d][j]
+                        done = start + svc
+                        m_act_t[d] += svc
+                        m_act_e[d] += svc * m_aw[d]
+                        m_cur[d] = done
+                        m_rdy[d] = done
+                        m_anchor[d] = done
+                        m_armed[d] = True
+                        m_last[d] = start
+                        m_lre[d] = done
+                        m_n[d] += 1
+                        m_b[d] += nb_l[j]
+                        if counting:
+                            r2 = m_rpm[d]
+                            rpm_counts[r2] = rpm_counts.get(r2, 0) + 1
+                        if collect:
+                            busy[d].append(BusyInterval(d, start, done))
+                        if done > comp:
+                            comp = done
+                jlo = jhi
+                resp = comp - t
+                append_response(resp)
+                delay += resp
+                k += 1
+                if brk:
+                    # An auto spin-down fired: return to the driver after
+                    # this request so the next quiescent stretch can
+                    # re-probe for a vector window with a fresh fire bound.
+                    break
+            if k > ri:
+                if not seg_open:
+                    seg_open = True
+                    seg_scalar_c += 1
+                subs_scalar_c += indptr_l[k] - indptr_l[ri] - fired
+                if fired:
+                    subs_step_c += fired
+            ri = k
 
         if di < num_dir_records:
             rec = directives[di]
             di += 1
             t_exec = rec.nominal_time_s + delay
-            touched = 0
             while timed_idx < num_timed and timed[timed_idx].time_s <= t_exec:
                 td = timed[timed_idx]
-                dk = td.call.disk
-                if m_valid[dk]:
-                    _flush(dk)
-                target = disks[dk]
-                apply_call(target, max(td.time_s, target.cursor_s), td.call)
+                _edit(td.call.disk, td.time_s, td.call, True)
                 num_directives += 1
                 timed_idx += 1
-                touched |= 1 << dk
-            if timed_idx < num_timed:
-                tnext = timed[timed_idx].time_s
-            else:
-                tnext = inf
+            tnext = timed[timed_idx].time_s if timed_idx < num_timed else inf
+            pidx = timed_idx
+            pend_mask = 0
             call = rec.call
             if not 0 <= call.disk < num_disks:
                 raise SimulationError(f"directive targets unknown disk {call.disk}")
-            if m_valid[call.disk]:
-                _flush(call.disk)
-            apply_call(disks[call.disk], t_exec, call)
+            _edit(call.disk, t_exec, call, False)
             num_directives += 1
             if call.overhead_cycles:
                 delay += call.overhead_cycles / _CLOCK_HZ
-            _recheck(touched | (1 << call.disk))
         elif ri >= n:
             break
 
@@ -1094,6 +1786,11 @@ def _replay_segmented(
         apply_call(target, max(td.time_s, target.cursor_s), td.call)
         num_directives += 1
         timed_idx += 1
+    cov["segments_scalar"] += seg_scalar_c
+    cov["subrequests_scalar"] += subs_scalar_c
+    cov["subrequests_stepwise"] += subs_step_c
+    cov["windows_scalar_short_run"] += short_run_c
+    cov["directive_edits"] += dir_edits_c
     return num_directives, end_time
 
 
@@ -1205,14 +1902,21 @@ def simulate(
     # result's ``engine_forced`` metadata, and counted in ``sim.fallbacks``.
     segmented = engine != "stepwise"
     forced = ""
+    drpm_kernel = None
     if segmented and reactive:
-        segmented = False
-        forced = "reactive-controller"
-        logger.debug(
-            "%s/%s: reactive controller %s observes per-sub-request "
-            "completions; routing to the stepwise reference loop",
-            trace.program_name, ctrl.name, type(ctrl).__name__,
-        )
+        if type(ctrl) is _reactive_drpm_type():
+            # Reactive DRPM's window heuristic is lifted into the
+            # segmented kernel (the per-sub fold and boundary decision run
+            # in-mirror), so it no longer forces the reference loop.
+            drpm_kernel = ctrl.drpm
+        else:
+            segmented = False
+            forced = "reactive-controller"
+            logger.debug(
+                "%s/%s: reactive controller %s observes per-sub-request "
+                "completions; routing to the stepwise reference loop",
+                trace.program_name, ctrl.name, type(ctrl).__name__,
+            )
     if segmented and recorder is not None:
         segmented = False
         forced = "timeline-recorder"
@@ -1243,27 +1947,25 @@ def simulate(
     if (
         segmented
         and engine == "auto"
-        and 24 * (len(timed) + len(directives)) >= plan.num_requests
+        and plan.num_requests < AUTO_MIN_REQUESTS
     ):
-        # Directive-dense replays (a DRPM plan brackets every exploited
-        # gap with two level shifts, oracle or compiler-inserted) chop the
-        # stream into runs of a few requests, where the per-run driver
-        # re-entry overhead outweighs the batch savings; the reference
-        # loop is faster and, by the equivalence invariant, returns the
-        # identical result.  Measured crossover on the bundled workloads
-        # sits below one directive per 24 requests.
+        # Directives are boundary edits now, so density no longer matters;
+        # the only remaining crossover is stream length — on tiny replays
+        # the mirror/table setup exceeds the whole stepwise loop.  The
+        # rule is recorded in ``AUTO_ROUTING`` (and run manifests).
         segmented = False
-        forced = "directive-dense"
+        forced = "tiny-replay"
         logger.debug(
-            "%s/%s: directive-dense stream (%d directives for %d "
-            "requests, >= 1 per 24); stepwise loop is faster",
+            "%s/%s: tiny stream (%d requests < %d); stepwise loop is "
+            "faster than mirror setup",
             trace.program_name, ctrl.name,
-            len(timed) + len(directives), plan.num_requests,
+            plan.num_requests, AUTO_MIN_REQUESTS,
         )
     engine_used = "segmented" if segmented else "stepwise"
 
     observing = obs.enabled()
     rpm_counts: dict[int, int] | None = {} if observing else None
+    cov_before = dict(REPLAY_COVERAGE) if observing else None
     t_replay0 = time.perf_counter() if observing else 0.0
     with obs.span(
         "sim.replay",
@@ -1282,6 +1984,7 @@ def simulate(
             num_directives, end_time = _replay_segmented(
                 trace, plan, disks, pm, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
+                drpm_kernel,
             )
         else:
             REPLAY_COVERAGE["replays_stepwise"] += 1
@@ -1309,6 +2012,23 @@ def simulate(
         _metrics.inc("sim.replays", engine=engine_used, scheme=ctrl.name)
         if forced:
             _metrics.inc("sim.fallbacks", reason=forced)
+        # Mirror this replay's coverage delta into the registry, which is
+        # drained and merged across pool workers (the module-global dict
+        # deliberately is not — see ``REPLAY_COVERAGE``).  Per-sub escape
+        # reasons additionally land as ``sim.fallbacks{reason=...}``.
+        cov_delta = {
+            key: value - cov_before[key]
+            for key, value in REPLAY_COVERAGE.items()
+            if value != cov_before.get(key, 0)
+        }
+        if cov_delta:
+            _metrics.ingest_counters(cov_delta, prefix="sim.coverage.")
+            for key, value in cov_delta.items():
+                if key.startswith("fallback_"):
+                    _metrics.inc(
+                        "sim.fallbacks", value,
+                        reason=key[9:].replace("_", "-"),
+                    )
         _metrics.inc("sim.requests", plan.num_requests)
         _metrics.inc("sim.directives", num_directives)
         if rpm_counts:

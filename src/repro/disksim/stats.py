@@ -10,7 +10,7 @@ It also retains per-disk busy intervals, which the oracle controllers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
@@ -20,9 +20,14 @@ from .disk import DiskStats
 __all__ = ["BusyInterval", "ResponseSummary", "SimulationResult"]
 
 
-@dataclass(frozen=True)
-class BusyInterval:
-    """One serviced sub-request on one disk: [start, end) wall-clock."""
+class BusyInterval(NamedTuple):
+    """One serviced sub-request on one disk: [start, end) wall-clock.
+
+    A ``NamedTuple`` rather than a dataclass: busy-interval collection
+    constructs one of these per sub-request on the replay hot path, and
+    tuple construction is several times cheaper than a frozen dataclass's
+    ``__init__``.
+    """
 
     disk: int
     start_s: float
@@ -78,7 +83,7 @@ class SimulationResult:
     engine: str = field(default="", compare=False)
     #: Why the replay was routed away from the requested/auto engine
     #: (``"reactive-controller"``, ``"timeline-recorder"``,
-    #: ``"directive-dense"``; empty when nothing was forced).
+    #: ``"tiny-replay"``; empty when nothing was forced).
     engine_forced: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:

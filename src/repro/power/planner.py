@@ -30,7 +30,14 @@ from ..analysis.idle import IdleGap
 from ..disksim.powermodel import PowerModel
 from ..util.errors import AnalysisError
 
-__all__ = ["GapMode", "GapDecision", "plan_tpm_gap", "plan_drpm_gap", "plan_gaps"]
+__all__ = [
+    "GapMode",
+    "GapDecision",
+    "plan_tpm_gap",
+    "plan_drpm_gap",
+    "plan_gaps",
+    "drpm_window_step",
+]
 
 
 class GapMode(str, Enum):
@@ -60,6 +67,37 @@ class GapDecision:
     @property
     def acts(self) -> bool:
         return self.mode is not GapMode.NONE
+
+
+def drpm_window_step(
+    prev_mean: float | None, mean: float, rpm: int, drpm
+) -> int | None:
+    """Reactive DRPM's window-boundary level decision (paper §2, §4.1).
+
+    Given the previous and current window means of normalized response
+    time and the disk's current level, return the RPM to shift to, or
+    ``None`` to hold.  This is the decision kernel
+    :class:`~repro.controllers.drpm.ReactiveDRPM` applies per completion
+    window and the segmented replay engine applies in-kernel; both callers
+    must reset their reference mean after a recovery ramp (a returned
+    target equal to ``drpm.max_rpm`` — a step *down* can never return the
+    top level, so the discrimination is sound).
+
+    ``drpm`` is a :class:`~repro.disksim.params.DRPMParams`; the argument
+    is duck-typed so the kernel can pass it without importing params here.
+    """
+    if prev_mean is None or prev_mean <= 0:
+        return None
+    delta = (mean - prev_mean) / prev_mean
+    if delta > drpm.upper_tolerance:
+        if rpm != drpm.max_rpm:
+            return drpm.max_rpm
+        return None
+    if delta < drpm.lower_tolerance:
+        idx = drpm.level_index(rpm)
+        if idx > 0:
+            return drpm.levels[idx - 1]
+    return None
 
 
 def plan_tpm_gap(

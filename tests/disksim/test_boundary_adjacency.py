@@ -1,0 +1,139 @@
+"""Directives on boundary instants ⇔ engine equivalence.
+
+The segmented engine applies power directives as segment-boundary state
+edits on a per-disk mirror.  The placements most likely to expose a
+mirror/state-machine divergence are the boundary instants themselves:
+directives tied to a request's issue edge, landing exactly on a service
+completion, or chained onto a transition's end edge (entangled with the
+in-flight transition).  :func:`strategies.boundary_adjacent_traces`
+generates exactly those placements; every engine must stay bit-identical,
+with and without fault injection.
+
+Also here: targeted streams for the two size-gated vector paths — the
+reactive-DRPM windowed kernel (engaged only when
+``window_size * num_disks >= DRPM_VECTOR_MIN_WINDOW``) and the
+auto-spin-down vector kernel (engaged only for streams of at least
+``AUTO_VECTOR_MIN_REQUESTS`` requests) — so both run under their real
+gates, not just in synthetic unit settings.
+"""
+
+import sys
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from conftest import _assert_results_identical  # noqa: E402
+from strategies import boundary_adjacent_traces, fault_configs  # noqa: E402
+
+from repro.controllers.drpm import ReactiveDRPM
+from repro.controllers.tpm import ReactiveTPM
+from repro.disksim.params import DRPMParams, SubsystemParams
+from repro.disksim.replay import ReplayPlan
+from repro.disksim.simulator import (
+    AUTO_VECTOR_MIN_REQUESTS,
+    DRPM_VECTOR_MIN_WINDOW,
+    replay_coverage,
+    reset_replay_coverage,
+    simulate,
+)
+from repro.layout.files import FileEntry, SubsystemLayout
+from repro.layout.striping import Striping
+from repro.trace.request import IORequest, Trace
+from repro.util.units import KB
+
+ENGINES = ("stepwise", "segmented", "auto")
+
+_SLOW_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------- #
+# Property: boundary-adjacent directives, optionally under faults.
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(data=st.data())
+def test_boundary_adjacent_directives_bit_identical(data):
+    trace, params = data.draw(boundary_adjacent_traces())
+    faults = data.draw(st.none() | fault_configs())
+    plan = ReplayPlan.for_trace(trace)
+    results = {
+        eng: simulate(
+            trace, params, collect_busy_intervals=True, plan=plan,
+            engine=eng, faults=faults,
+        )
+        for eng in ENGINES
+    }
+    _assert_results_identical(results["segmented"], results["stepwise"])
+    _assert_results_identical(results["auto"], results["stepwise"])
+
+
+# --------------------------------------------------------------------- #
+# Targeted streams for the size-gated vector paths.
+# --------------------------------------------------------------------- #
+def _uniform_trace(num_disks, num_requests, gap_s, burst_every=0, burst_gap_s=0.0):
+    layout = SubsystemLayout(
+        num_disks=num_disks,
+        entries=(
+            FileEntry("A", 4096 * KB, Striping(0, num_disks, 64 * KB), 0),
+        ),
+    )
+    reqs = []
+    t = 0.0
+    for i in range(num_requests):
+        reqs.append(IORequest(t, "A", (i % 16) * 64 * KB, 8 * KB, False))
+        t += burst_gap_s if burst_every and (i + 1) % burst_every == 0 else gap_s
+    return Trace("gated", layout, tuple(reqs), (), t + 3.0)
+
+
+def test_drpm_vector_window_path_bit_identical():
+    """A window-size/disk-count product over ``DRPM_VECTOR_MIN_WINDOW``
+    engages the windowed vector kernel (count-bounded windows plus the
+    response-sum fold); it must reproduce the stepwise replay exactly."""
+    drpm = DRPMParams(window_size=256)
+    params = SubsystemParams(num_disks=4, drpm=drpm)
+    assert drpm.window_size * params.num_disks >= DRPM_VECTOR_MIN_WINDOW
+    trace = _uniform_trace(4, 2048, gap_s=0.004)
+    plan = ReplayPlan.for_trace(trace)
+    results = {}
+    for eng in ENGINES:
+        reset_replay_coverage()
+        results[eng] = simulate(
+            trace, params, ReactiveDRPM(drpm), collect_busy_intervals=True,
+            plan=plan, engine=eng,
+        )
+        cov = replay_coverage()
+        if eng == "segmented":
+            # The gate is open: the vector kernel must actually engage.
+            assert cov["segments_vector"] >= 1
+            assert cov["subrequests_vector"] > 0
+    _assert_results_identical(results["segmented"], results["stepwise"])
+    _assert_results_identical(results["auto"], results["stepwise"])
+
+
+def test_auto_spindown_vector_path_bit_identical():
+    """A stream past ``AUTO_VECTOR_MIN_REQUESTS`` with mid-replay
+    autonomous spin-downs engages the fire-bounded vector windows; spin
+    counts, timing and stats must match the stepwise replay exactly."""
+    n = AUTO_VECTOR_MIN_REQUESTS + 1024
+    trace = _uniform_trace(4, n, gap_s=0.002, burst_every=512, burst_gap_s=1.0)
+    params = SubsystemParams(num_disks=4)
+    plan = ReplayPlan.for_trace(trace)
+    results = {}
+    for eng in ENGINES:
+        reset_replay_coverage()
+        results[eng] = simulate(
+            trace, params, ReactiveTPM(0.4), plan=plan, engine=eng
+        )
+        cov = replay_coverage()
+        if eng == "segmented":
+            assert cov["segments_vector"] >= 1
+            assert cov["subrequests_vector"] > 0
+    # The 1 s bursts exceed the 0.4 s threshold: fires must happen.
+    assert results["stepwise"].total_spin_downs > 0
+    _assert_results_identical(results["segmented"], results["stepwise"])
+    _assert_results_identical(results["auto"], results["stepwise"])

@@ -147,16 +147,18 @@ def test_reactive_tpm_runs_segmented_with_spindowns(
         assert results[eng].disk_stats == results["stepwise"].disk_stats
 
 
-def test_auto_routes_directive_dense_replays_stepwise():
-    """Under ``auto``, a DRPM-style replay (two level shifts around every
-    exploited gap) must take the reference loop — the per-segment driver
-    overhead exceeds the batch savings at that directive density."""
+def test_auto_keeps_directive_dense_replays_segmented():
+    """Under ``auto``, directive-dense replays (IDRPM: two level shifts
+    around every exploited gap) and reactive DRPM both stay on the
+    segmented engine — directives are mirror boundary edits and the window
+    heuristic runs in-kernel, so neither routes to the reference loop."""
     workload = all_workloads()[0]
     reset_replay_coverage()
-    run_workload(workload, schemes=("Base", "IDRPM"), engine="auto")
+    run_workload(workload, schemes=("Base", "IDRPM", "DRPM"), engine="auto")
     cov = replay_coverage()
-    assert cov["replays_segmented"] >= 1  # Base
-    assert cov["replays_stepwise"] >= 1  # IDRPM (directive-dense)
+    assert cov["replays_stepwise"] == 0
+    assert cov["replays_segmented"] >= 3
+    assert cov["directive_edits"] > 0  # IDRPM shifts applied as edits
 
 
 def test_shared_plan_consistent_across_engines(

@@ -15,8 +15,9 @@ import pytest
 
 from repro import obs
 from repro.controllers.drpm import ReactiveDRPM
+from repro.controllers.tpm import AdaptiveTPM
 from repro.disksim.params import SubsystemParams
-from repro.disksim.simulator import simulate
+from repro.disksim.simulator import AUTO_MIN_REQUESTS, simulate
 from repro.disksim.timeline import TimelineRecorder
 from repro.layout.files import FileEntry, SubsystemLayout
 from repro.layout.striping import Striping
@@ -24,16 +25,16 @@ from repro.trace.request import IORequest, Trace
 from repro.util.units import KB
 
 
-def _trace(num_disks=2):
+def _trace(num_disks=2, num_requests=AUTO_MIN_REQUESTS):
     layout = SubsystemLayout(
         num_disks=num_disks,
         entries=(FileEntry("A", 1024 * KB, Striping(0, num_disks, 64 * KB), 0),),
     )
-    reqs = (
-        IORequest(0.0, "A", 0, 8 * KB, False),
-        IORequest(2.0, "A", 64 * KB, 8 * KB, False),
+    reqs = tuple(
+        IORequest(float(i), "A", (i % 16) * 64 * KB, 8 * KB, False)
+        for i in range(num_requests)
     )
-    return Trace("t", layout, reqs, (), 5.0)
+    return Trace("t", layout, reqs, (), float(num_requests) + 3.0)
 
 
 @pytest.fixture
@@ -47,6 +48,18 @@ def test_plain_run_reports_segmented_unforced(p):
     assert res.engine_forced == ""
 
 
+def test_auto_routes_tiny_replays_stepwise(p):
+    res = simulate(_trace(num_requests=2), p)
+    assert res.engine == "stepwise"
+    assert res.engine_forced == "tiny-replay"
+
+
+def test_explicit_segmented_overrides_tiny_replay_gate(p):
+    res = simulate(_trace(num_requests=2), p, engine="segmented")
+    assert res.engine == "segmented"
+    assert res.engine_forced == ""
+
+
 def test_explicit_stepwise_is_a_choice_not_a_fallback(p):
     res = simulate(_trace(), p, engine="stepwise")
     assert res.engine == "stepwise"
@@ -54,9 +67,19 @@ def test_explicit_stepwise_is_a_choice_not_a_fallback(p):
 
 
 def test_reactive_controller_forces_stepwise(p):
-    res = simulate(_trace(), p, ReactiveDRPM(p.drpm))
+    # Adaptive TPM observes per-sub-request completions with feedback the
+    # mirror cannot replay in batch; it still routes to the reference loop.
+    res = simulate(_trace(), p, AdaptiveTPM(0.5))
     assert res.engine == "stepwise"
     assert res.engine_forced == "reactive-controller"
+
+
+def test_reactive_drpm_runs_segmented(p):
+    # The DRPM window heuristic is lifted into the kernel, so reactive
+    # DRPM no longer forces the reference loop.
+    res = simulate(_trace(), p, ReactiveDRPM(p.drpm))
+    assert res.engine == "segmented"
+    assert res.engine_forced == ""
 
 
 def test_recorder_with_auto_engine_falls_back_quietly(p):
@@ -86,7 +109,7 @@ def test_engine_metadata_does_not_break_result_equality(p):
 def test_fallbacks_counted_when_observing(p):
     obs.enable()
     simulate(_trace(), p, recorder=TimelineRecorder())
-    simulate(_trace(), p, ReactiveDRPM(p.drpm))
+    simulate(_trace(), p, AdaptiveTPM(0.5))
     simulate(_trace(), p)
     assert obs.metrics.counter("sim.fallbacks", reason="timeline-recorder") == 1
     assert obs.metrics.counter("sim.fallbacks", reason="reactive-controller") == 1

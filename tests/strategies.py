@@ -12,7 +12,10 @@ milliseconds per example.
 
 Also here: :func:`fault_rates` / :func:`fault_configs`, random (but valid
 and runtime-bounded) :mod:`repro.faults` regimes for the fault-equivalence
-property tests.
+property tests, and :func:`boundary_adjacent_traces`, synthetic traces
+whose directives hug the replay's boundary instants (service completions
+and transition edges) — the adversarial inputs for the segmented engine's
+directive-as-boundary-edit mirror.
 """
 
 from __future__ import annotations
@@ -21,13 +24,24 @@ from dataclasses import dataclass
 
 from hypothesis import strategies as st
 
+from repro.disksim.params import SubsystemParams
 from repro.faults import FaultConfig, FaultRates
 from repro.ir.arrays import Array, StorageOrder
 from repro.ir.expr import Affine, var
-from repro.ir.nodes import AccessMode, ArrayRef, Loop, Statement
+from repro.ir.nodes import AccessMode, ArrayRef, Loop, PowerAction, PowerCall, Statement
 from repro.ir.program import Program
+from repro.layout.files import FileEntry, SubsystemLayout
+from repro.layout.striping import Striping
+from repro.trace.request import DirectiveRecord, IORequest, Trace
+from repro.util.units import KB
 
-__all__ = ["programs", "perfect_2d_nests", "fault_rates", "fault_configs"]
+__all__ = [
+    "programs",
+    "perfect_2d_nests",
+    "fault_rates",
+    "fault_configs",
+    "boundary_adjacent_traces",
+]
 
 
 @dataclass
@@ -189,6 +203,104 @@ def fault_configs(draw, allow_null: bool = True):
         seed=draw(st.integers(0, 2**31 - 1)),
         rates=draw(fault_rates(allow_null=allow_null)),
     )
+
+
+@st.composite
+def boundary_adjacent_traces(draw):
+    """A ``(trace, params)`` pair whose directives hug boundary instants.
+
+    The replay model is blocking (``t_exec = nominal + delay``), so a
+    directive whose nominal time is epsilon after request *i*'s nominal
+    time executes exactly at that request's last-sub completion edge on
+    the realized timeline, and a tie (epsilon = 0) executes first, on the
+    issue edge.  Transition edges are hit by chaining a second call at the
+    first call's transition-end instant (spin-down settle, per-step RPM
+    modulation): epsilon before lands entangled with the in-flight
+    transition, epsilon after lands on the freshly settled state.
+
+    Disks are partitioned into TPM-mode (spin_down/spin_up only) and
+    DRPM-mode (set_RPM only) so every generated sequence is valid —
+    ``set_RPM`` on a spun-down disk is a :class:`SimulationError` by
+    contract, not an equivalence case.
+    """
+    num_disks = draw(st.sampled_from([1, 4]))
+    n = draw(st.integers(16, 40))
+    gaps = draw(
+        st.lists(
+            st.sampled_from([0.002, 0.05, 0.6, 2.0]), min_size=n, max_size=n
+        )
+    )
+    times = []
+    t = 0.0
+    for g in gaps:
+        times.append(t)
+        t += g
+    sizes = draw(
+        st.lists(st.sampled_from([8 * KB, 192 * KB]), min_size=n, max_size=n)
+    )
+    layout = SubsystemLayout(
+        num_disks=num_disks,
+        entries=(
+            FileEntry("A", 4096 * KB, Striping(0, num_disks, 64 * KB), 0),
+        ),
+    )
+    reqs = tuple(
+        IORequest(times[i], "A", (i % 16) * 64 * KB, sizes[i], i % 3 == 0)
+        for i in range(n)
+    )
+    params = SubsystemParams(num_disks=num_disks)
+    modes = tuple(
+        draw(st.sampled_from(["tpm", "drpm"])) for _ in range(num_disks)
+    )
+    levels = params.drpm.levels
+    down_s = params.disk.spin_down_time_s
+    step_s = params.drpm.transition_time_per_step_s
+    issue_eps = st.sampled_from([0.0, 1e-9, 1e-6, 1e-3])
+    edge_eps = st.sampled_from([-1e-9, 0.0, 1e-9, 1e-3])
+    records = []
+    for _ in range(draw(st.integers(2, 8))):
+        i = draw(st.integers(0, n - 1))
+        disk = draw(st.integers(0, num_disks - 1))
+        t0 = times[i] + draw(issue_eps)
+        overhead = draw(st.sampled_from([0.0, 5000.0]))
+        if modes[disk] == "tpm":
+            first = draw(
+                st.sampled_from([PowerAction.SPIN_DOWN, PowerAction.SPIN_UP])
+            )
+            records.append(
+                DirectiveRecord(
+                    t0, PowerCall(first, disk, overhead_cycles=overhead)
+                )
+            )
+            if first is PowerAction.SPIN_DOWN and draw(st.booleans()):
+                t1 = t0 + down_s + draw(edge_eps)
+                records.append(
+                    DirectiveRecord(t1, PowerCall(PowerAction.SPIN_UP, disk))
+                )
+        else:
+            rpm = draw(st.sampled_from(levels))
+            records.append(
+                DirectiveRecord(
+                    t0,
+                    PowerCall(
+                        PowerAction.SET_RPM, disk, rpm=rpm,
+                        overhead_cycles=overhead,
+                    ),
+                )
+            )
+            if draw(st.booleans()):
+                steps = params.drpm.steps_between(params.drpm.max_rpm, rpm)
+                t1 = t0 + steps * step_s + draw(edge_eps)
+                rpm2 = draw(st.sampled_from(levels))
+                records.append(
+                    DirectiveRecord(
+                        t1, PowerCall(PowerAction.SET_RPM, disk, rpm=rpm2)
+                    )
+                )
+    records.sort(key=lambda d: d.nominal_time_s)
+    end = times[-1] + down_s + params.disk.spin_up_time_s + 5.0
+    trace = Trace("adjacency", layout, reqs, tuple(records), end)
+    return trace, params
 
 
 @st.composite

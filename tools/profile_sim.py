@@ -11,9 +11,10 @@ benchmark under all 7 schemes), serial and uncached — the same work
 ``ExperimentContext.all_suites()`` does on a cold run.  Prints the top
 functions by ``tottime`` (override with ``--sort cumulative`` etc.).
 ``--coverage`` additionally prints the replay-engine coverage counters
-(how many replays/segments/sub-requests ran on the segmented batch
-kernels versus the stepwise reference path); ``--engine`` forces a replay
-engine (default ``auto``).
+plus a breakdown of where sub-requests ran (vector/scalar/stepwise) and
+*why* work left the batch kernels — the ``fallback_*`` escape reasons and
+the window-level bailout counters; ``--engine`` forces a replay engine
+(default ``auto``).
 
 This is the harness behind the numbers in docs/performance.md; use it to
 check that a change actually moves the needle before trusting wall-clock
@@ -25,6 +26,60 @@ import argparse
 import cProfile
 import pstats
 import sys
+
+
+def print_coverage_breakdown(cov: dict[str, int]) -> None:
+    """Pretty-print the raw coverage counters plus a scalar-bailout digest.
+
+    The digest answers the two tuning questions directly: *where did the
+    sub-requests run* (vector / scalar kernel / stepwise escapes) and *why
+    did work leave the batch kernels* (per-reason ``fallback_*`` escapes
+    and window-level bailouts), so a routing change can be judged without
+    mentally diffing sixteen counters.
+    """
+    print("replay engine coverage:")
+    for key, value in cov.items():
+        print(f"  {key}: {value}")
+
+    sub_paths = (
+        ("vector kernel", cov.get("subrequests_vector", 0)),
+        ("scalar kernel", cov.get("subrequests_scalar", 0)),
+        ("stepwise/exact", cov.get("subrequests_stepwise", 0)),
+    )
+    total_subs = sum(v for _, v in sub_paths)
+    print("sub-request placement:")
+    if total_subs:
+        for name, value in sub_paths:
+            print(f"  {name}: {value} ({100.0 * value / total_subs:.1f}%)")
+    else:
+        print("  (no sub-requests replayed)")
+
+    fallbacks = {
+        key[len("fallback_"):].replace("_", " "): value
+        for key, value in cov.items()
+        if key.startswith("fallback_")
+    }
+    total_fb = sum(fallbacks.values())
+    print("scalar bailout reasons (escapes to the exact state machine):")
+    if total_fb:
+        for name, value in sorted(
+            fallbacks.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            if value:
+                print(f"  {name}: {value} ({100.0 * value / total_fb:.1f}%)")
+    else:
+        print("  (none — every sub-request stayed on the batch kernels)")
+
+    print("vector-window bailouts:")
+    print(f"  rounding-guard exits: {cov.get('bailouts', 0)}")
+    print(
+        "  windows too short for the vector kernel: "
+        f"{cov.get('windows_scalar_short_run', 0)}"
+    )
+    print(
+        "  directives clamped mid-service: "
+        f"{cov.get('directive_mid_service', 0)}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,10 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
     if args.coverage:
-        cov = replay_coverage()
-        print("replay engine coverage:")
-        for key, value in cov.items():
-            print(f"  {key}: {value}")
+        print_coverage_breakdown(replay_coverage())
     if args.metrics:
         snap = obs.metrics.snapshot()
         print("metric snapshot:")
