@@ -71,9 +71,11 @@ from .. import obs
 from ..obs import metrics as _metrics
 from .interface import Controller, TimedDirective
 from ..ir.nodes import PowerAction, PowerCall
-from ..trace.request import Trace
+from ..trace.request import RequestColumns, Trace
+from ..trace.stream import TraceStream
 from ..util.errors import SimulationError
-from .disk import Disk
+from .disk import Disk, sequential_sum
+from .diskarray import STATE_INDEX, DiskArray
 from .params import SubsystemParams
 from .powermodel import PowerModel
 from .replay import ReplayPlan
@@ -97,6 +99,11 @@ logger = logging.getLogger(__name__)
 
 #: Clock used to charge directive call overhead (Tm), paper §4.1.
 _CLOCK_HZ = 750e6
+
+#: Residency-bank row indices for the states the kernels touch inline.
+_I_IDLE = STATE_INDEX["idle"]
+_I_ACTIVE = STATE_INDEX["active"]
+_I_STANDBY = STATE_INDEX["standby"]
 
 #: Minimum quiescent-run length (in requests) before the NumPy batch
 #: kernel is even considered; the binding gate is
@@ -141,6 +148,17 @@ AUTO_VECTOR_MIN_REQUESTS = 8192
 #: driver drains and re-probes for a vector window instead.
 DEFER_WINDOW_REQUESTS = 128
 
+#: Minimum run length for the columnar directive batch-apply: consecutive
+#: SET_RPM directives on distinct plain disks with no intervening request
+#: collapse into one precomputed pass over the DiskArray columns.  Below
+#: this the per-run precheck costs more than the per-call dispatch saves.
+DIRECTIVE_BATCH_MIN = 8
+
+#: Disk-count floor for the columnar (NumPy) whole-array driver scans —
+#: the reactive-TPM fire bound over the DiskArray columns.  Below it the
+#: per-disk Python loop is faster than array construction.
+_WIDE_DISKS = 32
+
 #: Minimum stream length (in requests) for the segmented engine under
 #: ``engine="auto"``: below this the mirror/kernel setup costs more than
 #: the whole stepwise replay.  Measured crossover on this container — see
@@ -162,6 +180,7 @@ AUTO_ROUTING: dict = {
     "auto_vector_min_requests": AUTO_VECTOR_MIN_REQUESTS,
     "drpm_vector_min_window": DRPM_VECTOR_MIN_WINDOW,
     "defer_window_requests": DEFER_WINDOW_REQUESTS,
+    "directive_batch_min": DIRECTIVE_BATCH_MIN,
 }
 
 #: Engine observability: how much of the replay ran on which path.
@@ -199,6 +218,7 @@ def reset_replay_coverage() -> None:
         subrequests_stepwise=0,
         bailouts=0,
         directive_edits=0,
+        directive_batch_calls=0,
         directive_mid_service=0,
         windows_scalar_short_run=0,
         fallback_transition_entangled=0,
@@ -274,6 +294,7 @@ class _PlanGeometry:
         "nb_l",
         "seek_name_l",
         "counts",
+        "single_sub",
         "nbytes_f",
         "subs_by_disk",
         "disk_cnt_at_req",
@@ -281,20 +302,33 @@ class _PlanGeometry:
     )
 
     def __init__(self, plan: ReplayPlan):
-        from .replay import SEEK_CLASSES
-
         self._plan = plan
         self.req_times = plan.columns.nominal_time_s.tolist()
         self.indptr_l = plan.indptr.tolist()
-        self.disk_l = plan.sub_disk.tolist()
-        self.nb_l = plan.sub_nbytes.tolist()
-        seek_codes = plan.sub_seek.tolist()
-        self.seek_name_l = [SEEK_CLASSES[c] for c in seek_codes]
+        self.disk_l = None
+        self.nb_l = None
+        self.seek_name_l = None
         self.counts = None
+        self.single_sub = False
         self.nbytes_f = None
         self.subs_by_disk = None
         self.disk_cnt_at_req = None
         self.reqmask = None
+
+    def scalar_views(self) -> tuple[list, list, list]:
+        """Per-sub Python lists for the scalar kernels (idempotent,
+        cached).  Lazy so an all-vector replay never pays the O(subs)
+        ``tolist`` conversions."""
+        if self.disk_l is None:
+            from .replay import SEEK_CLASSES
+
+            plan = self._plan
+            self.disk_l = plan.sub_disk.tolist()
+            self.nb_l = plan.sub_nbytes.tolist()
+            self.seek_name_l = [
+                SEEK_CLASSES[c] for c in plan.sub_seek.tolist()
+            ]
+        return self.disk_l, self.nb_l, self.seek_name_l
 
     def nbytes_float(self) -> np.ndarray:
         """Per-sub byte counts as float64 (idempotent, cached)."""
@@ -304,19 +338,48 @@ class _PlanGeometry:
 
     def vector_views(self) -> None:
         """Build the batch-kernel arrays (idempotent, cached)."""
-        plan = self._plan
         if self.counts is None:
-            self.counts = np.diff(plan.indptr)
-            self.subs_by_disk = [
-                np.nonzero(plan.sub_disk == d)[0] for d in range(plan.num_disks)
-            ]
-            # Per disk, how many of its subs precede each request boundary
-            # (``cnt[d][k]`` = subs of disk d in requests [0, k)); turns the
-            # per-window ``searchsorted`` pair into two O(1) lookups.
-            self.disk_cnt_at_req = [
-                np.searchsorted(sbd, plan.indptr) for sbd in self.subs_by_disk
-            ]
+            self.counts = np.diff(self._plan.indptr)
+            plan = self._plan
+            self.single_sub = bool(plan.indptr[-1] == plan.num_requests)
         self.nbytes_float()
+
+    def disk_views(self) -> None:
+        """Dense per-disk sub indices and prefix counts (idempotent, cached).
+
+        ``disk_cnt_at_req[d][k]`` = subs of disk d in requests ``[0, k)``
+        and ``subs_by_disk[d]`` = disk d's sub indices in stream order —
+        O(1) lookups for the reactive-DRPM window-boundary scan, the only
+        consumer.  O(num_disks x num_requests) memory and build time, so
+        it is *not* part of :meth:`vector_views`: the request-window
+        kernel groups subs per window instead and stays O(window).
+        """
+        plan = self._plan
+        if self.subs_by_disk is None:
+            self.vector_views()
+            nd = plan.num_disks
+            n = plan.num_requests
+            # Group sub indices by disk with one stable argsort (ascending
+            # within a disk, since the sort is stable over ascending
+            # indices) instead of one O(m) scan per disk.
+            by_disk = np.argsort(plan.sub_disk, kind="stable")
+            bounds = np.searchsorted(
+                plan.sub_disk[by_disk], np.arange(nd + 1, dtype=np.int64)
+            )
+            self.subs_by_disk = [
+                by_disk[bounds[d]:bounds[d + 1]] for d in range(nd)
+            ]
+            # One flat bincount + row cumsum builds all disks' prefix
+            # counts at once — one ``searchsorted(subs, indptr)`` per disk
+            # costs O(disks x requests x log subs) and dominates wide
+            # subsystems.
+            req_of_sub = np.repeat(np.arange(n, dtype=np.int64), self.counts)
+            hist = np.bincount(
+                plan.sub_disk * n + req_of_sub, minlength=nd * n
+            ).reshape(nd, n)
+            cnt = np.zeros((nd, n + 1), dtype=np.int64)
+            np.cumsum(hist, axis=1, out=cnt[:, 1:])
+            self.disk_cnt_at_req = list(cnt)
 
     def request_masks(self) -> list:
         """Per-request touched-disk bitmasks (idempotent, cached)."""
@@ -362,6 +425,7 @@ class _ServiceTables:
         "_np",
         "_list",
         "_mx",
+        "_mxnp",
     )
 
     def __init__(self, pm: PowerModel, geom: _PlanGeometry, plan: ReplayPlan):
@@ -375,6 +439,7 @@ class _ServiceTables:
         self._np: dict[int, np.ndarray] = {}
         self._list: dict[int, list] = {}
         self._mx: dict[int, list] = {}
+        self._mxnp: dict[int, np.ndarray] = {}
 
     def row_np(self, li: int) -> np.ndarray:
         row = self._np.get(li)
@@ -391,20 +456,28 @@ class _ServiceTables:
             self._list[li] = row
         return row
 
-    def max_row_list(self, li: int) -> list:
+    def max_row_np(self, li: int) -> np.ndarray:
         """Per-request max service time at one level, whole stream.
 
         Cached so kernel re-entries after a directive or bailout never
         recompute window maxima (max is order-independent, so the
         full-stream ``maximum.reduceat`` equals any windowed one).
         """
-        mx = self._mx.get(li)
+        mx = self._mxnp.get(li)
         if mx is None:
             row = self.row_np(li)
             if row.size:
-                mx = np.maximum.reduceat(row, self._indptr[:-1]).tolist()
+                mx = np.maximum.reduceat(row, self._indptr[:-1])
             else:
-                mx = []
+                mx = np.empty(0)
+            self._mxnp[li] = mx
+        return mx
+
+    def max_row_list(self, li: int) -> list:
+        """List view of :meth:`max_row_np` (idempotent, cached)."""
+        mx = self._mx.get(li)
+        if mx is None:
+            mx = self.max_row_np(li).tolist()
             self._mx[li] = mx
         return mx
 
@@ -434,8 +507,19 @@ def _replay_stepwise(
     rpm_counts: dict[int, int] | None = None,
     directives: Sequence | None = None,
     fault_plan=None,
-) -> tuple[int, float]:
-    """Reference per-sub-request replay; returns (num_directives, end_time).
+    delay0: float = 0.0,
+    timed_idx0: int = 0,
+    finalize: bool = True,
+) -> tuple[int, float, float, int]:
+    """Reference per-sub-request replay; returns
+    ``(num_directives, end_time, delay, timed_idx)``.
+
+    ``delay0``/``timed_idx0`` seed the closed-loop delay and the oracle
+    directive cursor for chunked (streamed) replays, where one logical
+    trace arrives as a sequence of column chunks; ``finalize=False``
+    skips the trailing timed-directive flush so the next chunk continues
+    the same timeline.  Whole-trace callers use the defaults, which make
+    this the exact loop it always was.
 
     The request and directive streams are merged inline (both are sorted
     by nominal time; ties execute the directive first) so the hot loop
@@ -450,9 +534,7 @@ def _replay_stepwise(
     geom = _geometry(plan)
     req_times = geom.req_times
     indptr_l = geom.indptr_l
-    disk_l = geom.disk_l
-    nb_l = geom.nb_l
-    seek_name_l = geom.seek_name_l
+    disk_l, nb_l, seek_name_l = geom.scalar_views()
     if directives is None:
         directives = trace.directives
     num_requests = len(req_times)
@@ -471,11 +553,11 @@ def _replay_stepwise(
     append_response = responses.append
     on_complete = ctrl.on_request_complete if reactive else None
     track = collect_busy_intervals or reactive
-    delay = 0.0
+    delay = delay0
     num_directives = 0
     num_timed = len(timed)
     timed_times = [td.time_s for td in timed]
-    timed_idx = 0
+    timed_idx = timed_idx0
     ri = 0
     di = 0
     if num_timed == 0:
@@ -604,13 +686,14 @@ def _replay_stepwise(
 
     # Flush oracle directives scheduled after the last record.
     end_time = trace.total_compute_s + delay
-    while timed_idx < num_timed and timed_times[timed_idx] <= end_time:
-        td = timed[timed_idx]
-        target = disks[td.call.disk]
-        apply_call(target, max(td.time_s, target.cursor_s), td.call)
-        num_directives += 1
-        timed_idx += 1
-    return num_directives, end_time
+    if finalize:
+        while timed_idx < num_timed and timed_times[timed_idx] <= end_time:
+            td = timed[timed_idx]
+            target = disks[td.call.disk]
+            apply_call(target, max(td.time_s, target.cursor_s), td.call)
+            num_directives += 1
+            timed_idx += 1
+    return num_directives, end_time, delay, timed_idx
 
 
 # ---------------------------------------------------------------------- #
@@ -650,52 +733,99 @@ def _run_vector(
     indptr_l = geom.indptr_l
     s0 = indptr_l[ri]
     level_row = tables.level_row
-    rows = {
-        level_row[d.rpm]
+    rpm_set = {
+        d.rpm
         for d in disks
         if not (nonplain >> d.disk_id) & 1
     }
+    rows = {level_row[rpm] for rpm in rpm_set}
     if len(rows) == 1:
         # Common case: every disk the window can touch sits at one RPM
         # level, so the per-sub service times and per-request maxima come
         # from full-stream rows cached across segments and replays.
         li = rows.pop()
         svc_full = tables.row_np(li)
-        mx = tables.max_row_list(li)
-        mx_off = 0
+        m_win = tables.max_row_np(li)[ri:we]
     else:
         s1 = indptr_l[we]
         per_disk_row = np.array([level_row[d.rpm] for d in disks], dtype=np.int64)
         sub_row = per_disk_row[plan.sub_disk[s0:s1]]
         svc_win = tables.base[sub_row, plan.sub_seek[s0:s1]] + geom.nbytes_f[s0:s1] / tables.rate[sub_row]
         svc_full = None
-        mx = np.maximum.reduceat(svc_win, plan.indptr[ri:we] - s0).tolist()
-        mx_off = ri
+        m_win = np.maximum.reduceat(svc_win, plan.indptr[ri:we] - s0)
 
-    # Closed-loop delay feedback: sequential by construction (each response
-    # is rounded before it shifts the next issue time), so this short scan
-    # is the only per-request Python left on the batched path.
-    k = ri
-    t_list: list[float] = []
-    t_append = t_list.append
-    r_append = responses.append
-    pc = pc0
+    w = we - ri
+    if w == 0:
+        return ri, delay, False
+    # Closed-loop delay feedback: each response is rounded before it
+    # shifts the next issue time, so the chain is sequential by
+    # construction.  Solved bit-exactly without a per-request Python
+    # loop by fixed-point iteration: guess the responses, rebuild the
+    # delay prefix with ``np.add.accumulate`` (a sequential left fold,
+    # bit-equal to the scalar ``+=`` chain), recompute each response
+    # from its implied issue time, and repeat until the array stops
+    # changing — typically one extra pass, since a response only moves
+    # when an upstream rounding flip reaches it.  A fixpoint satisfies
+    # the scalar recurrence exactly, and every value before the first
+    # break/bail depends only on earlier responses, so the surviving
+    # prefix is the scalar loop's prefix bit for bit.
+    tn_win = plan.columns.nominal_time_s[ri:we]
+    acc = np.empty(w + 1)
+    acc[0] = delay
+    resp = m_win
+    converged = False
+    for _ in range(8):
+        acc[1:] = resp
+        pre = np.add.accumulate(acc)
+        t_arr = tn_win + pre[:-1]
+        comp = t_arr + m_win
+        new_resp = comp - t_arr
+        if np.array_equal(new_resp, resp):
+            converged = True
+            break
+        resp = new_resp
     bailed = False
-    mx_win = mx[ri:we] if mx_off == 0 else mx
-    for tn, m in zip(req_times[ri:we], mx_win):
-        t = tn + delay
-        if t >= tnext:
-            break
-        if t < pc:
-            bailed = True
-            break
-        comp = t + m
-        resp = comp - t
-        r_append(resp)
-        delay += resp
-        pc = comp
-        t_append(t)
-        k += 1
+    if converged:
+        pcs = np.empty(w)
+        pcs[0] = pc0
+        pcs[1:] = comp[:-1]
+        stop = np.flatnonzero((t_arr >= tnext) | (t_arr < pcs))
+        if stop.size:
+            cut = int(stop[0])
+            # The scalar loop checks the window boundary before the
+            # overlap guard: only a pure overlap violation bails.
+            bailed = bool(t_arr[cut] < tnext)
+        else:
+            cut = w
+        k = ri + cut
+        delay = float(pre[cut])
+        fold = getattr(responses, "fold_array", None)
+        if fold is None:
+            responses.extend(resp[:cut].tolist())
+        else:
+            fold(resp[:cut])
+        t_win = t_arr[:cut]
+    else:  # pragma: no cover - the fixpoint converges in practice
+        k = ri
+        t_list: list[float] = []
+        t_append = t_list.append
+        r_append = responses.append
+        pc = pc0
+        for tn, m in zip(req_times[ri:we], m_win.tolist()):
+            t = tn + delay
+            if t >= tnext:
+                break
+            if t < pc:
+                bailed = True
+                break
+            comp_s = t + m
+            resp_s = comp_s - t
+            r_append(resp_s)
+            delay += resp_s
+            pc = comp_s
+            t_append(t)
+            k += 1
+        t_win = np.array(t_list, dtype=np.float64)
 
     nreq = k - ri
     if nreq == 0:
@@ -704,17 +834,131 @@ def _run_vector(
         return k, delay, bailed
 
     sk = indptr_l[k]
-    rep_t = np.repeat(np.array(t_list, dtype=np.float64), geom.counts[ri:k])
-    cnt_at = geom.disk_cnt_at_req
+    # Single-sub plans (every request maps to one disk) need no fan-out
+    # of issue times; ``t_win`` is read-only downstream so aliasing is
+    # safe.
+    rep_t = t_win if geom.single_sub else np.repeat(t_win, geom.counts[ri:k])
+    # Group the window's subs by disk with one stable argsort — stable
+    # keeps each disk's subs in stream order, which the per-disk
+    # completion chain below requires.  Window-local grouping keeps the
+    # kernel O(window log window); a global per-disk index would cost
+    # O(disks x requests) to build.
+    wdisk = plan.sub_disk[s0:sk]
+    worder = np.argsort(wdisk, kind="stable")
+    wbounds = np.searchsorted(
+        wdisk[worder], np.arange(plan.num_disks + 1, dtype=np.int64)
+    )
+    wsubs = sk - s0
+    if (
+        svc_full is not None
+        and len(rpm_set) == 1
+        and drpm_fold is None
+        and not collect
+    ):
+        # Fused accounting: with one shared RPM (hence one idle/active
+        # power), every per-disk accrual is a sequential left fold over
+        # that disk's window subs.  Pack all five folds x all touched
+        # disks into one zero-padded matrix — one row per (disk,
+        # accumulator), seeded with the current totals in column 0 —
+        # and run a single ``np.add.accumulate`` along the rows: padding
+        # zeros are bitwise no-ops on the non-negative accumulators, so
+        # row ends equal the per-disk ``add_many`` chains bit for bit.
+        # Replaces ~10 small NumPy calls per disk (the wide-subsystem
+        # bottleneck) with O(1) calls per window.
+        glen_all = np.diff(wbounds)
+        present = np.flatnonzero(glen_all)
+        glen = glen_all[present]
+        P = int(present.size)
+        L = int(glen.max()) if P else 0
+        dmap = {d.disk_id: d for d in disks}
+        if P and 5 * P * (L + 1) <= 24 * wsubs + 4096 and all(
+            int(d_id) in dmap for d_id in present
+        ):
+            rpm0 = next(iter(rpm_set))
+            idle_w0 = tables.idle_w[rpm0]
+            active_w0 = tables.active_w[rpm0]
+            heads = wbounds[present]
+            widx = worder + s0
+            td_s = rep_t[worder]
+            svc_s = svc_full[widx]
+            comp_s = td_s + svc_s
+            prev_s = np.empty(wsubs)
+            prev_s[1:] = comp_s[:-1]
+            present_l = present.tolist()
+            pdisks = [dmap[d_id] for d_id in present_l]
+            cursors = [d.cursor_s for d in pdisks]
+            prev_s[heads] = cursors
+            dur = td_s - prev_s
+            if float(dur.min()) < 0:
+                raise SimulationError("negative accounting duration in batch")
+            rowid = np.repeat(np.arange(P, dtype=np.int64), glen)
+            col = np.arange(wsubs, dtype=np.int64) - np.repeat(heads, glen) + 1
+            seeds = np.empty(5 * P)
+            for p, d in enumerate(pdisks):
+                st = d.stats
+                seeds[p] = st.time_s["idle"]
+                seeds[P + p] = st.energy_j["idle"]
+                seeds[2 * P + p] = st.time_s["active"]
+                seeds[3 * P + p] = st.energy_j["active"]
+                seeds[4 * P + p] = st.idle_time_by_rpm.get(rpm0, 0.0)
+            stride = L + 1
+            mat = np.zeros((5 * P, stride))
+            mat[:, 0] = seeds
+            flat = mat.ravel()
+            base = rowid * stride + col
+            band = P * stride
+            flat[base] = dur
+            flat[base + band] = dur * idle_w0
+            flat[base + 2 * band] = svc_s
+            flat[base + 3 * band] = svc_s * active_w0
+            flat[base + 4 * band] = dur
+            np.add.accumulate(mat, axis=1, out=mat)
+            finals = mat[:, -1]
+            idle_t = finals[:P].tolist()
+            idle_e = finals[P:2 * P].tolist()
+            act_t = finals[2 * P:3 * P].tolist()
+            act_e = finals[3 * P:4 * P].tolist()
+            rpm_tm = finals[4 * P:].tolist()
+            lasts = heads + glen - 1
+            dmax = np.maximum.reduceat(dur, heads).tolist()
+            nbytes_g = np.add.reduceat(plan.sub_nbytes[widx], heads).tolist()
+            td_last = td_s[lasts].tolist()
+            comp_last = comp_s[lasts].tolist()
+            glen_l = glen.tolist()
+            for p, disk in enumerate(pdisks):
+                st = disk.stats
+                st.time_s["idle"] = idle_t[p]
+                st.energy_j["idle"] = idle_e[p]
+                st.time_s["active"] = act_t[p]
+                st.energy_j["active"] = act_e[p]
+                by_rpm = st.idle_time_by_rpm
+                if rpm0 in by_rpm or dmax[p] > 0:
+                    by_rpm[rpm0] = rpm_tm[p]
+                st.num_requests += glen_l[p]
+                st.bytes_served += nbytes_g[p]
+                disk.last_service_start_s = td_last[p]
+                end = comp_last[p]
+                disk.cursor_s = end
+                disk.ready_s = end
+                disk.idle_anchor_s = end
+                disk.last_request_end_s = end
+                disk._auto_armed = True
+            if rpm_counts is not None:
+                rpm_counts[rpm0] = rpm_counts.get(rpm0, 0) + wsubs
+            cov = REPLAY_COVERAGE
+            cov["segments_vector"] += 1
+            cov["subrequests_vector"] += wsubs
+            if bailed:
+                cov["bailouts"] += 1
+            return k, delay, bailed
     for disk in disks:
-        cnt_d = cnt_at[disk.disk_id]
-        lo = int(cnt_d[ri])
-        hi = int(cnt_d[k])
+        d_id = disk.disk_id
+        lo = int(wbounds[d_id])
+        hi = int(wbounds[d_id + 1])
         if lo == hi:
             continue
-        sbd = geom.subs_by_disk[disk.disk_id]
-        idx_abs = sbd[lo:hi]
-        idx = idx_abs - s0
+        idx = worder[lo:hi]
+        idx_abs = idx + s0
         td = rep_t[idx]
         svc_d = svc_full[idx_abs] if svc_full is not None else svc_win[idx]
         comp_d = td + svc_d
@@ -774,8 +1018,21 @@ def _replay_segmented(
     directives: Sequence | None = None,
     fault_plan=None,
     drpm=None,
-) -> tuple[int, float]:
-    """Segmented replay; returns (num_directives, end_time).
+    delay0: float = 0.0,
+    timed_idx0: int = 0,
+    finalize: bool = True,
+    drpm_carry: tuple[list, list, list] | None = None,
+) -> tuple[int, float, float, int]:
+    """Segmented replay; returns
+    ``(num_directives, end_time, delay, timed_idx)``.
+
+    ``delay0``/``timed_idx0``/``finalize`` support chunked (streamed)
+    replays exactly as in :func:`_replay_stepwise`; ``drpm_carry``
+    optionally supplies the in-kernel reactive-DRPM window accumulators
+    ``(dw_sum, dw_cnt, dw_prev)`` so a window spanning a chunk boundary
+    keeps folding (the lists are mutated in place and reused by the next
+    chunk).  The DiskArray mirror itself is per-call: it syncs to the
+    ``Disk`` objects before returning, which carry all cross-chunk state.
 
     The driver walks the merged request/directive stream like the stepwise
     engine, batching quiescent runs through the vector kernel and everything
@@ -820,10 +1077,13 @@ def _replay_segmented(
     tables = _service_tables(plan, pm, geom)
     req_times = geom.req_times
     indptr_l = geom.indptr_l
-    disk_l = geom.disk_l
-    nb_l = geom.nb_l
-    seek_name_l = geom.seek_name_l
-    reqmask = geom.request_masks()
+    # Scalar-kernel views materialize on first use: an all-vector replay
+    # (the common wide-subsystem case) never pays their O(subs) tolist
+    # cost, and a replay with no hot disks never builds the masks.
+    disk_l: list | None = None
+    nb_l: list | None = None
+    seek_name_l: list | None = None
+    reqmask: list | None = None
     if directives is None:
         directives = trace.directives
     n = len(req_times)
@@ -839,12 +1099,13 @@ def _replay_segmented(
     subs_step_c = 0
     short_run_c = 0
     dir_edits_c = 0
+    batch_c = 0
     collect = collect_busy_intervals
     counting = rpm_counts is not None
-    delay = 0.0
+    delay = delay0
     num_directives = 0
-    timed_idx = 0
-    tnext = timed[0].time_s if num_timed else inf
+    timed_idx = timed_idx0
+    tnext = timed[timed_idx].time_s if timed_idx < num_timed else inf
     ri = 0
     di = 0
     # Deferred timed directives: a timed call is an absolute-time,
@@ -909,16 +1170,19 @@ def _replay_segmented(
         drpm_wsize = drpm.window_size
         drpm_max = drpm.max_rpm
         drpm_top_row = row_list(level_row[drpm_max])
-        dw_sum = [0.0] * num_disks
-        dw_cnt = [0] * num_disks
-        dw_prev: list = [None] * num_disks
+        if drpm_carry is not None:
+            dw_sum, dw_cnt, dw_prev = drpm_carry
+        else:
+            dw_sum = [0.0] * num_disks
+            dw_cnt = [0] * num_disks
+            dw_prev = [None] * num_disks
         # Vector windows fold completed sub-requests into the same window
         # accumulators (sequentially, via ``np.add.accumulate``, so the
         # left-fold is bit-equal to the scalar ``+=`` chain); windows are
         # truncated before any disk's window-closing sub-request, so the
         # boundary itself always fires on the scalar path.
         drpm_fold = (dw_sum, dw_cnt, tables.row_np(level_row[drpm_max]))
-        geom.vector_views()
+        geom.disk_views()
         subs_by_disk = geom.subs_by_disk
         disk_cnt_at_req = geom.disk_cnt_at_req
     else:
@@ -935,54 +1199,57 @@ def _replay_segmented(
     )
     general_loop = auto_active or drpm_on
 
-    # Persistent scalar mirror: flat per-disk images of the serve state
-    # (cursors, RPM-level rows, idle/active accumulators) plus the fields
-    # boundary edits touch (pending transition, standby bookkeeping).  A
-    # mirror is flushed back to its ``Disk`` only when something else needs
-    # the object current — an entangled call, an exact serve, the vector
-    # kernel, or the end of replay — and refreshed lazily afterwards.
-    m_valid = [False] * num_disks
-    m_dirty = [False] * num_disks
-    m_cur = [0.0] * num_disks
-    m_rdy = [0.0] * num_disks
-    m_idle_t = [0.0] * num_disks
-    m_idle_e = [0.0] * num_disks
-    m_act_t = [0.0] * num_disks
-    m_act_e = [0.0] * num_disks
-    m_brpm = [0.0] * num_disks
-    m_hadkey = [False] * num_disks
-    m_anyidle = [False] * num_disks
-    m_n = [0] * num_disks
-    m_b = [0] * num_disks
-    m_last = [0.0] * num_disks
-    m_lre = [0.0] * num_disks
-    m_rpm = [0] * num_disks
-    m_svc: list = [()] * num_disks
-    m_iw = [0.0] * num_disks
-    m_aw = [0.0] * num_disks
-    m_thr: list = [None] * num_disks
-    m_anchor = [0.0] * num_disks
-    m_armed = [False] * num_disks
-    # Pending-transition image (``None`` end = no transition in flight).
-    m_tr_end: list = [None] * num_disks
-    m_tr_pw = [0.0] * num_disks
-    m_tr_state = [""] * num_disks
-    m_tr_rpm: list = [None] * num_disks
-    m_tr_sb = [False] * num_disks
-    # Standby / spin-up bookkeeping image.
-    m_standby = [False] * num_disks
-    m_sb_since: list = [None] * num_disks
-    m_last_sb = [0.0] * num_disks
-    m_spseq = [0] * num_disks
-
-    # ``exact_mask``: disks whose state the mirror refuses to hold (pending
-    # deferred action, faulty spin-up chain, or auto-spindown policy while
-    # transitioning/spun down) — every touch goes through the state
-    # machine.  ``busy_mask``: mirrored disks with a transition in flight
-    # or in standby — serves dispatch to the slow sub path, the vector
-    # kernel excludes them.  ``hot`` is their union.
-    exact_mask = 0
-    busy_mask = 0
+    # Persistent columnar mirror: a :class:`DiskArray` holds flat per-disk
+    # columns of the serve state (cursors, RPM-level rows, the residency
+    # bank) plus the fields boundary edits touch (pending transition,
+    # standby bookkeeping).  A row is flushed back to its ``Disk`` only
+    # when something else needs the object current — an entangled call, an
+    # exact serve, the vector kernel, or the end of replay — and refreshed
+    # lazily afterwards (the sync contract lives in
+    # :mod:`repro.disksim.diskarray`).  The columns are bound to locals so
+    # the kernel loops index the shared list objects directly.
+    da = DiskArray(disks, row_list, level_row, idle_w_by, active_w_by, auto_active)
+    bank = da.bank
+    m_valid = da.valid
+    m_cur = da.cur
+    m_rdy = da.rdy
+    bank_time = bank.time
+    bank_energy = bank.energy
+    m_idle_t = bank_time[_I_IDLE]
+    m_idle_e = bank_energy[_I_IDLE]
+    m_act_t = bank_time[_I_ACTIVE]
+    m_act_e = bank_energy[_I_ACTIVE]
+    m_sb_t = bank_time[_I_STANDBY]
+    m_sb_e = bank_energy[_I_STANDBY]
+    m_brpm = bank.level_bucket
+    m_anyidle = bank.level_touched
+    m_n = da.n_served
+    m_b = da.b_served
+    m_last = da.last_start
+    m_lre = da.last_end
+    m_rpm = da.rpm
+    m_svc = da.svc
+    m_iw = da.iw
+    m_aw = da.aw
+    m_thr = da.thr
+    m_anchor = da.anchor
+    m_armed = da.armed
+    m_tr_end = da.tr_end
+    m_tr_pw = da.tr_pw
+    m_tr_si = da.tr_si
+    m_tr_sb = da.tr_sb
+    m_standby = da.standby
+    m_sb_since = da.sb_since
+    m_last_sb = da.last_sb
+    m_spseq = da.spseq
+    m_dirty = da.dirty
+    _refresh = da.refresh
+    _flush = da.flush
+    _complete_m = da.complete_transition
+    _begin = da.begin_transition
+    # ``hot = exact_mask | busy_mask`` is re-read from the DiskArray after
+    # any call that can change routing (refresh/complete/begin) — a stale
+    # local would misroute subs past the slow path.
     hot = 0
     fired = 0
     # Mirrors start unrefreshed; the only later bulk invalidation is the
@@ -994,163 +1261,6 @@ def _replay_segmented(
     # not), so the vector:scalar segment ratio measures real coverage.
     seg_open = False
 
-    def _refresh(d: int) -> None:
-        nonlocal exact_mask, busy_mask, hot
-        disk = disks[d]
-        bit = 1 << d
-        if not disk.mirrorable or (
-            auto_active and (disk._transition_end_s is not None or disk.standby)
-        ):
-            m_valid[d] = False
-            exact_mask |= bit
-            busy_mask &= ~bit
-            hot = exact_mask | busy_mask
-            return
-        exact_mask &= ~bit
-        s = stats_l[d]
-        r = disk.rpm
-        m_rpm[d] = r
-        m_svc[d] = row_list(level_row[r])
-        m_iw[d] = idle_w_by[r]
-        m_aw[d] = active_w_by[r]
-        m_cur[d] = disk.cursor_s
-        m_rdy[d] = disk.ready_s
-        m_thr[d] = disk.auto_spindown_threshold_s
-        m_anchor[d] = disk.idle_anchor_s
-        m_armed[d] = disk._auto_armed
-        m_idle_t[d] = s.time_s["idle"]
-        m_idle_e[d] = s.energy_j["idle"]
-        m_act_t[d] = s.time_s["active"]
-        m_act_e[d] = s.energy_j["active"]
-        m_brpm[d] = s.idle_time_by_rpm.get(r, 0.0)
-        m_hadkey[d] = r in s.idle_time_by_rpm
-        m_anyidle[d] = False
-        m_n[d] = 0
-        m_b[d] = 0
-        e = disk._transition_end_s
-        m_tr_end[d] = e
-        if e is not None:
-            m_tr_pw[d] = disk._transition_power_w
-            m_tr_state[d] = disk._transition_state
-            m_tr_rpm[d] = disk._transition_target_rpm
-            m_tr_sb[d] = disk._transition_to_standby
-        sb = disk.standby
-        m_standby[d] = sb
-        m_sb_since[d] = disk._standby_since_s
-        m_last_sb[d] = disk.last_standby_s
-        m_spseq[d] = disk._spinup_seq
-        if e is not None or sb:
-            busy_mask |= bit
-        else:
-            busy_mask &= ~bit
-        hot = exact_mask | busy_mask
-        m_dirty[d] = False
-        m_valid[d] = True
-
-    def _flush(d: int) -> None:
-        m_valid[d] = False
-        served = m_n[d]
-        if not served and not m_dirty[d]:
-            # Nothing was served or edited through the mirror since the
-            # refresh, so the Disk and its stats are already current.
-            return
-        s = stats_l[d]
-        s.time_s["idle"] = m_idle_t[d]
-        s.energy_j["idle"] = m_idle_e[d]
-        s.time_s["active"] = m_act_t[d]
-        s.energy_j["active"] = m_act_e[d]
-        if m_hadkey[d] or m_anyidle[d]:
-            s.idle_time_by_rpm[m_rpm[d]] = m_brpm[d]
-        disk = disks[d]
-        disk.rpm = m_rpm[d]
-        disk.cursor_s = m_cur[d]
-        disk.ready_s = m_rdy[d]
-        disk.idle_anchor_s = m_anchor[d]
-        disk._auto_armed = m_armed[d]
-        disk.standby = m_standby[d]
-        disk._standby_since_s = m_sb_since[d]
-        disk.last_standby_s = m_last_sb[d]
-        disk._spinup_seq = m_spseq[d]
-        e = m_tr_end[d]
-        disk._transition_end_s = e
-        if e is not None:
-            disk._transition_power_w = m_tr_pw[d]
-            disk._transition_state = m_tr_state[d]
-            disk._transition_target_rpm = m_tr_rpm[d]
-            disk._transition_to_standby = m_tr_sb[d]
-        else:
-            disk._transition_target_rpm = None
-            disk._transition_to_standby = False
-        if served:
-            s.num_requests += served
-            s.bytes_served += m_b[d]
-            disk.last_service_start_s = m_last[d]
-            disk.last_request_end_s = m_lre[d]
-
-    def _switch_level(d: int, new: int) -> None:
-        # Hand the old level's idle-by-RPM bucket back before re-pointing
-        # the mirror at the new level's rows and bucket.
-        s = stats_l[d]
-        if m_hadkey[d] or m_anyidle[d]:
-            s.idle_time_by_rpm[m_rpm[d]] = m_brpm[d]
-        m_rpm[d] = new
-        m_svc[d] = row_list(level_row[new])
-        m_iw[d] = idle_w_by[new]
-        m_aw[d] = active_w_by[new]
-        m_brpm[d] = s.idle_time_by_rpm.get(new, 0.0)
-        m_hadkey[d] = new in s.idle_time_by_rpm
-        m_anyidle[d] = False
-
-    def _complete_m(d: int) -> None:
-        # Mirror of ``_complete_transition`` (no pending action or spin-up
-        # chain can exist on a mirrored disk, so neither retry branch is
-        # reachable).  Transition-state keys are not mirrored, so the
-        # accrual lands directly on the stats — the adds interleave freely
-        # with the mirrored idle/active accumulators (independent keys).
-        nonlocal busy_mask, hot
-        end = m_tr_end[d]
-        c = m_cur[d]
-        s = stats_l[d]
-        dur = end - c if end > c else 0.0
-        st = m_tr_state[d]
-        s.time_s[st] += dur
-        s.energy_j[st] += dur * m_tr_pw[d]
-        if end > c:
-            m_cur[d] = end
-        tgt = m_tr_rpm[d]
-        if tgt is not None and tgt != m_rpm[d]:
-            _switch_level(d, tgt)
-        to_sb = m_tr_sb[d]
-        if to_sb and not m_standby[d]:
-            m_sb_since[d] = end
-        m_standby[d] = to_sb
-        m_tr_end[d] = None
-        m_anchor[d] = end
-        m_armed[d] = True
-        m_dirty[d] = True
-        if not to_sb:
-            busy_mask &= ~(1 << d)
-            hot = exact_mask | busy_mask
-
-    def _begin(
-        d: int, start: float, dur: float, power: float, state: str,
-        tgt, to_sb: bool,
-    ) -> None:
-        # Mirror of ``_begin_transition`` (the caller has already settled
-        # the base state to ``start``, and no transition is in flight).
-        nonlocal busy_mask, hot
-        e = start + dur
-        m_tr_end[d] = e
-        m_tr_pw[d] = power
-        m_tr_state[d] = state
-        m_tr_rpm[d] = tgt
-        m_tr_sb[d] = to_sb
-        if e > m_rdy[d]:
-            m_rdy[d] = e
-        m_dirty[d] = True
-        busy_mask |= 1 << d
-        hot = exact_mask | busy_mask
-
     def _edit(dk: int, t: float, call, clamp: bool) -> None:
         """Apply one power call as a mirror boundary edit at time ``t``.
 
@@ -1160,9 +1270,9 @@ def _replay_segmented(
         """
         nonlocal dir_edits_c
         bit = 1 << dk
-        if not m_valid[dk] and not exact_mask & bit:
+        if not m_valid[dk] and not da.exact_mask & bit:
             _refresh(dk)
-        if exact_mask & bit:
+        if da.exact_mask & bit:
             target = disks[dk]
             if clamp:
                 c = target.cursor_s
@@ -1225,9 +1335,8 @@ def _replay_segmented(
         if t > c:
             dur = t - c
             if m_standby[dk]:
-                s = stats_l[dk]
-                s.time_s["standby"] += dur
-                s.energy_j["standby"] += dur * standby_w
+                m_sb_t[dk] += dur
+                m_sb_e[dk] += dur * standby_w
             else:
                 m_idle_t[dk] += dur
                 m_idle_e[dk] += dur * m_iw[dk]
@@ -1280,15 +1389,14 @@ def _replay_segmented(
             e = m_tr_end[d]
             c = m_cur[d]
             ta = t if t > c else c
-            s = stats_l[d]
             if e > ta + 1e-9:
                 # Mid-transition: partial accrual to the issue time, then
                 # completion at the transition end (``advance(ta)`` +
                 # ``advance(end)``, two sequential adds).
                 dur = ta - c if ta > c else 0.0
-                st = m_tr_state[d]
-                s.time_s[st] += dur
-                s.energy_j[st] += dur * m_tr_pw[d]
+                si = m_tr_si[d]
+                bank_time[si][d] += dur
+                bank_energy[si][d] += dur * m_tr_pw[d]
                 if ta > c:
                     m_cur[d] = ta
                 _complete_m(d)
@@ -1407,6 +1515,7 @@ def _replay_segmented(
                     _edit(td.call.disk, td.time_s, td.call, True)
                     num_directives += 1
                     timed_idx += 1
+                hot = da.hot
                 tnext = timed[timed_idx].time_s if timed_idx < num_timed else inf
                 pidx = timed_idx
                 pend_mask = 0
@@ -1429,34 +1538,40 @@ def _replay_segmented(
                     # already *overdue* fires only when it is next served,
                     # so instead of pinning ``vnext`` in the past it joins
                     # ``due_mask`` and the window truncates at its first
-                    # touch.
+                    # touch.  Wide arrays take the columnar scan (every
+                    # non-hot disk is mirrored once the stale flag clears,
+                    # so the NumPy pass over the DiskArray columns sees
+                    # the same candidates as the per-disk loop).
                     t0w = req_times[ri] + delay
-                    for d in range(num_disks):
-                        if (hot >> d) & 1:
-                            continue
-                        if m_valid[d]:
-                            thr_o = m_thr[d]
-                            if thr_o is not None:
-                                if m_armed[d]:
-                                    fd = m_anchor[d] + thr_o
-                                    if fd <= t0w:
-                                        due_mask |= 1 << d
-                                    elif fd < vnext:
-                                        vnext = fd
-                                elif t0w + thr_o < vnext:
-                                    vnext = t0w + thr_o
-                        else:
-                            dk_o = disks[d]
-                            thr_o = dk_o.auto_spindown_threshold_s
-                            if thr_o is not None:
-                                if dk_o._auto_armed:
-                                    fd = dk_o.idle_anchor_s + thr_o
-                                    if fd <= t0w:
-                                        due_mask |= 1 << d
-                                    elif fd < vnext:
-                                        vnext = fd
-                                elif t0w + thr_o < vnext:
-                                    vnext = t0w + thr_o
+                    if num_disks >= _WIDE_DISKS and not mirrors_stale:
+                        vnext, due_mask = da.auto_fire_scan(t0w, vnext)
+                    else:
+                        for d in range(num_disks):
+                            if (hot >> d) & 1:
+                                continue
+                            if m_valid[d]:
+                                thr_o = m_thr[d]
+                                if thr_o is not None:
+                                    if m_armed[d]:
+                                        fd = m_anchor[d] + thr_o
+                                        if fd <= t0w:
+                                            due_mask |= 1 << d
+                                        elif fd < vnext:
+                                            vnext = fd
+                                    elif t0w + thr_o < vnext:
+                                        vnext = t0w + thr_o
+                            else:
+                                dk_o = disks[d]
+                                thr_o = dk_o.auto_spindown_threshold_s
+                                if thr_o is not None:
+                                    if dk_o._auto_armed:
+                                        fd = dk_o.idle_anchor_s + thr_o
+                                        if fd <= t0w:
+                                            due_mask |= 1 << d
+                                        elif fd < vnext:
+                                            vnext = fd
+                                    elif t0w + thr_o < vnext:
+                                        vnext = t0w + thr_o
                 vec_we = bound
                 if vnext is not inf:
                     # Timed directives no longer close the scalar window —
@@ -1512,6 +1627,7 @@ def _replay_segmented(
                             disk.advance(end)
                             end = disk._transition_end_s
                         _refresh(d)
+                hot = da.hot
 
             if use_vector and vec_we - ri >= VECTOR_MIN_REQUESTS:
                 # Vector window: truncate at the first request touching a
@@ -1520,6 +1636,8 @@ def _replay_segmented(
                 wv = vec_we
                 hmask = hot | due_mask
                 if hmask:
+                    if reqmask is None:
+                        reqmask = geom.request_masks()
                     k2 = ri
                     while k2 < wv and not reqmask[k2] & hmask:
                         k2 += 1
@@ -1535,9 +1653,7 @@ def _replay_segmented(
                 ):
                     # The vector kernel reads and writes the Disk objects
                     # directly, so any live mirrors hand back first.
-                    for d in range(num_disks):
-                        if m_valid[d]:
-                            _flush(d)
+                    da.sync_to_disks()
                     mirrors_stale = True
                     pc0 = 0.0
                     for disk in disks:
@@ -1575,10 +1691,9 @@ def _replay_segmented(
             # stays on the general loop because a window boundary can
             # start a shift between two subs of one request.
             if mirrors_stale:
-                for d in range(num_disks):
-                    if not m_valid[d] and not (exact_mask >> d) & 1:
-                        _refresh(d)
+                da.refresh_stale()
                 mirrors_stale = False
+                hot = da.hot
             if tnext is not inf or (use_vector and (auto_active or drpm_on)):
                 # Cap the scalar run so the driver periodically drains due
                 # directives and re-probes for a vector window.  Without
@@ -1589,6 +1704,10 @@ def _replay_segmented(
                 cap = ri + DEFER_WINDOW_REQUESTS
                 if cap < we:
                     we = cap
+            if disk_l is None:
+                disk_l, nb_l, seek_name_l = geom.scalar_views()
+            if reqmask is None:
+                reqmask = geom.request_masks()
             k = ri
             fired = 0
             brk = False
@@ -1620,11 +1739,13 @@ def _replay_segmented(
                                 d, j, t,
                                 sub_errors.get(j, 0) if faulty else 0,
                             )
+                            hot = da.hot
                             if done > comp:
                                 comp = done
                             continue
                         if faulty and (errs := sub_errors.get(j, 0)):
                             done = _sub_slow(d, j, t, errs)
+                            hot = da.hot
                             if done > comp:
                                 comp = done
                             continue
@@ -1645,6 +1766,7 @@ def _replay_segmented(
                                 _flush(d)
                                 done = serves[d](t, nb_l[j], seek_name_l[j])
                                 _refresh(d)
+                                hot = da.hot
                                 fired += 1
                                 brk = True
                                 if counting:
@@ -1695,6 +1817,7 @@ def _replay_segmented(
                             dw_cnt[d] += 1
                             if dw_cnt[d] == drpm_wsize:
                                 _drpm_boundary(d, done)
+                                hot = da.hot
                         if done > comp:
                             comp = done
                 else:
@@ -1752,6 +1875,91 @@ def _replay_segmented(
             ri = k
 
         if di < num_dir_records:
+            # Columnar directive batch-apply: a run of consecutive SET_RPM
+            # directives due before the next request, targeting *distinct*
+            # plain mirrored disks (no auto policy, not hot), reduces to
+            # independent boundary edits — the per-call ``_edit`` dispatch,
+            # entanglement checks, and driver round trip all collapse into
+            # one precomputed pass over the DiskArray columns.  The
+            # executed-time prefix ``nominal_i + (delay + Σ overheads)`` is
+            # an ``np.add.accumulate`` left fold, bit-equal to the scalar
+            # ``delay +=`` chain (zero overheads add +0.0, a bitwise no-op
+            # on the non-negative delay).
+            if (
+                num_timed == 0
+                and not mirrors_stale
+                and num_dir_records - di >= DIRECTIVE_BATCH_MIN
+            ):
+                limit = req_times[ri] if ri < n else inf
+                dj = di
+                seen = 0
+                while dj < num_dir_records:
+                    r2 = directives[dj]
+                    if r2.nominal_time_s > limit:
+                        break
+                    c2 = r2.call
+                    dk2 = c2.disk
+                    if (
+                        c2.action is not PowerAction.SET_RPM
+                        or c2.rpm not in level_row
+                        or not 0 <= dk2 < num_disks
+                    ):
+                        break
+                    b2 = 1 << dk2
+                    if (
+                        seen & b2
+                        or hot & b2
+                        or not m_valid[dk2]
+                        or m_thr[dk2] is not None
+                    ):
+                        break
+                    seen |= b2
+                    dj += 1
+                nrun = dj - di
+                if nrun >= DIRECTIVE_BATCH_MIN:
+                    run = directives[di:dj]
+                    acc = np.empty(nrun + 1, dtype=np.float64)
+                    acc[0] = delay
+                    acc[1:] = [r2.call.overhead_cycles for r2 in run]
+                    acc[1:] /= _CLOCK_HZ
+                    np.add.accumulate(acc, out=acc)
+                    accl = acc.tolist()
+                    for i in range(nrun):
+                        r2 = run[i]
+                        dk2 = r2.call.disk
+                        t = r2.nominal_time_s + accl[i]
+                        c = m_cur[dk2]
+                        if t < c:
+                            if t < c - 1e-9:
+                                raise SimulationError(
+                                    f"disk {dk2}: advance to {t} precedes "
+                                    f"cursor {c}"
+                                )
+                            cov["directive_mid_service"] += 1
+                            t = c
+                        elif t > c:
+                            dur = t - c
+                            m_idle_t[dk2] += dur
+                            m_idle_e[dk2] += dur * m_iw[dk2]
+                            m_brpm[dk2] += dur
+                            m_anyidle[dk2] = True
+                            m_cur[dk2] = t
+                        m_dirty[dk2] = True
+                        tgt2 = r2.call.rpm
+                        if tgt2 != m_rpm[dk2]:
+                            dur_pw = tr_pair[(m_rpm[dk2], tgt2)]
+                            stats_l[dk2].num_rpm_shifts += 1
+                            _begin(
+                                dk2, t, dur_pw[0], dur_pw[1], "rpm_shift",
+                                tgt2, False,
+                            )
+                    delay = accl[nrun]
+                    hot = da.hot
+                    num_directives += nrun
+                    dir_edits_c += nrun
+                    batch_c += nrun
+                    di = dj
+                    continue
             rec = directives[di]
             di += 1
             t_exec = rec.nominal_time_s + delay
@@ -1767,6 +1975,7 @@ def _replay_segmented(
             if not 0 <= call.disk < num_disks:
                 raise SimulationError(f"directive targets unknown disk {call.disk}")
             _edit(call.disk, t_exec, call, False)
+            hot = da.hot
             num_directives += 1
             if call.overhead_cycles:
                 delay += call.overhead_cycles / _CLOCK_HZ
@@ -1774,24 +1983,24 @@ def _replay_segmented(
             break
 
     # Hand any live mirrors back before the epilogue reads disk state.
-    for d in range(num_disks):
-        if m_valid[d]:
-            _flush(d)
+    da.sync_to_disks()
 
     # Flush oracle directives scheduled after the last record.
     end_time = trace.total_compute_s + delay
-    while timed_idx < num_timed and timed[timed_idx].time_s <= end_time:
-        td = timed[timed_idx]
-        target = disks[td.call.disk]
-        apply_call(target, max(td.time_s, target.cursor_s), td.call)
-        num_directives += 1
-        timed_idx += 1
+    if finalize:
+        while timed_idx < num_timed and timed[timed_idx].time_s <= end_time:
+            td = timed[timed_idx]
+            target = disks[td.call.disk]
+            apply_call(target, max(td.time_s, target.cursor_s), td.call)
+            num_directives += 1
+            timed_idx += 1
     cov["segments_scalar"] += seg_scalar_c
     cov["subrequests_scalar"] += subs_scalar_c
     cov["subrequests_stepwise"] += subs_step_c
     cov["windows_scalar_short_run"] += short_run_c
     cov["directive_edits"] += dir_edits_c
-    return num_directives, end_time
+    cov["directive_batch_calls"] += batch_c
+    return num_directives, end_time, delay, timed_idx
 
 
 # ---------------------------------------------------------------------- #
@@ -1841,6 +2050,11 @@ def simulate(
     ``engine="segmented"`` with a recorder attached additionally raises a
     :class:`RuntimeWarning` because the request cannot be honoured.
     """
+    if isinstance(trace, TraceStream):
+        return _simulate_stream(
+            trace, params, controller, collect_busy_intervals, recorder,
+            plan, engine, faults,
+        )
     if engine not in ("auto", "stepwise", "segmented"):
         raise SimulationError(f"unknown replay engine {engine!r}")
     ctrl = controller or Controller()
@@ -1981,7 +2195,7 @@ def simulate(
             sp.set(fault_seed=faults.seed)
         if segmented:
             REPLAY_COVERAGE["replays_segmented"] += 1
-            num_directives, end_time = _replay_segmented(
+            num_directives, end_time, _, _ = _replay_segmented(
                 trace, plan, disks, pm, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
                 drpm_kernel,
@@ -1989,7 +2203,7 @@ def simulate(
         else:
             REPLAY_COVERAGE["replays_stepwise"] += 1
             REPLAY_COVERAGE["subrequests_stepwise"] += plan.num_subrequests
-            num_directives, end_time = _replay_stepwise(
+            num_directives, end_time, _, _ = _replay_stepwise(
                 trace, plan, disks, ctrl, reactive, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
             )
@@ -2072,6 +2286,283 @@ def simulate(
         num_directives=num_directives,
         busy_intervals=tuple(tuple(b) for b in busy) if collect_busy_intervals else (),
         request_responses=tuple(responses),
+        engine=engine_used,
+        engine_forced=forced,
+    )
+
+
+class _ResponseFold:
+    """List-shaped response sink folding count/total/max on the fly.
+
+    Stands in for the per-request response list during streamed replay:
+    the engines' scalar paths ``append`` floats (the ``+=`` fold is the
+    scalar chain itself) and the vector kernel hands whole windows to
+    :meth:`fold_array` (``sequential_sum`` is bit-equal to that chain;
+    max is an order-independent exact selection), so no response column
+    is ever materialized.
+    """
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def append(self, r: float) -> None:
+        self.count += 1
+        self.total += r
+        if r > self.max:
+            self.max = r
+
+    def extend(self, values) -> None:
+        for r in values:
+            self.append(r)
+
+    def fold_array(self, arr: np.ndarray) -> None:
+        if arr.size:
+            self.count += int(arr.size)
+            self.total = sequential_sum(self.total, arr)
+            m = float(arr.max())
+            if m > self.max:
+                self.max = m
+
+
+def _simulate_stream(
+    stream: TraceStream,
+    params: SubsystemParams,
+    controller: Controller | None,
+    collect_busy_intervals: bool,
+    recorder,
+    plan: ReplayPlan | None,
+    engine: str,
+    faults,
+) -> SimulationResult:
+    """Replay a :class:`~repro.trace.stream.TraceStream` chunk by chunk.
+
+    Peak memory is bounded by the chunk size: each chunk gets its own
+    :class:`ReplayPlan` (seek continuity threaded via
+    :class:`~repro.disksim.replay.SeekCarry`) and replays through the
+    selected engine with the closed-loop ``delay``, the oracle-directive
+    cursor, and — for the segmented engine — the in-kernel reactive-DRPM
+    accumulators carried across chunks; all other cross-chunk state lives
+    in the per-object ``Disk`` state machines, which the segmented mirror
+    syncs back to at every chunk boundary.  Any chunking of the same
+    request sequence is therefore bit-identical, and both engines agree
+    (the streaming equivalence tests enforce both).
+
+    Streamed restrictions (each raises :class:`SimulationError` rather
+    than degrading silently):
+
+    * no timeline recorder and no ``collect_busy_intervals`` — both are
+      whole-timeline artifacts, unbounded in a bounded-memory replay;
+    * no fault injection — a fault plan indexes absolute sub-request
+      ordinals of a whole-trace replay plan;
+    * no caller-supplied ``plan`` — plans are per chunk by construction.
+
+    Directive records are partitioned by the merged-stream tie rule: a
+    chunk executes every directive whose nominal time is at or before its
+    last request's nominal time (the final chunk takes all leftovers), so
+    the partition reproduces the whole-trace merge exactly.  Response
+    statistics fold as running count/total/max —
+    :meth:`ResponseSummary.from_running`, with the 95th percentile
+    reported as the documented ``0.0`` sentinel — and per-request
+    response columns are not retained.
+    """
+    if engine not in ("auto", "stepwise", "segmented"):
+        raise SimulationError(f"unknown replay engine {engine!r}")
+    if recorder is not None:
+        raise SimulationError(
+            "streamed replay cannot attach a timeline recorder; "
+            "replay a whole Trace for timelines"
+        )
+    if collect_busy_intervals:
+        raise SimulationError(
+            "streamed replay cannot collect busy intervals; "
+            "replay a whole Trace for busy-interval capture"
+        )
+    if faults is not None:
+        raise SimulationError(
+            "streamed replay does not support fault injection: a fault "
+            "plan indexes absolute sub-request ordinals of a whole-trace "
+            "replay plan"
+        )
+    if plan is not None:
+        raise SimulationError(
+            "streamed replay builds one plan per chunk; do not pass a "
+            "whole-trace plan"
+        )
+    ctrl = controller or Controller()
+    layout = stream.layout
+    if layout.num_disks != params.num_disks:
+        raise SimulationError(
+            f"trace layout has {layout.num_disks} disks, params say "
+            f"{params.num_disks}"
+        )
+    pm = PowerModel(params.disk, params.drpm)
+    num_disks = params.num_disks
+    disks = [
+        Disk(i, pm, auto_spindown_threshold_s=ctrl.auto_spindown_threshold_s)
+        for i in range(num_disks)
+    ]
+    ctrl.prepare(num_disks, pm)
+    reactive = type(ctrl).on_request_complete is not Controller.on_request_complete
+
+    timed: Sequence[TimedDirective] = sorted(
+        ctrl.timed_directives(), key=lambda d: d.time_s
+    )
+    directives = stream.directives
+    dir_times = [d.nominal_time_s for d in directives]
+
+    # Engine selection: the whole-trace rules minus the tiny-replay
+    # crossover (the stream length is unknown up front, and per-chunk
+    # mirror setup amortizes over the whole stream anyway).
+    segmented = engine != "stepwise"
+    forced = ""
+    drpm_kernel = None
+    if segmented and reactive:
+        if type(ctrl) is _reactive_drpm_type():
+            drpm_kernel = ctrl.drpm
+        else:
+            segmented = False
+            forced = "reactive-controller"
+            logger.debug(
+                "%s/%s: reactive controller %s observes per-sub-request "
+                "completions; streaming through the stepwise loop",
+                stream.program_name, ctrl.name, type(ctrl).__name__,
+            )
+    engine_used = "segmented" if segmented else "stepwise"
+
+    observing = obs.enabled()
+    rpm_counts: dict[int, int] | None = {} if observing else None
+    cov_before = dict(REPLAY_COVERAGE) if observing else None
+    t_replay0 = time.perf_counter() if observing else 0.0
+
+    busy: list[list[BusyInterval]] = [[] for _ in disks]
+    carry = None
+    drpm_carry = ([0.0] * num_disks, [0] * num_disks, [None] * num_disks)
+    delay = 0.0
+    timed_idx = 0
+    num_directives = 0
+    num_requests = 0
+    num_chunks = 0
+    resp_fold = _ResponseFold()
+    end_time = stream.total_compute_s
+
+    if segmented:
+        REPLAY_COVERAGE["replays_segmented"] += 1
+    else:
+        REPLAY_COVERAGE["replays_stepwise"] += 1
+
+    with obs.span(
+        "sim.replay",
+        program=stream.program_name,
+        scheme=ctrl.name,
+        engine=engine_used,
+        streamed=True,
+    ) as sp:
+        if forced:
+            sp.set(forced=forced)
+        it = stream.iter_chunks()
+        cur = next(it, None)
+        if cur is None:
+            cur = RequestColumns.from_requests(())
+        dlo = 0
+        while cur is not None:
+            nxt = next(it, None)
+            final = nxt is None
+            cols = cur
+            n_chunk = len(cols)
+            if n_chunk == 0 and not final:
+                cur = nxt
+                continue
+            plan_c, carry = ReplayPlan.for_columns(cols, layout, carry)
+            if final:
+                dhi = len(directives)
+            else:
+                dhi = bisect_right(
+                    dir_times, float(cols.nominal_time_s[-1]), dlo
+                )
+            dslice = directives[dlo:dhi]
+            dlo = dhi
+            trace_c = Trace(
+                program_name=stream.program_name,
+                layout=layout,
+                directives=(),
+                total_compute_s=stream.total_compute_s,
+                columns=cols,
+            )
+            if segmented:
+                nd, end_time, delay, timed_idx = _replay_segmented(
+                    trace_c, plan_c, disks, pm, timed, resp_fold, busy,
+                    False, rpm_counts, dslice, None, drpm_kernel,
+                    delay0=delay, timed_idx0=timed_idx, finalize=final,
+                    drpm_carry=drpm_carry,
+                )
+            else:
+                REPLAY_COVERAGE["subrequests_stepwise"] += plan_c.num_subrequests
+                nd, end_time, delay, timed_idx = _replay_stepwise(
+                    trace_c, plan_c, disks, ctrl, reactive, timed,
+                    resp_fold, busy, False, rpm_counts, dslice, None,
+                    delay0=delay, timed_idx0=timed_idx, finalize=final,
+                )
+            num_directives += nd
+            num_requests += n_chunk
+            num_chunks += 1
+            # Break the plan <-> _PlanGeometry reference cycle so the
+            # chunk's plan, geometry lists, and service tables are freed
+            # by refcounting the moment ``plan_c`` rebinds.  Left to the
+            # cyclic GC, dozens of chunks' worth of O(chunk) derived
+            # state pile up between gen-2 collections and the streamed
+            # peak grows with trace length instead of staying bounded.
+            plan_c._derived.clear()
+            cur = nxt
+        sp.set(
+            requests=num_requests, directives=num_directives,
+            chunks=num_chunks,
+        )
+
+    if observing:
+        _metrics.inc("sim.replays", engine=engine_used, scheme=ctrl.name)
+        if forced:
+            _metrics.inc("sim.fallbacks", reason=forced)
+        cov_delta = {
+            key: value - cov_before[key]
+            for key, value in REPLAY_COVERAGE.items()
+            if value != cov_before.get(key, 0)
+        }
+        if cov_delta:
+            _metrics.ingest_counters(cov_delta, prefix="sim.coverage.")
+            for key, value in cov_delta.items():
+                if key.startswith("fallback_"):
+                    _metrics.inc(
+                        "sim.fallbacks", value,
+                        reason=key[9:].replace("_", "-"),
+                    )
+        _metrics.inc("sim.requests", num_requests)
+        _metrics.inc("sim.directives", num_directives)
+        if rpm_counts:
+            for rpm, count in rpm_counts.items():
+                _metrics.inc("sim.subrequests", count, rpm=rpm)
+        _metrics.observe(
+            "sim.replay_wall_s", time.perf_counter() - t_replay0,
+            scheme=ctrl.name,
+        )
+
+    for disk in disks:
+        disk.finalize(end_time)
+    return SimulationResult(
+        scheme=ctrl.name,
+        program_name=stream.program_name,
+        execution_time_s=end_time,
+        disk_stats=tuple(d.stats for d in disks),
+        responses=ResponseSummary.from_running(
+            resp_fold.count, resp_fold.total, resp_fold.max
+        ),
+        num_requests=num_requests,
+        num_directives=num_directives,
+        busy_intervals=(),
+        request_responses=(),
         engine=engine_used,
         engine_forced=forced,
     )

@@ -61,6 +61,26 @@ class ResponseSummary:
             total_s=float(arr.sum()),
         )
 
+    @staticmethod
+    def from_running(count: int, total_s: float, max_s: float) -> "ResponseSummary":
+        """Summary from streaming accumulators, where per-sample storage is
+        unavailable by design.
+
+        Used by streamed (chunked) replays: count/total/max fold exactly
+        across chunks, but the 95th percentile needs the full sample set,
+        so it is reported as ``0.0`` — a documented sentinel, identical for
+        both engines so streamed results still compare bit-equal.
+        """
+        if count == 0:
+            return ResponseSummary(0, 0.0, 0.0, 0.0, 0.0)
+        return ResponseSummary(
+            count=count,
+            mean_s=total_s / count,
+            max_s=max_s,
+            p95_s=0.0,
+            total_s=total_s,
+        )
+
 
 @dataclass(frozen=True)
 class SimulationResult:

@@ -21,7 +21,7 @@ import numpy as np
 from ..util.errors import TraceError
 from ..util.units import KB
 
-__all__ = ["BufferCache", "filter_occurrences"]
+__all__ = ["BufferCache", "LRUState", "filter_occurrences"]
 
 
 class BufferCache:
@@ -169,6 +169,112 @@ def _lru_replay(keys: np.ndarray, capacity_lines: int) -> np.ndarray:
     if miss_positions:
         miss[np.asarray(miss_positions, dtype=np.int64)] = True
     return miss
+
+
+class LRUState:
+    """Persistent LRU cache state for *chunked* occurrence filtering.
+
+    The chunked trace generator feeds the occurrence stream through the
+    cache one chunk at a time; the recency order must survive between
+    chunks for the miss pattern to match the whole-stream filter.  This
+    object holds that order (plus running hit/miss totals) and exposes
+    :meth:`filter`, whose concatenated miss masks are bit-identical to one
+    :func:`filter_occurrences` call over the concatenated stream — the
+    chunked-vs-whole equivalence tests enforce this.
+
+    Three per-chunk regimes mirror the stateless filter:
+
+    * capacity 0 — caching disabled, every touch misses, no state;
+    * resident + new distinct lines fit in capacity — **no eviction can
+      occur during this chunk**, so misses are "first chunk occurrence of
+      a line not already resident" (vectorized), and the recency order is
+      patched afterwards by re-inserting the chunk's distinct lines in
+      last-touch order — exactly the order a serial replay leaves behind;
+    * otherwise — exact seeded LRU replay in a tight loop.
+    """
+
+    __slots__ = ("capacity_lines", "hits", "misses", "_lru")
+
+    def __init__(self, capacity_lines: int):
+        if capacity_lines < 0:
+            raise TraceError(f"capacity must be >= 0, got {capacity_lines}")
+        self.capacity_lines = capacity_lines
+        self.hits = 0
+        self.misses = 0
+        self._lru: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def occupancy_lines(self) -> int:
+        return len(self._lru)
+
+    def filter(self, keys: np.ndarray) -> np.ndarray:
+        """Filter one chunk of the occurrence stream; returns its miss mask
+        and advances the carried cache state."""
+        n = int(keys.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        cap = self.capacity_lines
+        if cap == 0:
+            self.misses += n
+            return np.ones(n, dtype=bool)
+
+        lru = self._lru
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        first_sorted = np.empty(n, dtype=bool)
+        first_sorted[0] = True
+        np.not_equal(sk[1:], sk[:-1], out=first_sorted[1:])
+        # Stable sort keeps chunk order within a key, so group firsts/lasts
+        # are each key's first/last touch of the chunk.
+        first_pos = order[first_sorted]
+        new_flags = np.asarray(
+            [k not in lru for k in keys[first_pos].tolist()], dtype=bool
+        )
+        if len(lru) + int(new_flags.sum()) <= cap:
+            miss = np.zeros(n, dtype=bool)
+            new_pos = first_pos[new_flags]
+            miss[new_pos] = True
+            self.misses += int(new_pos.size)
+            self.hits += n - int(new_pos.size)
+            last_sorted = np.empty(n, dtype=bool)
+            last_sorted[-1] = True
+            np.not_equal(sk[1:], sk[:-1], out=last_sorted[:-1])
+            last_pos = np.sort(order[last_sorted])
+            for k in keys[last_pos].tolist():
+                if k in lru:
+                    lru.move_to_end(k)
+                else:
+                    lru[k] = None
+            return miss
+        return self._replay(keys)
+
+    def _replay(self, keys: np.ndarray) -> np.ndarray:
+        """Exact LRU replay seeded with (and persisting) the carried state."""
+        lru = self._lru
+        cap = self.capacity_lines
+        move_to_end = lru.move_to_end
+        popitem = lru.popitem
+        miss_positions: list[int] = []
+        append = miss_positions.append
+        size = len(lru)
+        hits = 0
+        for i, k in enumerate(keys.tolist()):
+            if k in lru:
+                move_to_end(k)
+                hits += 1
+            else:
+                append(i)
+                lru[k] = None
+                if size < cap:
+                    size += 1
+                else:
+                    popitem(last=False)
+        self.hits += hits
+        self.misses += len(miss_positions)
+        miss = np.zeros(keys.size, dtype=bool)
+        if miss_positions:
+            miss[np.asarray(miss_positions, dtype=np.int64)] = True
+        return miss
 
 
 def filter_occurrences(

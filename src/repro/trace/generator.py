@@ -50,12 +50,14 @@ from ..ir.program import Program
 from ..layout.files import SubsystemLayout
 from ..util.errors import TraceError
 from ..util.units import KB
-from .buffercache import BufferCache, filter_occurrences
+from .buffercache import BufferCache, LRUState, filter_occurrences
 from .request import DirectiveRecord, IORequest, RequestColumns, Trace
 
 __all__ = [
     "generate_trace",
+    "generate_trace_chunks",
     "generate_trace_reference",
+    "stream_trace",
     "directives_at_positions",
     "CallPlacement",
     "TraceOptions",
@@ -141,33 +143,104 @@ def generate_trace(
         )
 
 
-def _generate_columns(
+class _NestPrep:
+    """Per-nest geometry of the columnar walk, chunkable by iteration.
+
+    One "cell" is an (outer iteration, footprint, run) triple; a nest's
+    cells for any iteration window ``[lo, hi)`` are a pure function of this
+    prep (:func:`_cells_for_block`), which is what lets the chunked
+    generator materialize the occurrence stream one iteration block at a
+    time while staying bit-identical to the whole-program walk.
+    """
+
+    __slots__ = (
+        "nest_index",
+        "aid_base",
+        "iter_start",
+        "iter_step",
+        "trips",
+        "start_s",
+        "sec_per_iter",
+        "nfps",
+        "col_start0",
+        "col_len",
+        "col_shift",
+        "col_fp",
+        "fp_fid",
+        "fp_fsize",
+        "fp_write",
+    )
+
+    def __init__(self, nest_index, aid_base, iter_start, iter_step, trips,
+                 start_s, sec_per_iter, nfps, col_start0, col_len, col_shift,
+                 col_fp, fp_fid, fp_fsize, fp_write):
+        self.nest_index = nest_index
+        self.aid_base = aid_base
+        self.iter_start = iter_start
+        self.iter_step = iter_step
+        self.trips = trips
+        self.start_s = start_s
+        self.sec_per_iter = sec_per_iter
+        self.nfps = nfps
+        self.col_start0 = col_start0
+        self.col_len = col_len
+        self.col_shift = col_shift
+        self.col_fp = col_fp
+        self.fp_fid = fp_fid
+        self.fp_fsize = fp_fsize
+        self.fp_write = fp_write
+
+    def vals(self, lo: int, hi: int) -> np.ndarray:
+        """Outer iteration values of ordinals ``[lo, hi)``, materialized on
+        demand — a nest's value vector is never held whole by the chunked
+        generator, keeping its memory independent of trip counts."""
+        return self.iter_start + self.iter_step * np.arange(
+            lo, hi, dtype=np.int64
+        )
+
+
+class _Cells:
+    """Parallel per-cell arrays for one iteration block (or whole nests)."""
+
+    __slots__ = ("firsts", "counts", "aid", "time", "arr", "write", "nest",
+                 "iter", "fsize")
+
+    def __init__(self, firsts, counts, aid, time, arr, write, nest, iter_,
+                 fsize):
+        self.firsts = firsts
+        self.counts = counts
+        self.aid = aid
+        self.time = time
+        self.arr = arr
+        self.write = write
+        self.nest = nest
+        self.iter = iter_
+        self.fsize = fsize
+
+
+def _prepare_nests(
     layout: SubsystemLayout,
     opts: TraceOptions,
     accesses: Sequence[NestAccess],
     timing: ProgramTiming,
-) -> tuple[RequestColumns, int, int]:
-    """The columnar pipeline: cells -> occurrence stream -> miss columns."""
-    lb = opts.cache_line_bytes
-    cap_lines = opts.buffer_cache_bytes // lb
-    cap_req = opts.max_request_bytes
+) -> tuple[list[_NestPrep], tuple[str, ...], int]:
+    """Resolve every nest's footprints into chunkable column geometry.
 
+    Returns ``(preps, array_names, stride)`` where ``stride`` is the
+    (file, line) key stride — one more than the largest line index any
+    cell can touch, computed in closed form from the affine extents (the
+    per-column line index is linear in the outer value, so its maximum is
+    at one of the two iteration endpoints).  A global stride makes cache
+    keys identical across iteration blocks, which the carried LRU state
+    requires; key *values* may differ from the whole-stream filter's
+    local stride, but LRU behaviour depends only on key identity.
+    """
+    lb = opts.cache_line_bytes
     array_ids: dict[str, int] = {}
     array_names: list[str] = []
-
-    # One "cell" per (outer iteration, footprint, run): parallel per-cell
-    # arrays accumulated nest by nest, in exact program order.
-    first_parts: list[np.ndarray] = []  # first touched line of the cell
-    count_parts: list[np.ndarray] = []  # touched line count of the cell
-    aid_parts: list[np.ndarray] = []  # access ordinal (iteration, footprint)
-    time_parts: list[np.ndarray] = []  # nominal start of the iteration
-    arr_parts: list[np.ndarray] = []  # array id (doubles as cache file id)
-    write_parts: list[np.ndarray] = []
-    nest_parts: list[np.ndarray] = []
-    iter_parts: list[np.ndarray] = []
-    fsize_parts: list[np.ndarray] = []
-
+    preps: list[_NestPrep] = []
     aid_base = 0
+    max_line = 0
     for acc in accesses:
         if acc.nest.trip_count == 0:
             continue
@@ -199,79 +272,113 @@ def _generate_columns(
             continue
 
         rng = acc.nest.iter_values()
-        values = np.arange(rng.start, rng.stop, rng.step, dtype=np.int64)
-        trips = values.size
+        trips = len(rng)
         nfps = len(prepared)
 
-        # Per-footprint (iterations x runs) line ranges, then column-stacked
-        # so a row-major ravel is exactly the naive walk order: iteration,
-        # then footprint, then run.
-        firsts_cols: list[np.ndarray] = []
-        counts_cols: list[np.ndarray] = []
+        start_cols: list[np.ndarray] = []
+        len_cols: list[np.ndarray] = []
+        shift_cols: list[np.ndarray] = []
         col_fp: list[int] = []
         for f, (fid, starts0, lengths, shift, fsize, is_write) in enumerate(prepared):
-            starts = starts0[None, :] + shift * values[:, None]
-            first = starts // lb
-            counts_cols.append((starts + (lengths[None, :] - 1)) // lb - first + 1)
-            firsts_cols.append(first)
+            start_cols.append(starts0)
+            len_cols.append(lengths)
+            shift_cols.append(np.full(starts0.size, shift, dtype=np.int64))
             col_fp.extend([f] * int(starts0.size))
-        first_mat = np.hstack(firsts_cols)
-        count_mat = np.hstack(counts_cols)
-        ncols = first_mat.shape[1]
+        col_start0 = np.concatenate(start_cols)
+        col_len = np.concatenate(len_cols)
+        col_shift = np.concatenate(shift_cols)
 
-        col_fp_arr = np.asarray(col_fp, dtype=np.int64)
-        cell_t = np.repeat(np.arange(trips, dtype=np.int64), ncols)
-        cell_fp = np.tile(col_fp_arr, trips)
+        # Last touched line per column is linear in the outer value;
+        # evaluating both endpoints bounds it for either shift sign.
+        for v in (rng.start, rng.start + rng.step * (trips - 1)):
+            ends = (col_start0 + col_shift * v + col_len - 1) // lb
+            max_line = max(max_line, int(ends.max()))
 
-        fp_fid = np.asarray([p[0] for p in prepared], dtype=np.int64)
-        fp_fsize = np.asarray([p[4] for p in prepared], dtype=np.int64)
-        fp_write = np.asarray([p[5] for p in prepared], dtype=bool)
-
-        first_parts.append(first_mat.ravel())
-        count_parts.append(count_mat.ravel())
-        aid_parts.append(aid_base + cell_t * nfps + cell_fp)
+        preps.append(
+            _NestPrep(
+                nest_index=acc.nest_index,
+                aid_base=aid_base,
+                iter_start=rng.start,
+                iter_step=rng.step,
+                trips=trips,
+                start_s=nt.start_s,
+                sec_per_iter=nt.seconds_per_iteration,
+                nfps=nfps,
+                col_start0=col_start0,
+                col_len=col_len,
+                col_shift=col_shift,
+                col_fp=np.asarray(col_fp, dtype=np.int64),
+                fp_fid=np.asarray([p[0] for p in prepared], dtype=np.int64),
+                fp_fsize=np.asarray([p[4] for p in prepared], dtype=np.int64),
+                fp_write=np.asarray([p[5] for p in prepared], dtype=bool),
+            )
+        )
         aid_base += trips * nfps
-        time_parts.append(nt.start_s + cell_t * nt.seconds_per_iteration)
-        iter_parts.append(values[cell_t])
-        arr_parts.append(fp_fid[cell_fp])
-        fsize_parts.append(fp_fsize[cell_fp])
-        write_parts.append(fp_write[cell_fp])
-        nest_parts.append(np.full(trips * ncols, acc.nest_index, dtype=np.int64))
+    return preps, tuple(array_names), max_line + 1
 
-    names = tuple(array_names)
-    if not first_parts:
-        return _empty_columns(names), 0, 0
 
-    firsts = np.concatenate(first_parts)
-    counts = np.concatenate(count_parts)
-    cell_aid = np.concatenate(aid_parts)
-    cell_time = np.concatenate(time_parts)
-    cell_arr = np.concatenate(arr_parts)
-    cell_write = np.concatenate(write_parts)
-    cell_nest = np.concatenate(nest_parts)
-    cell_iter = np.concatenate(iter_parts)
-    cell_fsize = np.concatenate(fsize_parts)
+def _cells_for_block(prep: _NestPrep, lo: int, hi: int, lb: int) -> _Cells:
+    """Cells of iterations ``[lo, hi)`` of one nest, in exact walk order
+    (iteration, then footprint, then run — a row-major ravel)."""
+    vals = prep.vals(lo, hi)
+    trips = vals.size
+    starts = prep.col_start0[None, :] + prep.col_shift[None, :] * vals[:, None]
+    first_mat = starts // lb
+    count_mat = (starts + (prep.col_len[None, :] - 1)) // lb - first_mat + 1
+    ncols = prep.col_fp.size
 
-    # Expand cells into the per-line occurrence stream.
-    ncells = firsts.size
+    cell_t = np.repeat(np.arange(trips, dtype=np.int64), ncols)
+    cell_fp = np.tile(prep.col_fp, trips)
+    global_t = lo + cell_t
+
+    return _Cells(
+        firsts=first_mat.ravel(),
+        counts=count_mat.ravel(),
+        aid=prep.aid_base + global_t * prep.nfps + cell_fp,
+        time=prep.start_s + global_t * prep.sec_per_iter,
+        arr=prep.fp_fid[cell_fp],
+        write=prep.fp_write[cell_fp],
+        nest=np.full(trips * ncols, prep.nest_index, dtype=np.int64),
+        iter_=vals[cell_t],
+        fsize=prep.fp_fsize[cell_fp],
+    )
+
+
+def _concat_cells(parts: list[_Cells]) -> _Cells:
+    return _Cells(*(
+        np.concatenate([getattr(p, f) for p in parts])
+        for f in _Cells.__slots__
+    ))
+
+
+def _expand_occurrences(cells: _Cells) -> tuple[np.ndarray, np.ndarray]:
+    """Expand cells into the per-line occurrence stream."""
+    counts = cells.counts
     total = int(counts.sum())
     if total == 0:
-        return _empty_columns(names), 0, 0
-    occ_cell = np.repeat(np.arange(ncells, dtype=np.int64), counts)
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    occ_cell = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
     within = np.arange(total, dtype=np.int64) - np.repeat(
         np.cumsum(counts) - counts, counts
     )
-    occ_line = np.repeat(firsts, counts) + within
+    occ_line = np.repeat(cells.firsts, counts) + within
+    return occ_cell, occ_line
 
-    # Encode (file, line) into one int key; files never interact otherwise.
-    stride = int(occ_line.max()) + 1
-    keys = cell_arr[occ_cell] * stride + occ_line
 
-    miss, hits, misses = filter_occurrences(keys, cap_lines)
-
+def _build_requests(
+    miss: np.ndarray,
+    occ_cell: np.ndarray,
+    occ_line: np.ndarray,
+    cells: _Cells,
+    lb: int,
+    cap_req: int,
+    names: tuple[str, ...],
+) -> RequestColumns:
+    """Misses -> coalesced, clipped, size-split request columns."""
     idx = np.flatnonzero(miss)
     if idx.size == 0:
-        return _empty_columns(names), hits, misses
+        return _empty_columns(names)
 
     # Coalesce: a miss run continues while touches are adjacent in the
     # stream (no hit between), lines are consecutive, and the access — one
@@ -280,7 +387,7 @@ def _generate_columns(
     # including duplicate boundary lines breaking a run.
     miss_line = occ_line[idx]
     miss_cell = occ_cell[idx]
-    miss_aid = cell_aid[miss_cell]
+    miss_aid = cells.aid[miss_cell]
     nmiss = idx.size
     brk = np.empty(nmiss, dtype=bool)
     brk[0] = True
@@ -297,7 +404,7 @@ def _generate_columns(
     # the reference path does).
     off = line0 * lb
     length = (miss_line[run_end] - line0 + 1) * lb
-    fsize = cell_fsize[run_cell]
+    fsize = cells.fsize[run_cell]
     keep = off < fsize
     if not keep.all():
         off = off[keep]
@@ -315,17 +422,189 @@ def _generate_columns(
     )
     req_cell = run_cell[req_run]
 
-    columns = RequestColumns(
-        nominal_time_s=cell_time[req_cell],
-        array_id=cell_arr[req_cell],
+    return RequestColumns(
+        nominal_time_s=cells.time[req_cell],
+        array_id=cells.arr[req_cell],
         offset=off[req_run] + chunk_ord * cap_req,
         nbytes=np.minimum(cap_req, length[req_run] - chunk_ord * cap_req),
-        is_write=cell_write[req_cell],
-        nest=cell_nest[req_cell],
-        iteration=cell_iter[req_cell],
+        is_write=cells.write[req_cell],
+        nest=cells.nest[req_cell],
+        iteration=cells.iter[req_cell],
         array_names=names,
     )
-    return columns, hits, misses
+
+
+def _generate_columns(
+    layout: SubsystemLayout,
+    opts: TraceOptions,
+    accesses: Sequence[NestAccess],
+    timing: ProgramTiming,
+) -> tuple[RequestColumns, int, int]:
+    """The columnar pipeline: cells -> occurrence stream -> miss columns."""
+    lb = opts.cache_line_bytes
+    cap_lines = opts.buffer_cache_bytes // lb
+    cap_req = opts.max_request_bytes
+
+    preps, names, stride = _prepare_nests(layout, opts, accesses, timing)
+    if not preps:
+        return _empty_columns(names), 0, 0
+    cells = _concat_cells(
+        [_cells_for_block(p, 0, p.trips, lb) for p in preps]
+    )
+    occ_cell, occ_line = _expand_occurrences(cells)
+    if occ_line.size == 0:
+        return _empty_columns(names), 0, 0
+
+    # Encode (file, line) into one int key; files never interact otherwise.
+    keys = cells.arr[occ_cell] * stride + occ_line
+
+    miss, hits, misses = filter_occurrences(keys, cap_lines)
+    return _build_requests(miss, occ_cell, occ_line, cells, lb, cap_req, names), hits, misses
+
+
+def generate_trace_chunks(
+    program: Program,
+    layout: SubsystemLayout,
+    options: TraceOptions | None = None,
+    chunk_requests: int = 65536,
+    accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
+    stats: dict | None = None,
+):
+    """Yield the trace of ``program`` as :class:`RequestColumns` chunks.
+
+    The concatenation of the yielded chunks is bit-identical to
+    :func:`generate_trace`'s columns (same requests, same cache
+    hits/misses), but peak memory is bounded by the iteration-block and
+    chunk sizes instead of the trace length: nests are walked one
+    iteration block at a time (blocks cut at iteration boundaries, where
+    miss-run coalescing provably breaks — the access ordinal changes), the
+    occurrence stream of each block is filtered through a carried
+    :class:`~repro.trace.buffercache.LRUState`, and finished requests are
+    buffered only up to one chunk.
+
+    Every chunk except the last has exactly ``chunk_requests`` rows.
+    ``stats``, when given, receives the cache's ``hits``/``misses``
+    totals — populated once the generator is exhausted.
+    """
+    opts = options or TraceOptions()
+    if chunk_requests <= 0:
+        raise TraceError("chunk_requests must be positive")
+    if accesses is None:
+        accesses = analyze_program(program)
+    if timing is None:
+        timing = compute_timing(program)
+    _check_accesses(program, accesses)
+
+    lb = opts.cache_line_bytes
+    cap_req = opts.max_request_bytes
+    preps, names, stride = _prepare_nests(layout, opts, accesses, timing)
+    state = LRUState(opts.buffer_cache_bytes // lb)
+
+    # Aim iteration blocks at a few chunks' worth of line touches;
+    # per-iteration touch counts vary by at most one line per run, so the
+    # first iteration is a faithful estimate for the whole nest.
+    occ_budget = max(chunk_requests, 4096) * 2
+
+    parts: list[RequestColumns] = []
+    buffered = 0
+    for prep in preps:
+        s0 = prep.col_start0 + prep.col_shift * prep.iter_start
+        occ0 = int(((s0 + prep.col_len - 1) // lb - s0 // lb + 1).sum())
+        block_iters = max(1, occ_budget // max(occ0, 1))
+        for lo in range(0, prep.trips, block_iters):
+            hi = min(lo + block_iters, prep.trips)
+            cells = _cells_for_block(prep, lo, hi, lb)
+            occ_cell, occ_line = _expand_occurrences(cells)
+            if occ_line.size == 0:
+                continue
+            keys = cells.arr[occ_cell] * stride + occ_line
+            miss = state.filter(keys)
+            cols = _build_requests(
+                miss, occ_cell, occ_line, cells, lb, cap_req, names
+            )
+            if len(cols) == 0:
+                continue
+            parts.append(cols)
+            buffered += len(cols)
+            if buffered >= chunk_requests:
+                whole = _concat_columns(parts, names)
+                pos = 0
+                while buffered - pos >= chunk_requests:
+                    yield whole.slice(pos, pos + chunk_requests)
+                    pos += chunk_requests
+                parts = [whole.slice(pos, buffered)] if pos < buffered else []
+                buffered -= pos
+    if buffered:
+        yield _concat_columns(parts, names)
+    if stats is not None:
+        stats["hits"] = state.hits
+        stats["misses"] = state.misses
+
+
+def stream_trace(
+    program: Program,
+    layout: SubsystemLayout,
+    options: TraceOptions | None = None,
+    chunk_requests: int = 65536,
+    accesses: Sequence[NestAccess] | None = None,
+    timing: ProgramTiming | None = None,
+) -> "TraceStream":
+    """Produce ``program``'s trace as a re-iterable :class:`TraceStream`.
+
+    Analysis and timing run once, up front; each pass over the stream
+    regenerates the request chunks from that geometry with a fresh carried
+    cache state, so every replay sees the identical request sequence while
+    peak memory stays bounded by the chunk size.  Attach per-scheme
+    directive streams with :meth:`TraceStream.with_directives`, exactly as
+    with a whole :class:`Trace`.
+    """
+    from .stream import TraceStream
+
+    opts = options or TraceOptions()
+    if accesses is None:
+        accesses = analyze_program(program)
+    if timing is None:
+        timing = compute_timing(program)
+    _check_accesses(program, accesses)
+    acc = accesses
+    tim = timing
+
+    def chunks():
+        return generate_trace_chunks(
+            program,
+            layout,
+            opts,
+            chunk_requests=chunk_requests,
+            accesses=acc,
+            timing=tim,
+        )
+
+    return TraceStream(
+        program_name=program.name,
+        layout=layout,
+        total_compute_s=timing.total_seconds,
+        chunks=chunks,
+        directives=(),
+    )
+
+
+def _concat_columns(
+    parts: list[RequestColumns], names: tuple[str, ...]
+) -> RequestColumns:
+    if len(parts) == 1:
+        return parts[0]
+    return RequestColumns(
+        nominal_time_s=np.concatenate([p.nominal_time_s for p in parts]),
+        array_id=np.concatenate([p.array_id for p in parts]),
+        offset=np.concatenate([p.offset for p in parts]),
+        nbytes=np.concatenate([p.nbytes for p in parts]),
+        is_write=np.concatenate([p.is_write for p in parts]),
+        nest=np.concatenate([p.nest for p in parts]),
+        iteration=np.concatenate([p.iteration for p in parts]),
+        array_names=names,
+        validate=False,
+    )
 
 
 def _empty_columns(array_names: tuple[str, ...]) -> RequestColumns:

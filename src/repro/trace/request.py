@@ -224,6 +224,26 @@ class RequestColumns:
         """Resolved array name of every request (object dtype)."""
         return np.asarray(self.array_names, dtype=object)[self.array_id]
 
+    def slice(self, lo: int, hi: int) -> "RequestColumns":
+        """Rows ``[lo, hi)`` as a new column set sharing the same buffers.
+
+        The slices are NumPy views, so chunking a stream into windows costs
+        O(1) memory per chunk; ``array_names`` (and thus ``array_id``
+        meaning) is preserved.  Columns were validated at construction, so
+        the view skips re-validation.
+        """
+        return RequestColumns(
+            self.nominal_time_s[lo:hi],
+            self.array_id[lo:hi],
+            self.offset[lo:hi],
+            self.nbytes[lo:hi],
+            self.is_write[lo:hi],
+            self.nest[lo:hi],
+            self.iteration[lo:hi],
+            self.array_names,
+            validate=False,
+        )
+
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
         if self is other:

@@ -21,14 +21,23 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO
+
+import numpy as np
 
 from ..layout.files import SubsystemLayout
 from ..util.errors import TraceError
 from ..util.units import SECTOR_BYTES, ms_to_s, s_to_ms
-from .request import IORequest, Trace
+from .request import IORequest, RequestColumns, Trace
 
-__all__ = ["write_trace", "read_trace", "format_trace", "parse_trace"]
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "read_trace_chunks",
+    "stream_trace_file",
+    "format_trace",
+    "parse_trace",
+]
 
 _HEADER_PREFIX = "# repro-trace v1 program="
 
@@ -108,3 +117,112 @@ def parse_trace(text: str, layout: SubsystemLayout) -> Trace:
 def read_trace(path: str | Path, layout: SubsystemLayout) -> Trace:
     """Read a trace file written by :func:`write_trace`."""
     return parse_trace(Path(path).read_text(encoding="utf-8"), layout)
+
+
+# ---------------------------------------------------------------------- #
+# Streaming reader — bounded-memory ingestion of large trace files.
+# ---------------------------------------------------------------------- #
+def read_trace_chunks(
+    path: str | Path, layout: SubsystemLayout, chunk_requests: int = 65536
+) -> Iterator[RequestColumns]:
+    """Read a trace file as successive :class:`RequestColumns` chunks.
+
+    Never holds more than one chunk of parsed requests (plus one file
+    line) in memory.  Array ids follow the *layout's* entry order — fixed
+    across chunks, as the streamed replay's seek-continuity carry
+    requires — rather than :func:`read_trace`'s first-appearance order;
+    the resolved per-request fields are identical either way.  The
+    ``nest``/``iteration`` columns are not part of the four-field format
+    and read back as the ``-1`` "unknown" sentinel, matching
+    :func:`read_trace`.
+    """
+    if chunk_requests <= 0:
+        raise TraceError("chunk_requests must be positive")
+    names = tuple(e.array_name for e in layout.entries)
+    ids = {name: i for i, name in enumerate(names)}
+
+    times: list[float] = []
+    aids: list[int] = []
+    offs: list[int] = []
+    sizes: list[int] = []
+    writes: list[bool] = []
+
+    def flush() -> RequestColumns:
+        n = len(times)
+        cols = RequestColumns(
+            nominal_time_s=np.asarray(times, dtype=np.float64),
+            array_id=np.asarray(aids, dtype=np.int64),
+            offset=np.asarray(offs, dtype=np.int64),
+            nbytes=np.asarray(sizes, dtype=np.int64),
+            is_write=np.asarray(writes, dtype=bool),
+            nest=np.full(n, -1, dtype=np.int64),
+            iteration=np.full(n, -1, dtype=np.int64),
+            array_names=names,
+        )
+        times.clear(); aids.clear(); offs.clear(); sizes.clear(); writes.clear()
+        return cols
+
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceError(
+                    f"line {lineno}: expected 4 fields, got {len(parts)}"
+                )
+            try:
+                arrival_ms = float(parts[0])
+                block = int(parts[1])
+                nbytes = int(parts[2])
+            except ValueError as exc:
+                raise TraceError(f"line {lineno}: {exc}") from exc
+            if parts[3] not in ("R", "W"):
+                raise TraceError(f"line {lineno}: bad request type {parts[3]!r}")
+            entry = layout.resolve_block(block)
+            times.append(ms_to_s(arrival_ms))
+            aids.append(ids[entry.array_name])
+            offs.append(entry.block_to_offset(block))
+            sizes.append(nbytes)
+            writes.append(parts[3] == "W")
+            if len(times) >= chunk_requests:
+                yield flush()
+    if times:
+        yield flush()
+
+
+def stream_trace_file(
+    path: str | Path, layout: SubsystemLayout, chunk_requests: int = 65536
+):
+    """Open a trace file as a re-iterable
+    :class:`~repro.trace.stream.TraceStream`.
+
+    The header (program name, total compute time) is read eagerly; the
+    request chunks are re-parsed from disk on every pass, so peak memory
+    stays bounded by ``chunk_requests`` regardless of file size.
+    """
+    from .stream import TraceStream
+
+    program_name = "trace"
+    total_compute_s = 0.0
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line.startswith("#"):
+                break
+            if line.startswith(_HEADER_PREFIX):
+                program_name = line[len(_HEADER_PREFIX):].strip()
+            elif line.startswith("# total_compute_ms="):
+                try:
+                    total_compute_s = ms_to_s(float(line.split("=", 1)[1]))
+                except ValueError as exc:
+                    raise TraceError(f"bad total_compute_ms header: {exc}") from exc
+
+    return TraceStream(
+        program_name=program_name,
+        layout=layout,
+        total_compute_s=total_compute_s,
+        chunks=lambda: read_trace_chunks(path, layout, chunk_requests),
+        directives=(),
+    )

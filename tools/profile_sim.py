@@ -5,6 +5,8 @@ Run from the repository root::
     PYTHONPATH=src python tools/profile_sim.py [workload ...] [--sort KEY]
                                                [--limit N] [--coverage]
                                                [--engine ENGINE]
+    PYTHONPATH=src python tools/profile_sim.py --memory [--disks N]
+                                               [--requests N,N,...]
 
 With no arguments, profiles the full default suite set (every Table 2
 benchmark under all 7 schemes), serial and uncached — the same work
@@ -15,6 +17,16 @@ plus a breakdown of where sub-requests ran (vector/scalar/stepwise) and
 *why* work left the batch kernels — the ``fallback_*`` escape reasons and
 the window-level bailout counters; ``--engine`` forces a replay engine
 (default ``auto``).
+
+``--memory`` switches to the bounded-memory verification instead of
+cProfile: it replays synthetic scale cells
+(:mod:`repro.experiments.scale`) as chunked streams under ``tracemalloc``
+and reports the Python-heap peak plus the process's ``ru_maxrss`` at each
+trace length.  Because the streamed pipeline holds one chunk of columns
+plus per-disk state, the heap peak must stay essentially flat from 10^6
+to 10^7 requests — the run exits non-zero if it does not.  Scales run
+smallest first, so a flat ``ru_maxrss`` across rows corroborates the
+tracemalloc numbers (RSS never shrinks within a process).
 
 This is the harness behind the numbers in docs/performance.md; use it to
 check that a change actually moves the needle before trusting wall-clock
@@ -81,6 +93,71 @@ def print_coverage_breakdown(cov: dict[str, int]) -> None:
         f"{cov.get('directive_mid_service', 0)}"
     )
 
+    import resource
+
+    rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(
+        f"process peak RSS: {rss_kib / 2**10:.1f} MiB "
+        "(bounded-memory verification: tools/profile_sim.py --memory)"
+    )
+
+
+#: ``--memory`` fails if the Python-heap peak grows by more than this
+#: factor while the request count grows 10x — a truly streaming replay
+#: is chunk-bounded, so the expected growth is ~1.0x.
+MEMORY_GROWTH_LIMIT = 2.0
+
+
+def run_memory(
+    engine: str,
+    num_disks: int,
+    requests_list: list[int],
+    chunk_requests: int,
+) -> int:
+    """Verify streamed-replay peak memory is bounded by the chunk size."""
+    import resource
+    import time
+    import tracemalloc
+
+    from repro.disksim.simulator import simulate
+    from repro.experiments.scale import scale_cell
+
+    print(
+        f"streamed replay memory profile: {num_disks} disks, "
+        f"engine={engine}, chunk_requests={chunk_requests}"
+    )
+    rows = []
+    for nr in sorted(requests_list):
+        cell = scale_cell(num_disks, nr, chunk_requests=chunk_requests)
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        res = simulate(cell.stream(), cell.params, engine=engine)
+        took = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        if res.num_requests != nr:  # pragma: no cover - replay bug
+            print(f"ERROR: replayed {res.num_requests} of {nr} requests")
+            return 1
+        rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rows.append((nr, peak))
+        print(
+            f"  {nr:>12,} requests: tracemalloc peak {peak / 2**20:7.1f} MiB,"
+            f" ru_maxrss {rss_kib / 2**10:7.1f} MiB, {took:7.2f}s"
+        )
+    if len(rows) >= 2:
+        growth = rows[-1][1] / rows[0][1]
+        scale = rows[-1][0] / rows[0][0]
+        print(
+            f"  heap-peak growth: {growth:.2f}x over a {scale:.0f}x longer "
+            f"trace (limit {MEMORY_GROWTH_LIMIT}x)"
+        )
+        if growth > MEMORY_GROWTH_LIMIT:
+            print("MEMORY FAIL: streamed replay peak grows with trace length")
+            return 1
+        print("bounded-memory check ok")
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -110,7 +187,45 @@ def main(argv: list[str] | None = None) -> int:
         choices=("auto", "stepwise", "segmented"),
         help="replay engine to profile (default: auto)",
     )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="verify streamed-replay peak memory stays bounded across "
+        "trace lengths (tracemalloc + ru_maxrss on scale cells)",
+    )
+    parser.add_argument(
+        "--disks",
+        type=int,
+        default=256,
+        help="disk count for --memory scale cells (default: 256)",
+    )
+    parser.add_argument(
+        "--requests",
+        default="1000000,10000000",
+        help="comma-separated request counts for --memory "
+        "(default: 1000000,10000000)",
+    )
+    parser.add_argument(
+        "--chunk-requests",
+        type=int,
+        default=65536,
+        help="streaming chunk size for --memory (default: 65536)",
+    )
     args = parser.parse_args(argv)
+
+    if args.memory:
+        try:
+            requests_list = [
+                int(r) for r in args.requests.split(",") if r.strip()
+            ]
+        except ValueError:
+            parser.error(f"bad --requests list {args.requests!r}")
+        return run_memory(
+            args.engine if args.engine != "auto" else "segmented",
+            args.disks,
+            requests_list,
+            args.chunk_requests,
+        )
 
     from repro import obs
     from repro.disksim.simulator import replay_coverage, reset_replay_coverage
