@@ -189,6 +189,9 @@ AUTO_ROUTING: dict = {
 #: per-sub escapes for segmented replays), ``subrequests_vector`` /
 #: ``subrequests_scalar`` count the batched kernels, and ``bailouts``
 #: counts per-request vector-kernel exits on the rounding guard.
+#: ``segments_fused`` counts vector windows served by the fused SoA
+#: accounting batch (``segments_fused_multirpm``: the subset fused while
+#: the subsystem held mixed RPM levels — per-disk power-lane selection).
 #: ``segments_scalar`` counts *maximal* scalar-kernel runs — directive
 #: boundary edits (``directive_edits``) and per-sub escapes do not close a
 #: segment, only a vector run does.  ``fallback_*`` keys count the per-sub
@@ -212,6 +215,8 @@ def reset_replay_coverage() -> None:
         replays_segmented=0,
         replays_stepwise=0,
         segments_vector=0,
+        segments_fused=0,
+        segments_fused_multirpm=0,
         segments_scalar=0,
         subrequests_vector=0,
         subrequests_scalar=0,
@@ -849,22 +854,23 @@ def _run_vector(
         wdisk[worder], np.arange(plan.num_disks + 1, dtype=np.int64)
     )
     wsubs = sk - s0
-    if (
-        svc_full is not None
-        and len(rpm_set) == 1
-        and drpm_fold is None
-        and not collect
-    ):
-        # Fused accounting: with one shared RPM (hence one idle/active
-        # power), every per-disk accrual is a sequential left fold over
-        # that disk's window subs.  Pack all five folds x all touched
-        # disks into one zero-padded matrix — one row per (disk,
+    if drpm_fold is None and not collect:
+        # Fused accounting: every per-disk accrual is a sequential left
+        # fold over that disk's window subs.  Pack all five folds x all
+        # touched disks into one zero-padded matrix — one row per (disk,
         # accumulator), seeded with the current totals in column 0 —
         # and run a single ``np.add.accumulate`` along the rows: padding
         # zeros are bitwise no-ops on the non-negative accumulators, so
         # row ends equal the per-disk ``add_many`` chains bit for bit.
         # Replaces ~10 small NumPy calls per disk (the wide-subsystem
         # bottleneck) with O(1) calls per window.
+        #
+        # A disk's RPM is constant across the window (plain disks only
+        # change level at directive boundaries, which close windows), so
+        # mixed-level windows fuse too: each disk selects its own
+        # idle/active-power lane, broadcast per sub with ``np.repeat`` —
+        # the per-element ``dur * w`` products are the exact multiplies
+        # the scalar ``add_many`` fold performs.
         glen_all = np.diff(wbounds)
         present = np.flatnonzero(glen_all)
         glen = glen_all[present]
@@ -874,13 +880,11 @@ def _run_vector(
         if P and 5 * P * (L + 1) <= 24 * wsubs + 4096 and all(
             int(d_id) in dmap for d_id in present
         ):
-            rpm0 = next(iter(rpm_set))
-            idle_w0 = tables.idle_w[rpm0]
-            active_w0 = tables.active_w[rpm0]
+            multirpm = len(rpm_set) > 1
             heads = wbounds[present]
             widx = worder + s0
             td_s = rep_t[worder]
-            svc_s = svc_full[widx]
+            svc_s = svc_full[widx] if svc_full is not None else svc_win[worder]
             comp_s = td_s + svc_s
             prev_s = np.empty(wsubs)
             prev_s[1:] = comp_s[:-1]
@@ -893,6 +897,7 @@ def _run_vector(
                 raise SimulationError("negative accounting duration in batch")
             rowid = np.repeat(np.arange(P, dtype=np.int64), glen)
             col = np.arange(wsubs, dtype=np.int64) - np.repeat(heads, glen) + 1
+            rpm_p = [d.rpm for d in pdisks]
             seeds = np.empty(5 * P)
             for p, d in enumerate(pdisks):
                 st = d.stats
@@ -900,7 +905,7 @@ def _run_vector(
                 seeds[P + p] = st.energy_j["idle"]
                 seeds[2 * P + p] = st.time_s["active"]
                 seeds[3 * P + p] = st.energy_j["active"]
-                seeds[4 * P + p] = st.idle_time_by_rpm.get(rpm0, 0.0)
+                seeds[4 * P + p] = st.idle_time_by_rpm.get(rpm_p[p], 0.0)
             stride = L + 1
             mat = np.zeros((5 * P, stride))
             mat[:, 0] = seeds
@@ -908,9 +913,22 @@ def _run_vector(
             base = rowid * stride + col
             band = P * stride
             flat[base] = dur
-            flat[base + band] = dur * idle_w0
+            if multirpm:
+                idle_w = tables.idle_w
+                active_w = tables.active_w
+                iw_sub = np.repeat(
+                    np.array([idle_w[r] for r in rpm_p]), glen
+                )
+                aw_sub = np.repeat(
+                    np.array([active_w[r] for r in rpm_p]), glen
+                )
+                flat[base + band] = dur * iw_sub
+                flat[base + 3 * band] = svc_s * aw_sub
+            else:
+                rpm0 = rpm_p[0] if P else next(iter(rpm_set))
+                flat[base + band] = dur * tables.idle_w[rpm0]
+                flat[base + 3 * band] = svc_s * tables.active_w[rpm0]
             flat[base + 2 * band] = svc_s
-            flat[base + 3 * band] = svc_s * active_w0
             flat[base + 4 * band] = dur
             np.add.accumulate(mat, axis=1, out=mat)
             finals = mat[:, -1]
@@ -932,8 +950,9 @@ def _run_vector(
                 st.time_s["active"] = act_t[p]
                 st.energy_j["active"] = act_e[p]
                 by_rpm = st.idle_time_by_rpm
-                if rpm0 in by_rpm or dmax[p] > 0:
-                    by_rpm[rpm0] = rpm_tm[p]
+                rpm_d = rpm_p[p]
+                if rpm_d in by_rpm or dmax[p] > 0:
+                    by_rpm[rpm_d] = rpm_tm[p]
                 st.num_requests += glen_l[p]
                 st.bytes_served += nbytes_g[p]
                 disk.last_service_start_s = td_last[p]
@@ -944,10 +963,18 @@ def _run_vector(
                 disk.last_request_end_s = end
                 disk._auto_armed = True
             if rpm_counts is not None:
-                rpm_counts[rpm0] = rpm_counts.get(rpm0, 0) + wsubs
+                if multirpm:
+                    for p, rpm_d in enumerate(rpm_p):
+                        rpm_counts[rpm_d] = rpm_counts.get(rpm_d, 0) + glen_l[p]
+                else:
+                    rpm0 = next(iter(rpm_set))
+                    rpm_counts[rpm0] = rpm_counts.get(rpm0, 0) + wsubs
             cov = REPLAY_COVERAGE
             cov["segments_vector"] += 1
             cov["subrequests_vector"] += wsubs
+            cov["segments_fused"] += 1
+            if multirpm:
+                cov["segments_fused_multirpm"] += 1
             if bailed:
                 cov["bailouts"] += 1
             return k, delay, bailed
@@ -2013,8 +2040,15 @@ def simulate(
     plan: ReplayPlan | None = None,
     engine: str = "auto",
     faults=None,
+    pipeline: bool = False,
 ) -> SimulationResult:
     """Replay ``trace`` under ``params`` with an optional controller.
+
+    ``pipeline=True`` (streamed replays only) moves chunk production into
+    a forked producer process feeding a bounded shared-memory ring
+    (:func:`repro.trace.ring.pipelined_chunks`), overlapping trace
+    generation with replay; results are bit-identical to the
+    single-process streamed path.
 
     ``faults`` optionally supplies a :class:`~repro.faults.FaultConfig`;
     the regime is materialized into a :class:`~repro.faults.FaultPlan`
@@ -2053,7 +2087,12 @@ def simulate(
     if isinstance(trace, TraceStream):
         return _simulate_stream(
             trace, params, controller, collect_busy_intervals, recorder,
-            plan, engine, faults,
+            plan, engine, faults, pipeline,
+        )
+    if pipeline:
+        raise SimulationError(
+            "pipeline=True requires a TraceStream: a whole-trace replay "
+            "has no chunk production to overlap"
         )
     if engine not in ("auto", "stepwise", "segmented"):
         raise SimulationError(f"unknown replay engine {engine!r}")
@@ -2337,6 +2376,7 @@ def _simulate_stream(
     plan: ReplayPlan | None,
     engine: str,
     faults,
+    pipeline: bool = False,
 ) -> SimulationResult:
     """Replay a :class:`~repro.trace.stream.TraceStream` chunk by chunk.
 
@@ -2463,7 +2503,15 @@ def _simulate_stream(
     ) as sp:
         if forced:
             sp.set(forced=forced)
-        it = stream.iter_chunks()
+        pipe_stats: dict | None = None
+        if pipeline:
+            from ..trace.ring import pipelined_chunks
+
+            sp.set(pipelined=True)
+            pipe_stats = {}
+            it = pipelined_chunks(stream, stats=pipe_stats)
+        else:
+            it = stream.iter_chunks()
         cur = next(it, None)
         if cur is None:
             cur = RequestColumns.from_requests(())
@@ -2548,6 +2596,30 @@ def _simulate_stream(
             "sim.replay_wall_s", time.perf_counter() - t_replay0,
             scheme=ctrl.name,
         )
+        if pipe_stats:
+            # Ring transport counters: stall seconds on both sides of the
+            # shared-memory ring plus average occupancy — the numbers that
+            # say whether the pipeline overlapped or just queued.
+            _metrics.inc("pipeline.replays")
+            _metrics.inc("pipeline.chunks", pipe_stats.get("chunks", 0))
+            _metrics.inc("pipeline.splits", pipe_stats.get("splits", 0))
+            _metrics.inc(
+                "pipeline.producer_stall_s",
+                pipe_stats.get("producer_stall_s", 0.0),
+            )
+            _metrics.inc(
+                "pipeline.consumer_stall_s",
+                pipe_stats.get("consumer_stall_s", 0.0),
+            )
+            samples = pipe_stats.get("queue_depth_samples", 0)
+            _metrics.inc("pipeline.queue_depth_sum",
+                         pipe_stats.get("queue_depth_sum", 0))
+            _metrics.inc("pipeline.queue_depth_samples", samples)
+            if samples:
+                _metrics.set_gauge(
+                    "pipeline.queue_depth_avg",
+                    round(pipe_stats["queue_depth_sum"] / samples, 3),
+                )
 
     for disk in disks:
         disk.finalize(end_time)

@@ -158,6 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS or 1; 0 = one per CPU)",
     )
     parser.add_argument(
+        "--shard",
+        action="store_true",
+        help="prefetch suites through the shard scheduler: decompose "
+        "sweeps into fingerprint-keyed (configuration, scheme) shards, "
+        "dedupe, and reassemble from the shared cache (bit-identical to "
+        "serial at any worker count)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="ignore and do not write the persistent result cache",
@@ -242,7 +250,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         logger.info("fault regime: %r", faults)
     elif args.fault_seed is not None:
         logger.warning("--fault-seed without --fault-rates has no effect")
-    ctx = ExperimentContext(jobs=args.jobs, cache=cache, faults=faults)
+    ctx = ExperimentContext(
+        jobs=args.jobs, cache=cache, faults=faults, shard=args.shard
+    )
 
     phases: list[dict] = []
     t_run0 = time.perf_counter()
@@ -282,10 +292,15 @@ def _write_obs_artifacts(
     config = {
         "experiments": ids,
         "jobs": ctx.jobs,
+        "shard": ctx.shard,
         "cache": cache_stats["dir"] if cache_stats else None,
         "num_disks": ctx.params.num_disks,
         "faults": repr(ctx.faults) if ctx.faults is not None else None,
     }
+    extra: dict = {"total_wall_s": round(total_wall_s, 6)}
+    shard_stats = ctx.shard_stats()
+    if shard_stats is not None:
+        extra["shard"] = shard_stats
     manifest = build_manifest(
         command="repro-experiments",
         config=config,
@@ -293,7 +308,7 @@ def _write_obs_artifacts(
         cache_stats=cache_stats,
         engine_stats={"routing": dict(AUTO_ROUTING), **replay_coverage()},
         metrics=obs.metrics.snapshot(),
-        extra={"total_wall_s": round(total_wall_s, 6)},
+        extra=extra,
     )
     manifest_path = args.manifest_out or DEFAULT_MANIFEST_NAME
     write_manifest(manifest_path, manifest)

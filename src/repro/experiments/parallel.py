@@ -53,15 +53,54 @@ __all__ = [
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 
+#: cgroup v2 unified-hierarchy CPU quota file (the container runtimes'
+#: ``--cpus`` knob lands here, *not* in the affinity mask).
+_CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+
+
+def _cgroup_quota_cpus(path: str = _CGROUP_CPU_MAX) -> int | None:
+    """CPU limit imposed by a cgroup v2 quota, or ``None`` when unlimited.
+
+    The file holds ``"$MAX $PERIOD"`` (microseconds per period) with
+    ``max`` meaning no quota.  A quota of e.g. ``150000 100000`` allows 1.5
+    CPUs of runtime; we round *up* (a fractional allowance still lets a
+    second worker make progress) and floor at 1.  Absent or malformed files
+    (cgroup v1 hosts, non-Linux) read as unlimited.
+    """
+    try:
+        with open(path, "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        if len(fields) != 2 or fields[0] == "max":
+            return None
+        quota, period = int(fields[0]), int(fields[1])
+        if quota <= 0 or period <= 0:
+            return None
+        return max(1, -(-quota // period))
+    except (OSError, ValueError):
+        return None
+
+
 def available_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
+    """CPUs this process may actually run on.
+
+    The affinity mask bounds which cores the scheduler may use; a cgroup
+    v2 CPU quota (how container ``--cpus`` limits are implemented) bounds
+    how much of them we get.  Both limits apply independently, so the
+    effective parallelism is their minimum.
+    """
+    count = None
     getaffinity = getattr(os, "sched_getaffinity", None)
     if getaffinity is not None:
         try:
-            return len(getaffinity(0)) or 1
+            count = len(getaffinity(0)) or None
         except OSError:  # pragma: no cover - platform quirk
             pass
-    return os.cpu_count() or 1
+    if count is None:
+        count = os.cpu_count() or 1
+    quota = _cgroup_quota_cpus()
+    if quota is not None and quota < count:
+        count = quota
+    return count
 
 
 def resolve_jobs(jobs: int | None = None) -> int:

@@ -1,0 +1,274 @@
+"""Sharded sweep execution: fingerprint-keyed work units over a shared cache.
+
+:class:`~repro.experiments.parallel.SuiteExecutor` fans whole suites out —
+one worker generates a trace, replays Base, then replays every other
+scheme.  That grain leaves two kinds of work on the table:
+
+* **duplicate work across specs** — sweep grids routinely contain specs
+  whose configurations coincide (a stripe sweep's default point equals the
+  Table 2 default suite); suite-grain fan-out computes them twice;
+* **load imbalance** — a suite is a serial chain of eight replays, so the
+  sweep's critical path is one whole suite even when workers sit idle.
+
+:class:`ShardScheduler` re-cuts the sweep at the *shard* grain: every
+``(suite configuration, scheme)`` pair becomes one work unit keyed by the
+content-address it would occupy in the persistent
+:class:`~repro.cache.ResultCache` (``cache.scheme_key(suite_fp, scheme)``).
+Shards with equal keys are collapsed before any work is scheduled — each
+unique shard is computed **exactly once** per run, whether it appears in
+one spec or twenty.  Shards already present in the cache are not scheduled
+at all.
+
+Execution runs in two waves through one process pool:
+
+1. **Base wave** — each unique suite configuration's trace generation plus
+   Base replay (every other scheme derives from Base, so these are the only
+   cross-shard dependencies);
+2. **Scheme wave** — every unique non-Base shard, each loading Base (and
+   the shared trace) from the now-warm cache and replaying exactly one
+   scheme.
+
+A final **merge pass** rebuilds each requested suite serially from the
+warm cache (:func:`~repro.experiments.parallel._run_suite_spec` with every
+shard a cache hit), so assembled :class:`~repro.experiments.schemes.
+SchemeSuite` objects are bit-identical to a serial run — the workers only
+ever *fill* the content-addressed store; they never hand results sideways.
+
+Scheduling stats (``requested``/``unique``/``deduped``/``cache_hits``/
+``computed``) accumulate on the scheduler and are mirrored into
+:mod:`repro.obs` metrics under ``shard.*`` for run manifests.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import obs
+from ..cache import ResultCache, suite_fingerprint
+from ..layout.files import default_layout
+from ..workloads.registry import build_workload
+from .parallel import (
+    SuiteSpec,
+    _obs_envelope,
+    _reset_worker_obs,
+    _run_suite_spec,
+    available_cpus,
+    resolve_jobs,
+)
+from .schemes import SCHEME_NAMES
+
+__all__ = ["ShardScheduler", "ShardStats"]
+
+
+@dataclass
+class ShardStats:
+    """Scheduling counters for one or more :meth:`ShardScheduler.run` calls.
+
+    ``requested`` counts every shard implied by the spec list (specs x
+    schemes); ``deduped`` is how many of those collapsed onto an already-
+    requested key in the same run; ``cache_hits`` were unique but already
+    persisted; ``computed`` shards actually ran.  The invariant
+    ``requested == deduped + cache_hits + computed`` holds per run.
+    """
+
+    requested: int = 0
+    unique: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    runs: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "requested": self.requested,
+            "unique": self.unique,
+            "deduped": self.deduped,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "runs": self.runs,
+        }
+
+
+@dataclass(frozen=True)
+class _Shard:
+    """One schedulable unit: a single scheme of one suite configuration."""
+
+    key: str
+    spec: SuiteSpec
+    scheme: str
+
+
+def _compute_shard(spec: SuiteSpec, scheme: str, cache_root: str) -> None:
+    """Compute one shard into the shared cache.
+
+    Runs :func:`~repro.experiments.schemes.run_schemes` restricted to the
+    shard's scheme (plus Base, which every replay derives from — a cache
+    hit in the scheme wave).  The result never leaves this function:
+    shards travel through the content-addressed cache, not return values.
+    """
+    from .schemes import run_schemes
+
+    cache = ResultCache(cache_root)
+    wl = build_workload(spec.workload)
+    layout = spec.layout or default_layout(
+        wl.program.arrays, num_disks=spec.params.num_disks
+    )
+    schemes = ("Base",) if scheme == "Base" else ("Base", scheme)
+    run_schemes(
+        wl.program,
+        layout,
+        spec.params,
+        wl.trace_options,
+        wl.estimation,
+        schemes=schemes,
+        cache=cache,
+        faults=spec.faults,
+    )
+
+
+def _run_shard(payload: "tuple[SuiteSpec, str, str, bool]"):
+    """Pool-worker wrapper: compute one shard, ship only the obs envelope
+    back (nothing result-sized is ever pickled through the pool pipe)."""
+    spec, scheme, cache_root, obs_flag = payload
+    _reset_worker_obs()
+    if obs_flag and not obs.enabled():
+        obs.enable()
+    _compute_shard(spec, scheme, cache_root)
+    return _obs_envelope(obs_flag)
+
+
+class ShardScheduler:
+    """Work-queue executor for sweeps, one (configuration, scheme) at a time.
+
+    ``jobs`` resolves exactly like :class:`~repro.experiments.parallel.
+    SuiteExecutor` (argument > ``$REPRO_JOBS`` > 1) and is clamped to the
+    CPUs the process may run on unless ``clamp_to_cpus=False`` (tests
+    exercise the pool on single-core machines that way).  With one job the
+    waves run in-process, in deterministic key order — the decomposition,
+    dedupe, and cache-fill behaviour is identical, just serial.
+
+    ``cache_root`` is where shards meet; when ``None`` a private temporary
+    directory is used (and kept for the scheduler's lifetime), since the
+    cache *is* the transport between the waves and the merge pass.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache_root: str | os.PathLike | None = None,
+        clamp_to_cpus: bool = True,
+    ):
+        self.requested_jobs = resolve_jobs(jobs)
+        if clamp_to_cpus:
+            self.jobs = min(self.requested_jobs, available_cpus())
+        else:
+            self.jobs = self.requested_jobs
+        self._tmp = None
+        if cache_root is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            cache_root = self._tmp.name
+        self.cache_root = str(cache_root)
+        self.stats = ShardStats()
+
+    # ------------------------------------------------------------------ #
+    def _decompose(
+        self, specs: Sequence[SuiteSpec]
+    ) -> "tuple[list[_Shard], list[_Shard]]":
+        """Unique Base-wave and scheme-wave shards, in first-seen order.
+
+        Shard keys are the cache's own scheme keys, so two specs whose
+        configurations fingerprint identically (same program IR, layout,
+        params, options, estimation, faults) collapse onto the same shards
+        no matter how their sweep ``key`` tags differ.
+        """
+        cache = ResultCache(self.cache_root)
+        base_wave: list[_Shard] = []
+        scheme_wave: list[_Shard] = []
+        seen: set[str] = set()
+        for spec in specs:
+            wl = build_workload(spec.workload)
+            layout = spec.layout or default_layout(
+                wl.program.arrays, num_disks=spec.params.num_disks
+            )
+            suite_fp = suite_fingerprint(
+                wl.program, layout, spec.params, wl.trace_options,
+                wl.estimation, spec.faults,
+            )
+            for scheme in spec.schemes or SCHEME_NAMES:
+                key = cache.scheme_key(suite_fp, scheme)
+                self.stats.requested += 1
+                if key in seen:
+                    self.stats.deduped += 1
+                    continue
+                seen.add(key)
+                self.stats.unique += 1
+                if cache.load(key) is not None:
+                    self.stats.cache_hits += 1
+                    continue
+                shard = _Shard(key=key, spec=spec, scheme=scheme)
+                (base_wave if scheme == "Base" else scheme_wave).append(shard)
+        return base_wave, scheme_wave
+
+    def _run_wave(self, shards: "list[_Shard]", obs_flag: bool) -> None:
+        if not shards:
+            return
+        payloads = [
+            (s.spec, s.scheme, self.cache_root, obs_flag) for s in shards
+        ]
+        if self.jobs <= 1 or len(shards) == 1:
+            # In-process: metrics/spans land on the live registry directly
+            # (no worker-obs reset — that would wipe the parent's state).
+            for spec, scheme, cache_root, _ in payloads:
+                _compute_shard(spec, scheme, cache_root)
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(shards))
+        ) as pool:
+            envelopes = list(pool.map(_run_shard, payloads))
+        from .parallel import SuiteExecutor
+
+        for envelope in envelopes:
+            SuiteExecutor._merge_envelope(envelope)
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Sequence[SuiteSpec]) -> list:
+        """Compute every spec's suite; results in spec order.
+
+        Returns :class:`~repro.experiments.schemes.SchemeSuite` objects
+        assembled by the serial merge pass from the warm cache — bit
+        identical to running each spec serially without sharding.
+        """
+        specs = list(specs)
+        with obs.span("shard.run", specs=len(specs)) as sp:
+            before = self.stats.as_dict()
+            base_wave, scheme_wave = self._decompose(specs)
+            computed = len(base_wave) + len(scheme_wave)
+            self.stats.computed += computed
+            self.stats.runs += 1
+            obs_flag = obs.enabled()
+            self._run_wave(base_wave, obs_flag)
+            self._run_wave(scheme_wave, obs_flag)
+            # Merge pass: every shard is now a cache hit, so this serial
+            # rebuild only re-derives the cheap glue (trace load, measured
+            # timing) and assembles suites deterministically.
+            suites = [
+                _run_suite_spec((spec, self.cache_root)) for spec in specs
+            ]
+            after = self.stats.as_dict()
+            for name in ("requested", "unique", "deduped", "cache_hits"):
+                delta = after[name] - before[name]
+                if delta:
+                    obs.metrics.inc(f"shard.{name}", delta)
+            if computed:
+                obs.metrics.inc("shard.computed", computed)
+            obs.metrics.inc("shard.runs")
+            sp.set(
+                base_shards=len(base_wave),
+                scheme_shards=len(scheme_wave),
+                deduped=after["deduped"] - before["deduped"],
+            )
+        return suites

@@ -1,0 +1,281 @@
+"""Bounded shared-memory chunk ring: the pipelined streamed-replay transport.
+
+A single-process streamed replay alternates between two CPU-bound halves —
+chunked trace *generation* (:func:`~repro.trace.generator
+.generate_trace_chunks` behind a :class:`~repro.trace.stream.TraceStream`)
+and chunk *replay* (the simulator's per-chunk plan/kernel work).  On a
+multi-core host the two halves can overlap: :func:`pipelined_chunks` forks
+a producer process that runs the stream's own chunk factory and hands each
+:class:`~repro.trace.request.RequestColumns` chunk to the consumer through
+a bounded ring of ``multiprocessing.shared_memory`` slots.  Only slot
+indices and tiny header tuples cross the control queues — the seven request
+columns are written into and read out of the shared mappings directly, so
+no per-request data is ever pickled.
+
+Design points:
+
+* **fork, not spawn** — a :class:`TraceStream`'s chunk factory is typically
+  a closure over program/layout/analysis state and is not picklable; under
+  ``fork`` the child inherits it (and the already-mapped slot views) by
+  address space.  Platforms without ``fork`` raise :class:`TraceError`.
+* **backpressure** — the producer blocks on the free-slot queue whenever
+  the consumer is more than ``slots`` chunks behind; peak memory stays
+  bounded at ``slots x slot_rows`` rows regardless of trace length.
+* **chunk re-splitting is safe** — chunks larger than a slot are split at
+  slot capacity.  :class:`TraceStream` chunk boundaries carry no semantics
+  (the simulator threads all cross-chunk state), so any re-chunking of the
+  same request sequence replays bit-identically; the equivalence tests
+  enforce this.
+* **failure propagation** — a producer exception ships its traceback
+  through the data queue and re-raises in the consumer as
+  :class:`TraceError`; a producer that dies without a word (OOM-kill,
+  signal) is detected by liveness polling and raised with its exit code.
+  Consumer-side teardown (including generator abandonment) terminates the
+  producer and unlinks every shared segment.
+* **stall accounting** — both sides measure the seconds they spend blocked
+  on the ring (producer waiting for a free slot, consumer waiting for a
+  full one); the producer ships its totals back in the end-of-stream
+  message so :func:`repro.disksim.simulator.simulate` can surface
+  ``pipeline.*`` metrics through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..util.errors import TraceError
+from .request import RequestColumns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stream import TraceStream
+
+__all__ = [
+    "DEFAULT_SLOTS",
+    "DEFAULT_SLOT_ROWS",
+    "pipelined_chunks",
+    "pipeline_available",
+]
+
+#: Ring depth: how many chunks the producer may run ahead of the consumer.
+DEFAULT_SLOTS = 4
+
+#: Rows per slot when the stream carries no chunk-size hint.
+DEFAULT_SLOT_ROWS = 65536
+
+#: The seven request columns, in :class:`RequestColumns` field order, with
+#: their fixed dtypes — the slot layout is these regions back to back.
+_COLUMN_SPECS: tuple[tuple[str, np.dtype], ...] = (
+    ("nominal_time_s", np.dtype(np.float64)),
+    ("array_id", np.dtype(np.int64)),
+    ("offset", np.dtype(np.int64)),
+    ("nbytes", np.dtype(np.int64)),
+    ("is_write", np.dtype(bool)),
+    ("nest", np.dtype(np.int64)),
+    ("iteration", np.dtype(np.int64)),
+)
+
+_ROW_BYTES = sum(spec.itemsize for _, spec in _COLUMN_SPECS)
+
+#: Liveness-poll interval while the consumer waits on an empty ring.
+_POLL_S = 0.2
+
+
+def pipeline_available() -> bool:
+    """Whether this platform can run the pipelined producer (fork only)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _slot_views(buf, rows: int) -> dict[str, np.ndarray]:
+    """Column views over one slot's shared buffer, laid out back to back."""
+    views: dict[str, np.ndarray] = {}
+    off = 0
+    for name, dtype in _COLUMN_SPECS:
+        views[name] = np.frombuffer(buf, dtype=dtype, count=rows, offset=off)
+        off += rows * dtype.itemsize
+    return views
+
+def _producer_main(stream, views, free_q, full_q, slot_rows: int) -> None:
+    """Child process: run the stream's chunk factory, fill ring slots.
+
+    Exits via ``os._exit`` so the inherited ``SharedMemory`` handles are
+    never finalized child-side (close/unlink belong to the parent); the
+    data queue is closed and joined first so the final message flushes.
+    """
+    try:
+        stall = 0.0
+        sent = 0
+        splits = 0
+        for chunk in stream.iter_chunks():
+            n = len(chunk)
+            if n == 0:
+                continue
+            names = chunk.array_names
+            lo = 0
+            while lo < n:
+                hi = min(lo + slot_rows, n)
+                m = hi - lo
+                t0 = time.perf_counter()
+                idx = free_q.get()
+                stall += time.perf_counter() - t0
+                v = views[idx]
+                v["nominal_time_s"][:m] = chunk.nominal_time_s[lo:hi]
+                v["array_id"][:m] = chunk.array_id[lo:hi]
+                v["offset"][:m] = chunk.offset[lo:hi]
+                v["nbytes"][:m] = chunk.nbytes[lo:hi]
+                v["is_write"][:m] = chunk.is_write[lo:hi]
+                v["nest"][:m] = chunk.nest[lo:hi]
+                v["iteration"][:m] = chunk.iteration[lo:hi]
+                full_q.put(("chunk", idx, m, names))
+                sent += 1
+                if hi < n or lo > 0:
+                    splits += 1
+                lo = hi
+        full_q.put(("end", sent, splits, round(stall, 6)))
+    except BaseException:
+        try:
+            full_q.put(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+    finally:
+        try:
+            full_q.close()
+            full_q.join_thread()
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+        os._exit(0)
+
+
+def pipelined_chunks(
+    stream: "TraceStream",
+    slots: int = DEFAULT_SLOTS,
+    slot_rows: int | None = None,
+    stats: dict | None = None,
+) -> Iterator[RequestColumns]:
+    """Iterate ``stream``'s chunks produced by a forked pipeline process.
+
+    Yields :class:`RequestColumns` equal (element for element) to
+    ``stream.iter_chunks()``'s concatenation, possibly re-split at
+    ``slot_rows`` — which the simulator replays bit-identically.  Each call
+    forks a fresh producer, so a re-iterable stream stays re-iterable.
+
+    ``stats``, when given, is filled in place at end of stream with the
+    ring's counters: ``chunks``, ``splits``, ``producer_stall_s``,
+    ``consumer_stall_s``, ``queue_depth_sum``/``queue_depth_samples``.
+    """
+    if not pipeline_available():  # pragma: no cover - linux containers fork
+        raise TraceError(
+            "pipelined streaming requires the 'fork' multiprocessing start "
+            "method (the chunk factory is inherited, not pickled)"
+        )
+    if slots < 2:
+        raise TraceError(f"pipeline ring needs at least 2 slots, got {slots}")
+    if slot_rows is None:
+        slot_rows = getattr(stream, "chunk_requests", None) or DEFAULT_SLOT_ROWS
+    if slot_rows < 1:
+        raise TraceError(f"slot_rows must be positive, got {slot_rows}")
+
+    ctx = multiprocessing.get_context("fork")
+    shms: list[shared_memory.SharedMemory] = []
+    views: list[dict[str, np.ndarray]] = []
+    for _ in range(slots):
+        shm = shared_memory.SharedMemory(
+            create=True, size=slot_rows * _ROW_BYTES
+        )
+        shms.append(shm)
+        views.append(_slot_views(shm.buf, slot_rows))
+    free_q = ctx.Queue()
+    full_q = ctx.Queue()
+    for idx in range(slots):
+        free_q.put(idx)
+    # Views (and the underlying mappings) reach the child by fork
+    # inheritance — Process args are not pickled under the fork method.
+    producer = ctx.Process(
+        target=_producer_main,
+        args=(stream, views, free_q, full_q, slot_rows),
+        daemon=True,
+    )
+    producer.start()
+
+    consumer_stall = 0.0
+    depth_sum = 0
+    depth_samples = 0
+    v = None
+    try:
+        while True:
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    msg = full_q.get(timeout=_POLL_S)
+                    break
+                except queue_mod.Empty:
+                    if not producer.is_alive():
+                        # One last drain: the queue feeder may have raced
+                        # the exit, so give a flushed message precedence
+                        # over the death report.
+                        try:
+                            msg = full_q.get_nowait()
+                            break
+                        except queue_mod.Empty:
+                            raise TraceError(
+                                "pipeline producer died without reporting "
+                                f"(exit code {producer.exitcode})"
+                            ) from None
+            consumer_stall += time.perf_counter() - t0
+            kind = msg[0]
+            if kind == "chunk":
+                _, idx, m, names = msg
+                v = views[idx]
+                cols = RequestColumns(
+                    v["nominal_time_s"][:m].copy(),
+                    v["array_id"][:m].copy(),
+                    v["offset"][:m].copy(),
+                    v["nbytes"][:m].copy(),
+                    v["is_write"][:m].copy(),
+                    v["nest"][:m].copy(),
+                    v["iteration"][:m].copy(),
+                    array_names=names,
+                    validate=False,
+                )
+                free_q.put(idx)
+                try:
+                    depth_sum += full_q.qsize()
+                    depth_samples += 1
+                except NotImplementedError:  # pragma: no cover - macOS
+                    pass
+                yield cols
+            elif kind == "end":
+                _, sent, splits, producer_stall = msg
+                if stats is not None:
+                    stats.update(
+                        chunks=sent,
+                        splits=splits,
+                        producer_stall_s=producer_stall,
+                        consumer_stall_s=round(consumer_stall, 6),
+                        queue_depth_sum=depth_sum,
+                        queue_depth_samples=depth_samples,
+                        slot_rows=slot_rows,
+                        slots=slots,
+                    )
+                return
+            else:
+                raise TraceError(f"pipeline producer failed:\n{msg[1]}")
+    finally:
+        if producer.is_alive():
+            producer.terminate()
+        producer.join()
+        # Drop every numpy view (including the loop's last slot binding)
+        # before closing: SharedMemory.close() raises BufferError while
+        # exported views are alive.
+        v = None
+        views.clear()
+        for shm in shms:
+            shm.close()
+            shm.unlink()

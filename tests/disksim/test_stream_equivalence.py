@@ -294,3 +294,168 @@ def test_consumed_one_shot_stream_raises(
     simulate(once, params, engine="segmented")
     with pytest.raises(TraceError, match="one-shot"):
         simulate(once, params, engine="segmented")
+
+
+# --------------------------------------------------------------------- #
+# Property: directives landing exactly on chunk boundaries.
+# --------------------------------------------------------------------- #
+def _boundary_directives(data, whole, chunk_requests, levels):
+    """Directives whose nominal times coincide exactly with requests at
+    chunk edges — the first request of a chunk and the last request of the
+    previous one — where the merged-stream tie rule (directive ahead of a
+    same-time request) and the chunk partition rule (a chunk takes every
+    directive at or before its last request's time) interact."""
+    times = whole.columns.nominal_time_s
+    n = len(times)
+    boundaries = [k for k in range(chunk_requests, n, chunk_requests)]
+    if not boundaries:
+        boundaries = [n - 1]
+    picks = data.draw(
+        st.lists(
+            st.sampled_from(boundaries), min_size=1, max_size=3, unique=True
+        )
+    )
+    directives = []
+    for k in sorted(picks):
+        disk = data.draw(st.integers(min_value=0, max_value=3))
+        action = data.draw(
+            st.sampled_from(["set_rpm", "spin_down", "spin_up"])
+        )
+        # Exactly the boundary request's nominal time (first of chunk), or
+        # exactly the last request of the chunk before it.
+        edge = data.draw(st.sampled_from([k, k - 1]))
+        t = float(times[edge])
+        if action == "set_rpm":
+            call = PowerCall(
+                PowerAction.SET_RPM, disk,
+                rpm=data.draw(st.sampled_from(levels)),
+            )
+        elif action == "spin_down":
+            call = PowerCall(PowerAction.SPIN_DOWN, disk)
+        else:
+            call = PowerCall(PowerAction.SPIN_UP, disk)
+        directives.append(DirectiveRecord(t, call))
+    return sorted(directives, key=lambda d: d.nominal_time_s)
+
+
+@_SLOW_SETTINGS
+@given(data=st.data())
+def test_directives_on_chunk_boundaries_match_whole(data):
+    """A directive at exactly a chunk-edge request's nominal time replays
+    identically streamed and whole, on both engines."""
+    program = data.draw(programs())
+    layout = default_layout(program.arrays, num_disks=4)
+    params = SubsystemParams(num_disks=4)
+    chunk_requests = data.draw(st.sampled_from([1, 7, 64]))
+
+    whole = generate_trace(program, layout)
+    directives = _boundary_directives(
+        data, whole, chunk_requests, params.drpm.levels
+    )
+    whole_d = whole.with_directives(directives)
+    stream_d = stream_trace(
+        program, layout, chunk_requests=chunk_requests
+    ).with_directives(directives)
+
+    results = {}
+    for eng in ENGINES:
+        res_w = simulate(whole_d, params, engine=eng)
+        res_s = simulate(stream_d, params, engine=eng)
+        assert res_w.num_directives == len(directives)
+        _assert_stream_matches_whole(res_s, res_w)
+        results[eng] = res_s
+    assert results["stepwise"] == results["segmented"]
+
+
+@_SLOW_SETTINGS
+@given(data=st.data())
+def test_directives_on_chunk_boundaries_with_faults(data):
+    """The fault-injected variant: streamed replays reject fault plans by
+    contract, so the cross-engine bit-equality runs on the whole trace —
+    with the same boundary-timed directive stream — and the streamed path
+    is pinned to its documented :class:`SimulationError`."""
+    from repro.faults import FaultConfig, FaultRates
+
+    program = data.draw(programs())
+    layout = default_layout(program.arrays, num_disks=4)
+    params = SubsystemParams(num_disks=4)
+    chunk_requests = data.draw(st.sampled_from([7, 64]))
+    faults = FaultConfig(
+        seed=data.draw(st.integers(min_value=1, max_value=5)),
+        rates=FaultRates(request_error_p=0.05, deadline_miss_p=0.1),
+    )
+
+    whole = generate_trace(program, layout)
+    directives = _boundary_directives(
+        data, whole, chunk_requests, params.drpm.levels
+    )
+    whole_d = whole.with_directives(directives)
+    results = {
+        eng: simulate(whole_d, params, engine=eng, faults=faults)
+        for eng in ENGINES
+    }
+    assert results["stepwise"] == results["segmented"]
+
+    stream_d = stream_trace(
+        program, layout, chunk_requests=chunk_requests
+    ).with_directives(directives)
+    with pytest.raises(SimulationError, match="fault"):
+        simulate(stream_d, params, engine="segmented", faults=faults)
+
+
+# --------------------------------------------------------------------- #
+# Mixed-RPM fused accounting: the multi-level SoA batch engages.
+# --------------------------------------------------------------------- #
+def test_mixed_rpm_vector_windows_use_fused_batch():
+    """Disks settled at different RPM levels must still take the fused
+    structure-of-arrays accounting batch (not the per-disk fold), bit
+    equal to the stepwise engine.  The directive layout matters: the
+    t=0 edits start RPM transitions, the mid-trace re-affirmations are
+    no-ops whose directive bound makes the driver re-probe for a vector
+    window after the transitions have settled."""
+    from repro.experiments.scale import scale_cell
+
+    cell = scale_cell(8, 20_000, chunk_requests=65536)
+    levels = cell.params.drpm.levels
+    trace = cell.trace()
+    tmid = trace.requests[10_000].nominal_time_s
+    directives = [
+        DirectiveRecord(0.0, PowerCall(PowerAction.SET_RPM, d, rpm=levels[0]))
+        for d in range(4)
+    ] + [
+        DirectiveRecord(tmid, PowerCall(PowerAction.SET_RPM, d, rpm=levels[0]))
+        for d in range(4)
+    ]
+    with_d = trace.with_directives(directives)
+
+    reset_replay_coverage()
+    seg = simulate(with_d, cell.params, engine="segmented")
+    cov = replay_coverage()
+    assert cov["segments_fused"] >= 1
+    assert cov["segments_fused_multirpm"] >= 1
+
+    step = simulate(with_d, cell.params, engine="stepwise")
+    assert seg == step
+    # The mixed levels are real: the fused window spans disks idling at
+    # different RPMs — the downshifted lanes at levels[0], the rest at
+    # the nominal rate.
+    idle_levels = {
+        rpm for ds in seg.disk_stats for rpm in ds.idle_time_by_rpm
+    }
+    assert len(idle_levels) > 1
+    for d in range(4):
+        assert levels[0] in seg.disk_stats[d].idle_time_by_rpm
+
+
+def test_single_rpm_vector_windows_still_fuse():
+    """The plain (no-directive) scale stream keeps taking the fused batch
+    — the multi-RPM lift must not regress the common single-level case."""
+    from repro.experiments.scale import scale_cell
+
+    cell = scale_cell(64, 50_000, chunk_requests=8192)
+    reset_replay_coverage()
+    seg = simulate(cell.stream(), cell.params, engine="segmented")
+    cov = replay_coverage()
+    assert cov["segments_fused"] >= 1
+    assert cov["segments_fused_multirpm"] == 0
+    assert seg == simulate(cell.stream(), cell.params, engine="stepwise")

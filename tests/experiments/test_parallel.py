@@ -12,6 +12,7 @@ from repro.experiments.parallel import (
     ReplayTask,
     SuiteExecutor,
     SuiteSpec,
+    _cgroup_quota_cpus,
     available_cpus,
     resolve_jobs,
 )
@@ -66,6 +67,34 @@ class TestExecutorShape:
         ex = SuiteExecutor(jobs=4, clamp_to_cpus=False)
         assert ex.jobs == 4
         assert not ex.serial
+
+
+class TestCgroupQuota:
+    """cgroup v2 ``cpu.max`` parsing: the container's CPU quota must cap
+    ``available_cpus`` even when the scheduler affinity mask is wider."""
+
+    @pytest.mark.parametrize(
+        ("content", "expected"),
+        [
+            ("150000 100000\n", 2),   # fractional quotas round up
+            ("200000 100000\n", 2),
+            ("100000 100000\n", 1),
+            ("50000 100000\n", 1),    # sub-core quotas floor at one CPU
+            ("max 100000\n", None),   # unlimited
+            ("garbage\n", None),
+            ("", None),
+        ],
+    )
+    def test_quota_parsing(self, tmp_path, content, expected):
+        path = tmp_path / "cpu.max"
+        path.write_text(content)
+        assert _cgroup_quota_cpus(path) == expected
+
+    def test_missing_file_means_no_quota(self, tmp_path):
+        assert _cgroup_quota_cpus(tmp_path / "absent") is None
+
+    def test_available_cpus_at_least_one(self):
+        assert available_cpus() >= 1
 
 
 class TestEquivalence:

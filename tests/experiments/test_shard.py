@@ -1,0 +1,148 @@
+"""Sharded sweep execution: decomposition, dedupe, bit-identical merge.
+
+The 2-worker equivalence test forces real worker processes
+(``clamp_to_cpus=False``) so it exercises the pool machinery even on a
+single-core machine, mirroring ``tests/experiments/test_parallel.py``.
+"""
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.experiments.parallel import SuiteSpec
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.schemes import SCHEME_NAMES, run_workload
+from repro.experiments.shard import ShardScheduler
+from repro.workloads.registry import WORKLOAD_NAMES, build_workload
+
+WORKLOAD = "wupwise"
+
+
+@pytest.fixture(scope="module")
+def serial_suite():
+    return run_workload(build_workload(WORKLOAD), schemes=SCHEME_NAMES)
+
+
+class TestShardScheduler:
+    def test_two_worker_run_matches_serial(
+        self, tmp_path, serial_suite, assert_results_identical
+    ):
+        """A 2-worker sharded run merges bit-identical to the serial
+        suite, computing each unique shard exactly once even with a
+        duplicate spec in the sweep."""
+        sched = ShardScheduler(
+            jobs=2, cache_root=tmp_path / "cache", clamp_to_cpus=False
+        )
+        specs = [SuiteSpec(WORKLOAD), SuiteSpec(WORKLOAD, key=("dup",))]
+        got, got_dup = sched.run(specs)
+
+        assert list(got.results) == list(serial_suite.results)
+        for scheme in SCHEME_NAMES:
+            assert_results_identical(
+                serial_suite.results[scheme], got.results[scheme]
+            )
+            assert_results_identical(
+                got.results[scheme], got_dup.results[scheme]
+            )
+
+        stats = sched.stats
+        assert stats.requested == 2 * len(SCHEME_NAMES)
+        assert stats.unique == len(SCHEME_NAMES)
+        assert stats.deduped == len(SCHEME_NAMES)
+        # Exactly-once: every unique shard computed, none twice, none
+        # pulled from a pre-warmed cache.
+        assert stats.computed == stats.unique
+        assert stats.cache_hits == 0
+        assert (
+            stats.requested
+            == stats.deduped + stats.cache_hits + stats.computed
+        )
+
+    def test_warm_cache_computes_nothing(self, tmp_path, serial_suite):
+        root = tmp_path / "cache"
+        first = ShardScheduler(jobs=1, cache_root=root)
+        first.run([SuiteSpec(WORKLOAD)])
+        assert first.stats.computed == len(SCHEME_NAMES)
+
+        second = ShardScheduler(jobs=1, cache_root=root)
+        suites = second.run([SuiteSpec(WORKLOAD)])
+        assert second.stats.computed == 0
+        assert second.stats.cache_hits == len(SCHEME_NAMES)
+        assert suites[0].results.keys() == serial_suite.results.keys()
+
+    def test_serial_scheduler_matches_serial(
+        self, tmp_path, serial_suite, assert_results_identical
+    ):
+        """jobs=1 keeps the decomposition/dedupe/merge semantics without a
+        pool; results are still bit-identical."""
+        sched = ShardScheduler(jobs=1, cache_root=tmp_path / "cache")
+        (got,) = sched.run([SuiteSpec(WORKLOAD)])
+        for scheme in SCHEME_NAMES:
+            assert_results_identical(
+                serial_suite.results[scheme], got.results[scheme]
+            )
+
+    def test_two_worker_all_suites_matches_serial(
+        self, tmp_path, assert_results_identical
+    ):
+        """The full Table 2 benchmark set, sharded over 2 workers, is
+        bit-identical to ``ExperimentContext.all_suites()`` and computes
+        each unique (configuration, scheme) shard exactly once."""
+        serial = ExperimentContext(cache=False).all_suites()
+        sched = ShardScheduler(
+            jobs=2, cache_root=tmp_path / "cache", clamp_to_cpus=False
+        )
+        suites = sched.run([SuiteSpec(name) for name in WORKLOAD_NAMES])
+
+        for name, got in zip(WORKLOAD_NAMES, suites):
+            for scheme in SCHEME_NAMES:
+                assert_results_identical(
+                    serial[name].results[scheme], got.results[scheme]
+                )
+        stats = sched.stats
+        assert stats.requested == len(WORKLOAD_NAMES) * len(SCHEME_NAMES)
+        assert stats.computed == stats.unique == stats.requested
+        assert stats.deduped == 0 and stats.cache_hits == 0
+
+    def test_private_cache_when_none_given(self):
+        sched = ShardScheduler(jobs=1)
+        assert sched.cache_root
+        assert sched._tmp is not None
+
+
+class TestContextIntegration:
+    def test_sharded_context_suite_matches_plain(
+        self, tmp_path, serial_suite, assert_results_identical
+    ):
+        ctx = ExperimentContext(
+            cache=ResultCache(tmp_path / "cache"), shard=True
+        )
+        got = ctx.suite(WORKLOAD)
+        for scheme in SCHEME_NAMES:
+            assert_results_identical(
+                serial_suite.results[scheme], got.results[scheme]
+            )
+        assert ctx.shard_stats()["computed"] == len(SCHEME_NAMES)
+        # Memoized: a second call does not re-run the scheduler.
+        runs_before = ctx.shard_stats()["runs"]
+        ctx.suite(WORKLOAD)
+        assert ctx.shard_stats()["runs"] == runs_before
+
+    def test_sharded_prefetch_dedupes_against_cache(self, tmp_path):
+        ctx = ExperimentContext(
+            cache=ResultCache(tmp_path / "cache"), shard=True
+        )
+        ctx.prefetch([SuiteSpec(WORKLOAD, params=ctx.params)])
+        first = dict(ctx.shard_stats())
+        assert first["computed"] == len(SCHEME_NAMES)
+
+        fresh = ExperimentContext(
+            cache=ResultCache(tmp_path / "cache"), shard=True
+        )
+        fresh.prefetch([SuiteSpec(WORKLOAD, params=fresh.params)])
+        warm = fresh.shard_stats()
+        assert warm["computed"] == 0
+        assert warm["cache_hits"] == len(SCHEME_NAMES)
+
+    def test_plain_context_never_builds_scheduler(self):
+        ctx = ExperimentContext(cache=False)
+        assert ctx.shard_stats() is None

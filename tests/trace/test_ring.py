@@ -1,0 +1,161 @@
+"""Pipelined chunk transport: the shared-memory ring of repro.trace.ring.
+
+The forked producer must hand back *exactly* the stream's chunk sequence
+(possibly re-split at slot capacity — a re-chunking the simulator replays
+bit-identically), propagate producer failures as :class:`TraceError`, and
+detect a producer that dies without reporting.  The replay-level contract
+— ``simulate(stream, pipeline=True)`` bit-equal to the in-process streamed
+replay — is enforced in ``tests/disksim/test_pipeline_replay.py``; these
+tests pin the transport itself.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import stream_trace
+from repro.trace.request import RequestColumns
+from repro.trace.ring import (
+    DEFAULT_SLOT_ROWS,
+    pipeline_available,
+    pipelined_chunks,
+)
+from repro.trace.stream import TraceStream
+from repro.util.errors import TraceError
+
+pytestmark = pytest.mark.skipif(
+    not pipeline_available(), reason="requires the fork start method"
+)
+
+
+def _concat(chunks):
+    chunks = [c for c in chunks if len(c)]
+    assert chunks, "stream produced no requests"
+    names = chunks[0].array_names
+    return RequestColumns(
+        np.concatenate([c.nominal_time_s for c in chunks]),
+        np.concatenate([c.array_id for c in chunks]),
+        np.concatenate([c.offset for c in chunks]),
+        np.concatenate([c.nbytes for c in chunks]),
+        np.concatenate([c.is_write for c in chunks]),
+        np.concatenate([c.nest for c in chunks]),
+        np.concatenate([c.iteration for c in chunks]),
+        array_names=names,
+        validate=False,
+    )
+
+
+def _assert_columns_equal(a: RequestColumns, b: RequestColumns) -> None:
+    assert len(a) == len(b)
+    assert a.array_names == b.array_names
+    for col in (
+        "nominal_time_s", "array_id", "offset", "nbytes",
+        "is_write", "nest", "iteration",
+    ):
+        assert np.array_equal(getattr(a, col), getattr(b, col)), col
+
+
+@pytest.fixture()
+def stream(phase_program, phase_layout):
+    return stream_trace(phase_program, phase_layout, chunk_requests=512)
+
+
+class TestTransport:
+    def test_chunks_bit_identical_to_inline_iteration(self, stream):
+        inline = _concat(stream.iter_chunks())
+        piped = _concat(pipelined_chunks(stream))
+        _assert_columns_equal(piped, inline)
+
+    def test_resplit_at_small_slots_preserves_sequence(self, stream):
+        """Slots smaller than the stream's chunks force mid-chunk splits;
+        the concatenated request sequence must be unchanged."""
+        inline = _concat(stream.iter_chunks())
+        stats: dict = {}
+        piped = _concat(
+            pipelined_chunks(stream, slot_rows=100, stats=stats)
+        )
+        _assert_columns_equal(piped, inline)
+        assert stats["splits"] > 0
+        assert stats["chunks"] > len(list(stream.iter_chunks()))
+
+    def test_stream_stays_reiterable(self, stream):
+        """Each pipelined pass forks a fresh producer over the factory."""
+        first = _concat(pipelined_chunks(stream))
+        second = _concat(pipelined_chunks(stream))
+        _assert_columns_equal(first, second)
+
+    def test_slot_rows_defaults_to_stream_hint(self, stream):
+        stats: dict = {}
+        for _ in pipelined_chunks(stream, stats=stats):
+            pass
+        assert stats["slot_rows"] == stream.chunk_requests == 512
+
+    def test_slot_rows_defaults_without_hint(self, phase_layout):
+        empty = TraceStream("p", phase_layout, 0.0, chunks=lambda: iter(()))
+        stats: dict = {}
+        assert list(pipelined_chunks(empty, stats=stats)) == []
+        assert stats["slot_rows"] == DEFAULT_SLOT_ROWS
+        assert stats["chunks"] == 0
+
+    def test_stats_counters_populated(self, stream):
+        stats: dict = {}
+        n = sum(len(c) for c in pipelined_chunks(stream, stats=stats))
+        assert n == sum(len(c) for c in stream.iter_chunks())
+        assert stats["chunks"] >= 1
+        assert stats["splits"] == 0
+        assert stats["producer_stall_s"] >= 0.0
+        assert stats["consumer_stall_s"] >= 0.0
+        assert stats["queue_depth_samples"] == stats["chunks"]
+        assert stats["slots"] >= 2
+
+
+class TestValidation:
+    def test_rejects_single_slot(self, stream):
+        with pytest.raises(TraceError, match="at least 2 slots"):
+            next(pipelined_chunks(stream, slots=1))
+
+    def test_rejects_nonpositive_slot_rows(self, stream):
+        with pytest.raises(TraceError, match="slot_rows"):
+            next(pipelined_chunks(stream, slot_rows=0))
+
+
+class TestFailurePropagation:
+    def test_producer_exception_reraises_with_traceback(self, phase_layout):
+        def chunks():
+            raise RuntimeError("boom in the chunk factory")
+            yield  # pragma: no cover
+
+        bad = TraceStream("p", phase_layout, 0.0, chunks=chunks)
+        with pytest.raises(TraceError, match="boom in the chunk factory"):
+            list(pipelined_chunks(bad))
+
+    def test_mid_stream_exception_after_good_chunks(self, stream):
+        good = list(stream.iter_chunks())
+
+        def chunks():
+            yield good[0]
+            raise ValueError("stream corrupted at chunk 1")
+
+        bad = TraceStream("p", stream.layout, 0.0, chunks=chunks)
+        it = pipelined_chunks(bad)
+        first = next(it)
+        assert len(first) == len(good[0])
+        with pytest.raises(TraceError, match="stream corrupted at chunk 1"):
+            list(it)
+
+    def test_silent_producer_death_detected(self, phase_layout):
+        def chunks():
+            os._exit(3)
+            yield  # pragma: no cover
+
+        bad = TraceStream("p", phase_layout, 0.0, chunks=chunks)
+        with pytest.raises(TraceError, match="died without reporting"):
+            list(pipelined_chunks(bad))
+
+    def test_abandoned_consumer_tears_down(self, stream):
+        """Dropping the generator mid-stream must terminate the producer
+        and unlink every shared segment (no BufferError, no leak)."""
+        it = pipelined_chunks(stream, slot_rows=64)
+        next(it)
+        it.close()
