@@ -27,6 +27,7 @@ from __future__ import annotations
 from ..disksim.disk import Disk
 from ..disksim.params import DRPMParams
 from ..disksim.powermodel import PowerModel
+from ..disksim.timeline import CAUSE_DRPM_WINDOW
 from ..power.planner import drpm_window_step
 from .base import Controller
 
@@ -94,7 +95,7 @@ class ReactiveDRPM(Controller):
         target = drpm_window_step(prev, mean, disk.rpm, self.drpm)
         if target is None:
             return
-        disk.set_rpm(t_complete, target)
+        disk.set_rpm(t_complete, target, CAUSE_DRPM_WINDOW)
         if target == self.drpm.max_rpm:
             # Reference resets: the next comparison starts from the
             # recovered (full-speed) service level.

@@ -28,6 +28,12 @@ import numpy as np
 
 from ..util.errors import ConfigError, SimulationError
 from .powermodel import PowerModel
+from .timeline import (
+    CAUSE_EXTERNAL,
+    CAUSE_SPINUP_FAULT,
+    CAUSE_STANDBY_WAKE,
+    CAUSE_TPM_AUTO,
+)
 
 __all__ = ["Disk", "DiskStats", "STATE_NAMES", "sequential_sum"]
 
@@ -151,6 +157,7 @@ class Disk:
         "_transition_state",
         "_transition_target_rpm",
         "_transition_to_standby",
+        "_transition_cause",
         "stats",
         "last_request_end_s",
         "last_service_start_s",
@@ -194,6 +201,8 @@ class Disk:
         self._transition_state = ""
         self._transition_target_rpm: int | None = None
         self._transition_to_standby = False
+        #: Decision that started the in-flight transition (timeline tag).
+        self._transition_cause = ""
         self.stats = DiskStats()
         self.last_request_end_s = 0.0
         #: Wall-clock start of the most recent :meth:`serve` (the simulator
@@ -201,7 +210,9 @@ class Disk:
         self.last_service_start_s = 0.0
         #: A power call that arrived while a transition was in flight; it
         #: takes effect the moment the transition completes (latest wins).
-        self._pending_action: tuple[str, int | None] | None = None
+        #: Carries the originating cause so the deferred transition keeps
+        #: its attribution.
+        self._pending_action: tuple[str, int | None, str] | None = None
         self._standby_since_s: float | None = None
         #: Duration of the most recent completed standby period (what the
         #: adaptive-threshold TPM policy learns from).
@@ -231,9 +242,17 @@ class Disk:
         self._seek_s = power_model._seek_time_by_class
 
     # ------------------------------------------------------------------ #
-    def _emit(self, state: str, t0: float, t1: float, power_w: float, rpm: int) -> None:
+    def _emit(
+        self,
+        state: str,
+        t0: float,
+        t1: float,
+        power_w: float,
+        rpm: int,
+        cause: str = "",
+    ) -> None:
         if self.recorder is not None and t1 > t0:
-            self.recorder.record(self.disk_id, state, t0, t1, power_w, rpm)
+            self.recorder.record(self.disk_id, state, t0, t1, power_w, rpm, cause)
 
     # ------------------------------------------------------------------ #
     # Internal transition plumbing
@@ -269,6 +288,7 @@ class Disk:
         state: str,
         target_rpm: int | None = None,
         to_standby: bool = False,
+        cause: str = "",
     ) -> None:
         if self.in_transition:
             raise SimulationError(
@@ -285,6 +305,7 @@ class Disk:
         self._transition_state = state
         self._transition_target_rpm = target_rpm
         self._transition_to_standby = to_standby
+        self._transition_cause = cause
         self.ready_s = max(self.ready_s, self._transition_end_s)
 
     def _complete_transition(self) -> None:
@@ -301,6 +322,7 @@ class Disk:
             end,
             self._transition_power_w,
             self._transition_target_rpm or self.rpm,
+            self._transition_cause,
         )
         self.cursor_s = max(self.cursor_s, end)
         if self._transition_target_rpm is not None:
@@ -311,6 +333,7 @@ class Disk:
         self._transition_end_s = None
         self._transition_target_rpm = None
         self._transition_to_standby = False
+        self._transition_cause = ""
         self.idle_anchor_s = end
         self._auto_armed = True
         if self._spinup_chain:
@@ -320,20 +343,21 @@ class Disk:
             dur, power, fail = self._spinup_chain.pop(0)
             self.stats.num_spin_ups += 1
             self._begin_transition(
-                self.cursor_s, dur, power, "spin_up", to_standby=fail
+                self.cursor_s, dur, power, "spin_up", to_standby=fail,
+                cause=CAUSE_SPINUP_FAULT,
             )
             return
         if self._pending_action is not None:
-            action, rpm = self._pending_action
+            action, rpm, cause = self._pending_action
             self._pending_action = None
             if action == "spin_down" and not self.standby:
-                self._start_spin_down(self.cursor_s)
+                self._start_spin_down(self.cursor_s, cause)
             elif action == "spin_up" and self.standby:
-                self._start_spin_up(self.cursor_s)
+                self._start_spin_up(self.cursor_s, cause)
             elif action == "rpm" and not self.standby:
                 assert rpm is not None
                 if rpm != self.rpm:
-                    self._start_rpm_shift(self.cursor_s, rpm)
+                    self._start_rpm_shift(self.cursor_s, rpm, cause)
 
     def _settle_idle(self, t: float) -> None:
         """Accrue the base (idle/standby) state from the cursor to ``t``,
@@ -402,6 +426,7 @@ class Disk:
                     t,
                     self._transition_power_w,
                     self._transition_target_rpm or self.rpm,
+                    self._transition_cause,
                 )
                 self.cursor_s = max(self.cursor_s, t)
                 return
@@ -414,7 +439,7 @@ class Disk:
                 if fire_at < t - self._EPS:
                     self._settle_idle(max(self.cursor_s, fire_at))
                     self._auto_armed = False
-                    self._start_spin_down(self.cursor_s)
+                    self._start_spin_down(self.cursor_s, CAUSE_TPM_AUTO)
                     continue
             self._settle_idle(t)
             return
@@ -422,13 +447,13 @@ class Disk:
     # ------------------------------------------------------------------ #
     # TPM actions
     # ------------------------------------------------------------------ #
-    def _start_spin_down(self, t: float) -> None:
+    def _start_spin_down(self, t: float, cause: str = CAUSE_EXTERNAL) -> None:
         d = self.pm.spin_down_time_s
         p = self.pm.spin_down_energy_j / d if d > 0 else 0.0
         self.stats.num_spin_downs += 1
-        self._begin_transition(t, d, p, "spin_down", to_standby=True)
+        self._begin_transition(t, d, p, "spin_down", to_standby=True, cause=cause)
 
-    def _start_spin_up(self, t: float) -> None:
+    def _start_spin_up(self, t: float, cause: str = CAUSE_EXTERNAL) -> None:
         d = self.pm.spin_up_time_s
         p = self.pm.spin_up_energy_j / d if d > 0 else 0.0
         self.stats.num_spin_ups += 1
@@ -441,7 +466,7 @@ class Disk:
             self._spinup_seq = seq + 1
             fault = self.faults.spinup_fault(self.disk_id, seq)
         if fault is None:
-            self._begin_transition(t, d, p, "spin_up", to_standby=False)
+            self._begin_transition(t, d, p, "spin_up", to_standby=False, cause=cause)
             return
         # Faulty event: a bounded chain of attempts at datasheet power, each
         # stretched by its jitter; the first ``failures`` attempts end back
@@ -454,9 +479,9 @@ class Disk:
         ]
         dur0, p0, fail0 = chain[0]
         self._spinup_chain = chain[1:]
-        self._begin_transition(t, dur0, p0, "spin_up", to_standby=fail0)
+        self._begin_transition(t, dur0, p0, "spin_up", to_standby=fail0, cause=cause)
 
-    def spin_down(self, t: float) -> None:
+    def spin_down(self, t: float, cause: str = CAUSE_EXTERNAL) -> None:
         """Explicit ``spin_down(disk)`` call (paper §3).
 
         If a transition is in flight the call is deferred until it
@@ -464,26 +489,28 @@ class Disk:
         """
         self.advance(t)
         if self.in_transition:
-            self._pending_action = ("spin_down", None)
+            self._pending_action = ("spin_down", None, cause)
             return
         if self.standby:
             return
-        self._start_spin_down(max(t, self.cursor_s))
+        self._start_spin_down(max(t, self.cursor_s), cause)
 
-    def spin_up(self, t: float) -> None:
+    def spin_up(self, t: float, cause: str = CAUSE_EXTERNAL) -> None:
         """Explicit ``spin_up(disk)`` pre-activation call (paper §3)."""
         self.advance(t)
         if self.in_transition:
-            self._pending_action = ("spin_up", None)
+            self._pending_action = ("spin_up", None, cause)
             return
         if not self.standby:
             return
-        self._start_spin_up(max(t, self.cursor_s))
+        self._start_spin_up(max(t, self.cursor_s), cause)
 
     # ------------------------------------------------------------------ #
     # DRPM action
     # ------------------------------------------------------------------ #
-    def _start_rpm_shift(self, t: float, target_rpm: int) -> None:
+    def _start_rpm_shift(
+        self, t: float, target_rpm: int, cause: str = CAUSE_EXTERNAL
+    ) -> None:
         pair = self.pm._transition_by_pair.get((self.rpm, target_rpm))
         if pair is not None:
             dur, power = pair
@@ -491,15 +518,17 @@ class Disk:
             dur = self.pm.transition_time_s(self.rpm, target_rpm)
             power = self.pm.transition_power_w(self.rpm, target_rpm)
         self.stats.num_rpm_shifts += 1
-        self._begin_transition(t, dur, power, "rpm_shift", target_rpm=target_rpm)
+        self._begin_transition(
+            t, dur, power, "rpm_shift", target_rpm=target_rpm, cause=cause
+        )
 
-    def set_rpm(self, t: float, target_rpm: int) -> None:
+    def set_rpm(self, t: float, target_rpm: int, cause: str = CAUSE_EXTERNAL) -> None:
         """Explicit ``set_RPM(level, disk)`` call (paper §3)."""
         if target_rpm not in self.pm.level_index:
             raise SimulationError(f"unsupported RPM level {target_rpm}")
         self.advance(t)
         if self.in_transition:
-            self._pending_action = ("rpm", target_rpm)
+            self._pending_action = ("rpm", target_rpm, cause)
             return
         if self.standby:
             raise SimulationError(
@@ -507,7 +536,7 @@ class Disk:
             )
         if self.rpm == target_rpm:
             return
-        self._start_rpm_shift(max(t, self.cursor_s), target_rpm)
+        self._start_rpm_shift(max(t, self.cursor_s), target_rpm, cause)
 
     # ------------------------------------------------------------------ #
     # Request service
@@ -527,7 +556,9 @@ class Disk:
         stats.energy_j["active"] += svc * active_power
         end = start + svc
         if self.recorder is not None:
-            self.recorder.record(self.disk_id, "active", start, end, active_power, rpm)
+            self.recorder.record(
+                self.disk_id, "active", start, end, active_power, rpm, "", svc
+            )
         self.last_service_start_s = start
         self.cursor_s = end
         self.ready_s = end
@@ -640,7 +671,7 @@ class Disk:
                 start = max(start, self.cursor_s)
                 continue
             if self.standby:
-                self._start_spin_up(max(start, self.cursor_s))
+                self._start_spin_up(max(start, self.cursor_s), CAUSE_STANDBY_WAKE)
                 continue
             break
         start = max(start, self.ready_s, self.cursor_s)

@@ -160,6 +160,7 @@ class DiskArray:
         "disks",
         "stats",
         "bank",
+        "recorder",
         "auto_active",
         "_row_list",
         "_level_row",
@@ -187,6 +188,7 @@ class DiskArray:
         "tr_si",
         "tr_rpm",
         "tr_sb",
+        "tr_cause",
         "standby",
         "sb_since",
         "last_sb",
@@ -211,6 +213,9 @@ class DiskArray:
         self.disks = disks
         self.stats = [d.stats for d in disks]
         self.bank = StatsBank(num_disks)
+        #: Shared timeline recorder (None when observation is off); the
+        #: mirror emits the same segments ``Disk._emit`` would.
+        self.recorder = disks[0].recorder if disks else None
         self.auto_active = auto_active
         self._row_list = row_list
         self._level_row = level_row
@@ -241,6 +246,7 @@ class DiskArray:
         self.tr_si = [0] * num_disks
         self.tr_rpm: list = [None] * num_disks
         self.tr_sb = [False] * num_disks
+        self.tr_cause = [""] * num_disks
         # Standby / spin-up bookkeeping image.
         self.standby = [False] * num_disks
         self.sb_since: list = [None] * num_disks
@@ -290,6 +296,7 @@ class DiskArray:
             self.tr_si[d] = STATE_INDEX[disk._transition_state]
             self.tr_rpm[d] = disk._transition_target_rpm
             self.tr_sb[d] = disk._transition_to_standby
+            self.tr_cause[d] = disk._transition_cause
         sb = disk.standby
         self.standby[d] = sb
         self.sb_since[d] = disk._standby_since_s
@@ -330,9 +337,11 @@ class DiskArray:
             disk._transition_state = STATE_NAMES[self.tr_si[d]]
             disk._transition_target_rpm = self.tr_rpm[d]
             disk._transition_to_standby = self.tr_sb[d]
+            disk._transition_cause = self.tr_cause[d]
         else:
             disk._transition_target_rpm = None
             disk._transition_to_standby = False
+            disk._transition_cause = ""
         if served:
             s.num_requests += served
             s.bytes_served += self.b_served[d]
@@ -393,6 +402,17 @@ class DiskArray:
         bank = self.bank
         bank.time[si][d] += dur
         bank.energy[si][d] += dur * self.tr_pw[d]
+        rec = self.recorder
+        if rec is not None and end > c:
+            rec.record(
+                self.disks[d].disk_id,
+                STATE_NAMES[si],
+                c,
+                end,
+                self.tr_pw[d],
+                self.tr_rpm[d] or self.rpm[d],
+                self.tr_cause[d],
+            )
         if end > c:
             self.cur[d] = end
         tgt = self.tr_rpm[d]
@@ -419,6 +439,7 @@ class DiskArray:
         state: str,
         tgt,
         to_sb: bool,
+        cause: str = "",
     ) -> None:
         """Mirror of ``Disk._begin_transition`` (the caller has already
         settled the base state to ``start``, and no transition is in
@@ -429,6 +450,7 @@ class DiskArray:
         self.tr_si[d] = STATE_INDEX[state]
         self.tr_rpm[d] = tgt
         self.tr_sb[d] = to_sb
+        self.tr_cause[d] = cause
         if e > self.rdy[d]:
             self.rdy[d] = e
         self.dirty[d] = True

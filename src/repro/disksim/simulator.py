@@ -38,8 +38,12 @@ Two replay engines produce bit-identical results:
   auto-spindown falling due, a standby wake, a spin-up fault, or queued
   deferred work (see :attr:`Disk.mirrorable`) — and each escape is
   counted by reason in :func:`replay_coverage` and the
-  ``sim.fallbacks{reason}`` metric.  Timeline recording still replays
-  stepwise.
+  ``sim.fallbacks{reason}`` metric.  Timeline recording is
+  engine-independent: the mirror edits and scalar accruals emit the same
+  :class:`~repro.disksim.timeline.Segment` stream the stepwise recorder
+  produces, bit for bit (recording disables only the fused vector
+  accounting and the columnar directive batch, which have no
+  per-interval structure to emit).
 
 Within a quiescent segment the synchronous model guarantees every
 sub-request starts exactly at its issue time: the app blocks until the
@@ -59,7 +63,6 @@ from __future__ import annotations
 
 import logging
 import time
-import warnings
 from bisect import bisect_left, bisect_right
 from itertools import repeat
 from math import inf
@@ -75,7 +78,11 @@ from ..trace.request import RequestColumns, Trace
 from ..trace.stream import TraceStream
 from ..util.errors import SimulationError
 from .disk import Disk, sequential_sum
-from .diskarray import STATE_INDEX, DiskArray
+from .diskarray import STATE_INDEX, STATE_NAMES, DiskArray
+from .timeline import (
+    CAUSE_DRPM_WINDOW,
+    CAUSE_EXTERNAL,
+)
 from .params import SubsystemParams
 from .powermodel import PowerModel
 from .replay import ReplayPlan
@@ -242,21 +249,28 @@ def replay_coverage() -> dict[str, int]:
     return dict(REPLAY_COVERAGE)
 
 
-def apply_call(disk: Disk, t: float, call: PowerCall) -> None:
+def apply_call(
+    disk: Disk, t: float, call: PowerCall, cause: str = CAUSE_EXTERNAL
+) -> None:
     """Apply one explicit power-management call to a disk at time ``t``.
 
     ``SET_RPM`` is checked first: the DRPM-family schemes issue an order of
     magnitude more calls than the TPM family, and all of theirs are RPM
     shifts.
+
+    ``cause`` tags the resulting transition segment in an attached
+    timeline recorder (``"directive:<k>"``/``"oracle:<k>"`` from the
+    replay engines, :data:`~repro.disksim.timeline.CAUSE_EXTERNAL` for
+    direct callers); it is ignored when no recorder is attached.
     """
     action = call.action
     if action is PowerAction.SET_RPM:
         assert call.rpm is not None
-        disk.set_rpm(t, call.rpm)
+        disk.set_rpm(t, call.rpm, cause)
     elif action is PowerAction.SPIN_DOWN:
-        disk.spin_down(t)
+        disk.spin_down(t, cause)
     elif action is PowerAction.SPIN_UP:
-        disk.spin_up(t)
+        disk.spin_up(t, cause)
     else:  # pragma: no cover - enum is exhaustive
         raise SimulationError(f"unknown power action {call.action}")
 
@@ -515,9 +529,15 @@ def _replay_stepwise(
     delay0: float = 0.0,
     timed_idx0: int = 0,
     finalize: bool = True,
+    miss_keys: frozenset | None = None,
 ) -> tuple[int, float, float, int]:
     """Reference per-sub-request replay; returns
     ``(num_directives, end_time, delay, timed_idx)``.
+
+    ``miss_keys`` (only supplied when a timeline recorder is attached)
+    holds the ``(disk, realized_time)`` keys of fault-plan deadline
+    misses so slipped directives are attributed ``deadline-miss:*``
+    instead of ``directive:*``/``oracle:*``.
 
     ``delay0``/``timed_idx0`` seed the closed-loop delay and the oracle
     directive cursor for chunked (streamed) replays, where one logical
@@ -558,6 +578,22 @@ def _replay_stepwise(
     append_response = responses.append
     on_complete = ctrl.on_request_complete if reactive else None
     track = collect_busy_intervals or reactive
+    # Cause tagging is recorder-only: the closures exist iff a timeline
+    # recorder is attached, so the unobserved replay pays one ``is None``
+    # test per directive (requests never check).
+    _dcause = _tcause = None
+    if disks and disks[0].recorder is not None:
+        miss = miss_keys or frozenset()
+
+        def _dcause(k, record):
+            if (record.call.disk, record.nominal_time_s) in miss:
+                return f"deadline-miss:{k}"
+            return f"directive:{k}"
+
+        def _tcause(k, td):
+            if (td.call.disk, td.time_s) in miss:
+                return f"deadline-miss:oracle:{k}"
+            return f"oracle:{k}"
     delay = delay0
     num_directives = 0
     num_timed = len(timed)
@@ -581,7 +617,12 @@ def _replay_stepwise(
                     raise SimulationError(
                         f"directive targets unknown disk {call.disk}"
                     )
-                apply_call(disks[call.disk], t_exec, call)
+                if _dcause is not None:
+                    apply_call(
+                        disks[call.disk], t_exec, call, _dcause(di - 1, rec)
+                    )
+                else:
+                    apply_call(disks[call.disk], t_exec, call)
                 num_directives += 1
                 if call.overhead_cycles:
                     delay += call.overhead_cycles / _CLOCK_HZ
@@ -636,7 +677,13 @@ def _replay_stepwise(
                     # disk is available.
                     t_td = td.time_s
                     c = target.cursor_s
-                    apply_call(target, t_td if t_td > c else c, td.call)
+                    if _tcause is not None:
+                        apply_call(
+                            target, t_td if t_td > c else c, td.call,
+                            _tcause(timed_idx, td),
+                        )
+                    else:
+                        apply_call(target, t_td if t_td > c else c, td.call)
                     num_directives += 1
                     timed_idx += 1
                 call = rec.call
@@ -644,7 +691,12 @@ def _replay_stepwise(
                     raise SimulationError(
                         f"directive targets unknown disk {call.disk}"
                     )
-                apply_call(disks[call.disk], t_exec, call)
+                if _dcause is not None:
+                    apply_call(
+                        disks[call.disk], t_exec, call, _dcause(di - 1, rec)
+                    )
+                else:
+                    apply_call(disks[call.disk], t_exec, call)
                 num_directives += 1
                 if call.overhead_cycles:
                     delay += call.overhead_cycles / _CLOCK_HZ
@@ -656,7 +708,13 @@ def _replay_stepwise(
                 target = disks[td.call.disk]
                 t_td = td.time_s
                 c = target.cursor_s
-                apply_call(target, t_td if t_td > c else c, td.call)
+                if _tcause is not None:
+                    apply_call(
+                        target, t_td if t_td > c else c, td.call,
+                        _tcause(timed_idx, td),
+                    )
+                else:
+                    apply_call(target, t_td if t_td > c else c, td.call)
                 num_directives += 1
                 timed_idx += 1
 
@@ -695,7 +753,13 @@ def _replay_stepwise(
         while timed_idx < num_timed and timed_times[timed_idx] <= end_time:
             td = timed[timed_idx]
             target = disks[td.call.disk]
-            apply_call(target, max(td.time_s, target.cursor_s), td.call)
+            if _tcause is not None:
+                apply_call(
+                    target, max(td.time_s, target.cursor_s), td.call,
+                    _tcause(timed_idx, td),
+                )
+            else:
+                apply_call(target, max(td.time_s, target.cursor_s), td.call)
             num_directives += 1
             timed_idx += 1
     return num_directives, end_time, delay, timed_idx
@@ -721,6 +785,7 @@ def _run_vector(
     collect: bool,
     rpm_counts: dict[int, int] | None = None,
     drpm_fold: tuple[list[float], list[int], np.ndarray] | None = None,
+    recorder=None,
 ) -> tuple[int, float, bool]:
     """Batch-replay requests ``[ri, we)``; all touched disks are plain.
 
@@ -854,7 +919,7 @@ def _run_vector(
         wdisk[worder], np.arange(plan.num_disks + 1, dtype=np.int64)
     )
     wsubs = sk - s0
-    if drpm_fold is None and not collect:
+    if drpm_fold is None and not collect and recorder is None:
         # Fused accounting: every per-disk accrual is a sequential left
         # fold over that disk's window subs.  Pack all five folds x all
         # touched disks into one zero-padded matrix — one row per (disk,
@@ -1008,6 +1073,26 @@ def _run_vector(
             acc[1:] = (comp_d - td) / top_np[idx_abs]
             dw_sum[d_id] = float(np.add.accumulate(acc)[-1])
             dw_cnt[d_id] += int(idx.size)
+        if recorder is not None:
+            # Interleaved idle/active segments, exactly the stepwise
+            # order: ``_settle_idle`` (cursor -> issue) then the service
+            # segment with the *table* service time as its explicit
+            # duration — ``(td + svc) - td`` differs from ``svc`` in the
+            # last bits, and the stats fold above accrued ``svc``.
+            rec_fn = recorder.record
+            d_id = disk.disk_id
+            iw = tables.idle_w[rpm]
+            aw = tables.active_w[rpm]
+            td_l = td.tolist()
+            comp_l = comp_d.tolist()
+            prev_l = prev.tolist()
+            svc_l = svc_d.tolist()
+            for i in range(len(td_l)):
+                t_i = td_l[i]
+                rec_fn(d_id, "idle", prev_l[i], t_i, iw, rpm)
+                rec_fn(
+                    d_id, "active", t_i, comp_l[i], aw, rpm, "", svc_l[i]
+                )
         disk.last_service_start_s = float(td[-1])
         end = float(comp_d[-1])
         disk.cursor_s = end
@@ -1049,6 +1134,7 @@ def _replay_segmented(
     timed_idx0: int = 0,
     finalize: bool = True,
     drpm_carry: tuple[list, list, list] | None = None,
+    miss_keys: frozenset | None = None,
 ) -> tuple[int, float, float, int]:
     """Segmented replay; returns
     ``(num_directives, end_time, delay, timed_idx)``.
@@ -1118,6 +1204,28 @@ def _replay_segmented(
     num_timed = len(timed)
     serves = [d.serve for d in disks]
     append_response = responses.append
+    # Timeline recording: segments are emitted straight from the mirror
+    # edits and scalar accruals below, bit-identical to the stepwise
+    # recorder's output.  ``recording`` is hoisted so the unobserved
+    # replay pays one local-bool test at the few emission sites that sit
+    # on warm paths (the tight loop and the fused vector path stay
+    # recorder-free — recording routes around both).
+    tl_rec = disks[0].recorder if disks else None
+    recording = tl_rec is not None
+    rec_seg = tl_rec.record if recording else None
+    _dcause = _tcause = None
+    if recording:
+        miss = miss_keys or frozenset()
+
+        def _dcause(kk, record):
+            if (record.call.disk, record.nominal_time_s) in miss:
+                return f"deadline-miss:{kk}"
+            return f"directive:{kk}"
+
+        def _tcause(kk, td):
+            if (td.call.disk, td.time_s) in miss:
+                return f"deadline-miss:oracle:{kk}"
+            return f"oracle:{kk}"
     cov = REPLAY_COVERAGE
     # High-frequency coverage counters accumulate in locals (one dict op
     # per replay instead of several per window/directive).
@@ -1224,7 +1332,9 @@ def _replay_segmented(
         if auto_active or drpm_on
         else VECTOR_MIN_SUBREQUESTS
     )
-    general_loop = auto_active or drpm_on
+    # Recording routes every scalar sub through the general loop: the
+    # tight loop stays free of per-sub recorder branches.
+    general_loop = auto_active or drpm_on or recording
 
     # Persistent columnar mirror: a :class:`DiskArray` holds flat per-disk
     # columns of the serve state (cursors, RPM-level rows, the residency
@@ -1265,6 +1375,8 @@ def _replay_segmented(
     m_tr_pw = da.tr_pw
     m_tr_si = da.tr_si
     m_tr_sb = da.tr_sb
+    m_tr_rpm = da.tr_rpm
+    m_tr_cause = da.tr_cause
     m_standby = da.standby
     m_sb_since = da.sb_since
     m_last_sb = da.last_sb
@@ -1288,12 +1400,13 @@ def _replay_segmented(
     # not), so the vector:scalar segment ratio measures real coverage.
     seg_open = False
 
-    def _edit(dk: int, t: float, call, clamp: bool) -> None:
+    def _edit(dk: int, t: float, call, clamp: bool, cause: str = "") -> None:
         """Apply one power call as a mirror boundary edit at time ``t``.
 
         ``clamp`` marks timed (oracle) calls, which take effect at the
         disk's cursor if replay drifted past the planned instant; trace
-        calls keep ``advance``'s backwards-time guard instead.
+        calls keep ``advance``'s backwards-time guard instead.  ``cause``
+        tags the transition segment when a timeline recorder is attached.
         """
         nonlocal dir_edits_c
         bit = 1 << dk
@@ -1305,7 +1418,7 @@ def _replay_segmented(
                 c = target.cursor_s
                 if c > t:
                     t = c
-            apply_call(target, t, call)
+            apply_call(target, t, call, cause or CAUSE_EXTERNAL)
             _refresh(dk)
             return
         action = call.action
@@ -1354,7 +1467,7 @@ def _replay_segmented(
                 c2 = target.cursor_s
                 if c2 > t:
                     t = c2
-            apply_call(target, t, call)
+            apply_call(target, t, call, cause or CAUSE_EXTERNAL)
             _refresh(dk)
             return
         # Settle the base state from the mirror cursor to the call instant
@@ -1364,11 +1477,15 @@ def _replay_segmented(
             if m_standby[dk]:
                 m_sb_t[dk] += dur
                 m_sb_e[dk] += dur * standby_w
+                if recording:
+                    rec_seg(dk, "standby", c, t, standby_w, 0)
             else:
                 m_idle_t[dk] += dur
                 m_idle_e[dk] += dur * m_iw[dk]
                 m_brpm[dk] += dur
                 m_anyidle[dk] = True
+                if recording:
+                    rec_seg(dk, "idle", c, t, m_iw[dk], m_rpm[dk])
             m_cur[dk] = t
         m_dirty[dk] = True
         if is_rpm:
@@ -1380,11 +1497,14 @@ def _replay_segmented(
             if tgt != m_rpm[dk]:
                 dur_pw = tr_pair[(m_rpm[dk], tgt)]
                 stats_l[dk].num_rpm_shifts += 1
-                _begin(dk, t, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False)
+                _begin(
+                    dk, t, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False,
+                    cause,
+                )
         elif action is PowerAction.SPIN_DOWN:
             if not m_standby[dk]:
                 stats_l[dk].num_spin_downs += 1
-                _begin(dk, t, sd_dur, sd_pw, "spin_down", None, True)
+                _begin(dk, t, sd_dur, sd_pw, "spin_down", None, True, cause)
         else:  # SPIN_UP
             if m_standby[dk]:
                 stats_l[dk].num_spin_ups += 1
@@ -1394,7 +1514,7 @@ def _replay_segmented(
                     m_sb_since[dk] = None
                 if fault_plan is not None:
                     m_spseq[dk] += 1
-                _begin(dk, t, su_dur, su_pw, "spin_up", None, False)
+                _begin(dk, t, su_dur, su_pw, "spin_up", None, False, cause)
         dir_edits_c += 1
 
     def _sub_slow(d: int, j: int, t: float, errs: int) -> float:
@@ -1424,6 +1544,11 @@ def _replay_segmented(
                 si = m_tr_si[d]
                 bank_time[si][d] += dur
                 bank_energy[si][d] += dur * m_tr_pw[d]
+                if recording and ta > c:
+                    rec_seg(
+                        d, STATE_NAMES[si], c, ta, m_tr_pw[d],
+                        m_tr_rpm[d] or m_rpm[d], m_tr_cause[d],
+                    )
                 if ta > c:
                     m_cur[d] = ta
                 _complete_m(d)
@@ -1438,6 +1563,8 @@ def _replay_segmented(
                     m_idle_e[d] += dur * m_iw[d]
                     m_brpm[d] += dur
                     m_anyidle[d] = True
+                    if recording:
+                        rec_seg(d, "idle", c2, ta, m_iw[d], m_rpm[d])
                     m_cur[d] = ta
             start = t
             r = m_rdy[d]
@@ -1450,6 +1577,8 @@ def _replay_segmented(
             done = start + svc
             m_act_t[d] += svc
             m_act_e[d] += svc * m_aw[d]
+            if recording:
+                rec_seg(d, "active", start, done, m_aw[d], m_rpm[d], "", svc)
             m_cur[d] = done
             m_rdy[d] = done
             m_anchor[d] = done
@@ -1508,9 +1637,12 @@ def _replay_segmented(
         if m_valid[d]:
             dur_pw = tr_pair[(rcur, tgt)]
             stats_l[d].num_rpm_shifts += 1
-            _begin(d, t_fire, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False)
+            _begin(
+                d, t_fire, dur_pw[0], dur_pw[1], "rpm_shift", tgt, False,
+                CAUSE_DRPM_WINDOW,
+            )
         else:
-            disks[d].set_rpm(t_fire, tgt)
+            disks[d].set_rpm(t_fire, tgt, CAUSE_DRPM_WINDOW)
             _refresh(d)
         if tgt == drpm_max:
             dw_prev[d] = None
@@ -1539,7 +1671,10 @@ def _replay_segmented(
                 # with this replay), as mirror boundary edits.
                 while timed_idx < num_timed and timed[timed_idx].time_s <= t0:
                     td = timed[timed_idx]
-                    _edit(td.call.disk, td.time_s, td.call, True)
+                    _edit(
+                        td.call.disk, td.time_s, td.call, True,
+                        _tcause(timed_idx, td) if recording else "",
+                    )
                     num_directives += 1
                     timed_idx += 1
                 hot = da.hot
@@ -1694,7 +1829,7 @@ def _replay_segmented(
                     ri, delay, bailed = _run_vector(
                         plan, geom, tables, disks, req_times, ri, wv, delay,
                         vnext, pc0, hot, responses, busy, collect,
-                        rpm_counts, drpm_fold,
+                        rpm_counts, drpm_fold, tl_rec,
                     )
                     if ri > ri0:
                         seg_open = False
@@ -1816,6 +1951,8 @@ def _replay_segmented(
                             m_idle_e[d] += dur * m_iw[d]
                             m_brpm[d] += dur
                             m_anyidle[d] = True
+                            if recording:
+                                rec_seg(d, "idle", c, t, m_iw[d], m_rpm[d])
                             start = t
                         else:
                             start = c
@@ -1826,6 +1963,11 @@ def _replay_segmented(
                         done = start + svc
                         m_act_t[d] += svc
                         m_act_e[d] += svc * m_aw[d]
+                        if recording:
+                            rec_seg(
+                                d, "active", start, done, m_aw[d], m_rpm[d],
+                                "", svc,
+                            )
                         m_cur[d] = done
                         m_rdy[d] = done
                         m_anchor[d] = done
@@ -1915,6 +2057,7 @@ def _replay_segmented(
             if (
                 num_timed == 0
                 and not mirrors_stale
+                and not recording
                 and num_dir_records - di >= DIRECTIVE_BATCH_MIN
             ):
                 limit = req_times[ri] if ri < n else inf
@@ -1992,7 +2135,10 @@ def _replay_segmented(
             t_exec = rec.nominal_time_s + delay
             while timed_idx < num_timed and timed[timed_idx].time_s <= t_exec:
                 td = timed[timed_idx]
-                _edit(td.call.disk, td.time_s, td.call, True)
+                _edit(
+                    td.call.disk, td.time_s, td.call, True,
+                    _tcause(timed_idx, td) if recording else "",
+                )
                 num_directives += 1
                 timed_idx += 1
             tnext = timed[timed_idx].time_s if timed_idx < num_timed else inf
@@ -2001,7 +2147,10 @@ def _replay_segmented(
             call = rec.call
             if not 0 <= call.disk < num_disks:
                 raise SimulationError(f"directive targets unknown disk {call.disk}")
-            _edit(call.disk, t_exec, call, False)
+            _edit(
+                call.disk, t_exec, call, False,
+                _dcause(di - 1, rec) if recording else "",
+            )
             hot = da.hot
             num_directives += 1
             if call.overhead_cycles:
@@ -2018,7 +2167,13 @@ def _replay_segmented(
         while timed_idx < num_timed and timed[timed_idx].time_s <= end_time:
             td = timed[timed_idx]
             target = disks[td.call.disk]
-            apply_call(target, max(td.time_s, target.cursor_s), td.call)
+            if recording:
+                apply_call(
+                    target, max(td.time_s, target.cursor_s), td.call,
+                    _tcause(timed_idx, td),
+                )
+            else:
+                apply_call(target, max(td.time_s, target.cursor_s), td.call)
             num_directives += 1
             timed_idx += 1
     cov["segments_scalar"] += seg_scalar_c
@@ -2062,7 +2217,9 @@ def simulate(
 
     ``recorder`` optionally attaches a
     :class:`~repro.disksim.timeline.TimelineRecorder` to every disk,
-    capturing the full per-disk state timeline for inspection/rendering.
+    capturing the full per-disk state timeline (with per-transition
+    decision causes) for inspection/rendering; the captured segments are
+    bit-identical whichever engine replays.
 
     ``plan`` optionally supplies the precomputed per-request fan-out
     (:class:`~repro.disksim.replay.ReplayPlan`); the suite engine builds one
@@ -2071,18 +2228,15 @@ def simulate(
     ``engine`` selects the replay path: ``"stepwise"`` forces the
     per-sub-request reference state machine, ``"segmented"`` the batched
     engine, and ``"auto"`` (default) picks segmented whenever it applies.
-    Both engines are bit-identical; ``"segmented"`` itself falls back to
-    stepwise replay for reactive controllers (whose per-completion hooks
-    observe every sub-request) and when a timeline recorder is attached
-    (the batched kernels do not emit per-interval events).  Reactive
-    TPM's autonomous spin-down is handled in-kernel via an exact per-serve
-    due check.
+    Both engines are bit-identical — including any attached timeline
+    recorder's segment stream; ``"segmented"`` itself falls back to
+    stepwise replay only for reactive controllers (whose per-completion
+    hooks observe every sub-request).  Reactive TPM's autonomous
+    spin-down is handled in-kernel via an exact per-serve due check.
 
     No fallback is silent: each forced routing is logged (DEBUG) with its
     reason and recorded in ``SimulationResult.engine`` /
-    ``SimulationResult.engine_forced``; explicitly requesting
-    ``engine="segmented"`` with a recorder attached additionally raises a
-    :class:`RuntimeWarning` because the request cannot be honoured.
+    ``SimulationResult.engine_forced``.
     """
     if isinstance(trace, TraceStream):
         return _simulate_stream(
@@ -2145,6 +2299,14 @@ def simulate(
             directives, top_rpm
         )
         timed, timed_misses = fault_plan.delay_timed_directives(timed, top_rpm)
+    # Deadline-miss attribution keys: slipped directives are rebuilt with
+    # their *realized* time, so ``(disk, realized_time)`` identifies them
+    # in either engine.  Only materialized when a recorder is attached.
+    miss_keys: frozenset | None = None
+    if recorder is not None and (trace_misses or timed_misses):
+        miss_keys = frozenset(
+            (d_id, t1) for d_id, _t0, t1 in (*trace_misses, *timed_misses)
+        )
 
     responses: list[float] = []
     busy: list[list[BusyInterval]] = [[] for _ in disks]
@@ -2169,33 +2331,6 @@ def simulate(
                 "%s/%s: reactive controller %s observes per-sub-request "
                 "completions; routing to the stepwise reference loop",
                 trace.program_name, ctrl.name, type(ctrl).__name__,
-            )
-    if segmented and recorder is not None:
-        segmented = False
-        forced = "timeline-recorder"
-        if engine == "segmented":
-            # The caller explicitly asked for the batched engine *and*
-            # attached a timeline recorder — the two are incompatible
-            # (batch kernels do not emit per-interval events), so the
-            # request cannot be honoured.  Warn loudly rather than
-            # silently substituting the reference loop.
-            warnings.warn(
-                "engine='segmented' is incompatible with a timeline "
-                "recorder; falling back to the stepwise reference engine "
-                "(recorded in SimulationResult.engine_forced)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            logger.warning(
-                "%s/%s: explicit engine='segmented' overridden by "
-                "timeline recorder; replaying stepwise",
-                trace.program_name, ctrl.name,
-            )
-        else:
-            logger.debug(
-                "%s/%s: timeline recorder attached; batch kernels emit "
-                "no per-interval events, replaying stepwise",
-                trace.program_name, ctrl.name,
             )
     if (
         segmented
@@ -2237,7 +2372,7 @@ def simulate(
             num_directives, end_time, _, _ = _replay_segmented(
                 trace, plan, disks, pm, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
-                drpm_kernel,
+                drpm_kernel, miss_keys=miss_keys,
             )
         else:
             REPLAY_COVERAGE["replays_stepwise"] += 1
@@ -2245,6 +2380,7 @@ def simulate(
             num_directives, end_time, _, _ = _replay_stepwise(
                 trace, plan, disks, ctrl, reactive, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
+                miss_keys=miss_keys,
             )
         sp.set(directives=num_directives)
 
@@ -2557,6 +2693,13 @@ def _simulate_stream(
             num_directives += nd
             num_requests += n_chunk
             num_chunks += 1
+            if observing:
+                # Live-telemetry feed: a ProgressReporter samples these
+                # between chunks (requests replayed so far, chunk count,
+                # simulated-time watermark) to derive req/s and ETA.
+                _metrics.inc("progress.requests", n_chunk)
+                _metrics.inc("progress.chunks")
+                _metrics.set_gauge("progress.sim_time_s", round(end_time, 6))
             # Break the plan <-> _PlanGeometry reference cycle so the
             # chunk's plan, geometry lists, and service tables are freed
             # by refcounting the moment ``plan_c`` rebinds.  Left to the
@@ -2588,6 +2731,11 @@ def _simulate_stream(
                         reason=key[9:].replace("_", "-"),
                     )
         _metrics.inc("sim.requests", num_requests)
+        # Retire the live-telemetry count: ``progress.requests`` minus
+        # ``progress.requests_done`` is the streamed in-flight backlog, so
+        # a reporter's (completed + in-flight) total never double-counts a
+        # finished streamed replay against ``sim.requests``.
+        _metrics.inc("progress.requests_done", num_requests)
         _metrics.inc("sim.directives", num_directives)
         if rpm_counts:
             for rpm, count in rpm_counts.items():

@@ -18,8 +18,12 @@ set of simulations; completed suite runs additionally persist under
 Observability (:mod:`repro.obs`) is off by default.  ``--obs`` (or
 ``REPRO_OBS=1``) records spans and metrics and writes a run manifest;
 ``--trace-out PATH`` additionally exports the span timeline as Chrome
-trace-event JSON (loadable in Perfetto / ``chrome://tracing``) and implies
-``--obs``.  ``-v``/``-vv`` raise the ``repro`` logger to INFO/DEBUG on
+trace-event JSON (loadable in Perfetto / ``chrome://tracing``) — including
+per-disk power-state timeline tracks from a representative replay, whose
+decision-attribution ledger (conservation-verified) lands in the run
+manifest — and implies ``--obs``.  ``--progress [SECS]`` streams live
+progress lines (requests replayed, req/s, ring occupancy, shard status,
+ETA) to stderr.  ``-v``/``-vv`` raise the ``repro`` logger to INFO/DEBUG on
 stderr.  Reports always go to **stdout**; every diagnostic line (cache
 summary, manifest path) goes to **stderr**, keeping rendered artifacts
 byte-stable under any flag combination.
@@ -207,6 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(Perfetto-loadable); implies --obs",
     )
     parser.add_argument(
+        "--progress",
+        nargs="?",
+        const=2.0,
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="stream live progress lines to stderr every SECS seconds "
+        "(default 2): requests replayed, req/s, ring occupancy, shard "
+        "status, ETA; implies --obs",
+    )
+    parser.add_argument(
         "--manifest-out",
         default=None,
         metavar="PATH",
@@ -230,7 +245,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
 
-    observing = args.obs or args.trace_out is not None or obs.env_requests_obs()
+    observing = (
+        args.obs
+        or args.trace_out is not None
+        or args.progress is not None
+        or obs.env_requests_obs()
+    )
     if observing:
         obs.enable()
 
@@ -254,19 +274,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         jobs=args.jobs, cache=cache, faults=faults, shard=args.shard
     )
 
+    reporter = None
+    if args.progress is not None:
+        reporter = obs.ProgressReporter(interval_s=args.progress).start()
+
     phases: list[dict] = []
     t_run0 = time.perf_counter()
-    for exp_id in ids:
-        t0 = time.perf_counter()
-        with obs.span("experiment", id=exp_id):
-            reports = run_experiment(exp_id, ctx)
-        phases.append(
-            {"name": exp_id, "wall_s": round(time.perf_counter() - t0, 6)}
-        )
-        logger.info("%s rendered in %.2fs", exp_id, phases[-1]["wall_s"])
-        for rep in reports:
-            print(rep.render())
-            print()
+    try:
+        for exp_id in ids:
+            t0 = time.perf_counter()
+            with obs.span("experiment", id=exp_id):
+                reports = run_experiment(exp_id, ctx)
+            phases.append(
+                {"name": exp_id, "wall_s": round(time.perf_counter() - t0, 6)}
+            )
+            logger.info("%s rendered in %.2fs", exp_id, phases[-1]["wall_s"])
+            for rep in reports:
+                print(rep.render())
+                print()
+    finally:
+        if reporter is not None:
+            reporter.stop()
     total_wall_s = time.perf_counter() - t_run0
 
     # Satellite: surface the persistent cache's hit/miss stats.  One line,
@@ -274,10 +302,102 @@ def main(argv: Sequence[str] | None = None) -> int:
     cache_stats = ctx.cache_stats()
     if cache_stats is not None:
         print(ctx.result_cache.summary(), file=sys.stderr)
+    _print_engine_counters(ctx)
 
     if observing:
         _write_obs_artifacts(args, ids, ctx, phases, total_wall_s, cache_stats)
     return 0
+
+
+def _print_engine_counters(ctx: ExperimentContext) -> None:
+    """Satellite: one stderr line each for the shard scheduler and the
+    streamed-pipeline counters, next to the cache hit/miss summary.
+
+    Shard stats come off the scheduler object (available without
+    ``--obs``); pipeline counters only exist in the metrics registry, so
+    that line appears when observability recorded a pipelined replay.
+    """
+    shard_stats = ctx.shard_stats()
+    if shard_stats is not None and shard_stats.get("runs"):
+        print(
+            "shard scheduler: {runs} runs, {requested} requested, "
+            "{deduped} deduped, {cache_hits} cache hits, "
+            "{computed} computed".format(**shard_stats),
+            file=sys.stderr,
+        )
+    replays = obs.metrics.counter("pipeline.replays")
+    if replays:
+        chunks = obs.metrics.counter("pipeline.chunks")
+        samples = obs.metrics.counter("pipeline.queue_depth_samples")
+        depth = (
+            obs.metrics.counter("pipeline.queue_depth_sum") / samples
+            if samples
+            else 0.0
+        )
+        print(
+            f"pipeline: {replays:.0f} streamed replays, {chunks:.0f} chunks, "
+            f"ring depth {depth:.1f}, stalls "
+            f"{obs.metrics.counter('pipeline.producer_stall_s'):.2f}s prod / "
+            f"{obs.metrics.counter('pipeline.consumer_stall_s'):.2f}s cons",
+            file=sys.stderr,
+        )
+
+
+def _timeline_artifacts(ctx: ExperimentContext) -> tuple[list[dict], dict]:
+    """One representative replay with the timeline recorder attached.
+
+    Runs the first Table 2 workload under the paper's compiler-directed
+    DRPM scheme (base replay -> measured timing -> power-call planning ->
+    directive replay) on the run's parameters/fault regime, builds the
+    decision-attribution ledger, and *verifies the conservation invariant
+    at generation time* (ledger energy == DiskStats energy to the bit) so
+    an exported artifact is never silently inconsistent.  Returns
+    (chrome-trace events, ledger dict) for the ``--trace-out`` file and
+    the run manifest.
+    """
+    import numpy as np
+
+    from ..analysis.cycles import compute_timing, measured_timing
+    from ..controllers.compiler_directed import CompilerDirected
+    from ..disksim.simulator import simulate
+    from ..disksim.timeline import AttributionLedger, TimelineRecorder
+    from ..layout.files import default_layout
+    from ..obs.export import timeline_events
+    from ..power.insertion import plan_power_calls
+    from ..trace.generator import directives_at_positions, generate_trace
+    from ..workloads import WORKLOAD_NAMES, build_workload
+
+    name = WORKLOAD_NAMES[0]
+    wl = build_workload(name)
+    params = ctx.params
+    layout = default_layout(wl.program.arrays, num_disks=params.num_disks)
+    trace = generate_trace(wl.program, layout, wl.trace_options)
+    base = simulate(trace, params, faults=ctx.faults)
+    meas = measured_timing(
+        wl.program,
+        np.array([r.nest for r in trace.requests]),
+        np.array(base.request_responses),
+    )
+    plan = plan_power_calls(
+        wl.program, layout, params, "drpm",
+        estimation=wl.estimation, measured=meas,
+    )
+    rec = TimelineRecorder()
+    result = simulate(
+        trace.with_directives(
+            directives_at_positions(plan.placements, compute_timing(wl.program))
+        ),
+        params,
+        CompilerDirected("drpm"),
+        recorder=rec,
+        faults=ctx.faults,
+    )
+    rec.verify()
+    ledger = AttributionLedger.from_recorder(rec, params.disk.power_idle_w)
+    ledger.verify_against(rec, result)
+    events = timeline_events(rec, program=name, scheme="CMDRPM")
+    info = {"workload": name, "scheme": "CMDRPM", "engine": result.engine}
+    return events, {**info, "ledger": ledger.to_dict(rollup_families=True)}
 
 
 def _write_obs_artifacts(
@@ -301,6 +421,23 @@ def _write_obs_artifacts(
     shard_stats = ctx.shard_stats()
     if shard_stats is not None:
         extra["shard"] = shard_stats
+
+    timeline_extra: list[dict] = []
+    if args.trace_out is not None:
+        try:
+            timeline_extra, attribution = _timeline_artifacts(ctx)
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            logger.warning("timeline artifact generation failed: %s", exc)
+        else:
+            extra["attribution"] = attribution
+            print(
+                "attribution ledger ({workload}/{scheme}, {engine}): "
+                "{n} causes, conservation verified".format(
+                    n=len(attribution["ledger"]["causes"]), **attribution
+                ),
+                file=sys.stderr,
+            )
+
     manifest = build_manifest(
         command="repro-experiments",
         config=config,
@@ -323,10 +460,16 @@ def _write_obs_artifacts(
                 args.trace_out,
                 recorder,
                 metadata={"command": "repro-experiments", "experiments": ids},
+                extra_events=timeline_extra,
             )
             print(
-                f"span timeline ({len(recorder.spans)} spans): "
-                f"{args.trace_out}",
+                f"span timeline ({len(recorder.spans)} spans"
+                + (
+                    f", {len(timeline_extra)} disk-timeline events"
+                    if timeline_extra
+                    else ""
+                )
+                + f"): {args.trace_out}",
                 file=sys.stderr,
             )
 

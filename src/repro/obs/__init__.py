@@ -32,6 +32,7 @@ from typing import Any
 
 from .metrics import REGISTRY as metrics
 from .metrics import Histogram, MetricsRegistry, metric_key
+from .progress import ProgressReporter
 from .recorder import (
     NULL_RECORDER,
     NULL_SPAN,
@@ -51,6 +52,7 @@ __all__ = [
     "set_recorder",
     "metrics",
     "MetricsRegistry",
+    "ProgressReporter",
     "Histogram",
     "metric_key",
     "NullRecorder",

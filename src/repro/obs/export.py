@@ -29,17 +29,112 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "timeline_events",
+    "TIMELINE_PID",
 ]
 
 _CATEGORY = "repro"
+
+#: Synthetic process id for the per-disk power-state timeline tracks —
+#: far above any real pid range the span recorder emits, so the disk
+#: tracks group separately from the host-process flame chart.
+TIMELINE_PID = 1_000_000
+
+
+def timeline_events(
+    rec,
+    program: str = "",
+    scheme: str = "",
+    pid: int = TIMELINE_PID,
+) -> list[dict]:
+    """Trace events for a :class:`~repro.disksim.timeline.TimelineRecorder`.
+
+    One async track per disk (``"b"``/``"e"`` pairs — one async slice per
+    power-state segment, with the decision ``cause`` and RPM in ``args``)
+    plus one ``power_w`` counter track per disk, both on the synthetic
+    timeline process so Perfetto renders disks as their own track group.
+    Timestamps are *simulated* seconds converted to microseconds.
+    """
+    label = " ".join(x for x in (program, scheme) if x)
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "name": f"disk power states ({label})" if label
+                else "disk power states"
+            },
+        }
+    ]
+    for disk in rec.disks:
+        tid = disk + 1
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"disk {disk}"},
+            }
+        )
+        for i, seg in enumerate(rec.segments(disk)):
+            ts = seg.start_s * 1e6
+            te = seg.end_s * 1e6
+            aid = f"d{disk}s{i}"
+            events.append(
+                {
+                    "name": seg.state,
+                    "cat": "repro.timeline",
+                    "ph": "b",
+                    "id": aid,
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "cause": seg.cause,
+                        "rpm": seg.rpm,
+                        "power_w": seg.power_w,
+                        "duration_s": seg.duration_s,
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": seg.state,
+                    "cat": "repro.timeline",
+                    "ph": "e",
+                    "id": aid,
+                    "ts": te,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+            events.append(
+                {
+                    "name": f"disk {disk} power_w",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"power_w": seg.power_w},
+                }
+            )
+    return events
 
 
 def to_chrome_trace(
     recorder: SpanRecorder,
     metadata: Mapping[str, Any] | None = None,
     process_name: str = "repro",
+    extra_events: list[dict] | None = None,
 ) -> dict:
-    """Build the trace-event JSON object for one recorder's spans."""
+    """Build the trace-event JSON object for one recorder's spans.
+
+    ``extra_events`` (e.g. :func:`timeline_events`) are appended verbatim
+    after the span/instant events.
+    """
     events: list[dict] = []
     seen_tracks: set[tuple[int, int]] = set()
     for span in recorder.spans:
@@ -85,7 +180,7 @@ def to_chrome_trace(
             }
         )
     out = {
-        "traceEvents": meta_events + events,
+        "traceEvents": meta_events + events + list(extra_events or ()),
         "displayTimeUnit": "ms",
     }
     if metadata:
@@ -97,10 +192,14 @@ def write_chrome_trace(
     path: str | Path,
     recorder: SpanRecorder,
     metadata: Mapping[str, Any] | None = None,
+    extra_events: list[dict] | None = None,
 ) -> Path:
     """Serialize the recorder to ``path``; returns the written path."""
     path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(recorder, metadata)) + "\n")
+    path.write_text(
+        json.dumps(to_chrome_trace(recorder, metadata, extra_events=extra_events))
+        + "\n"
+    )
     return path
 
 
@@ -125,8 +224,10 @@ def validate_chrome_trace(obj: Any) -> list[str]:
     Returns a list of human-readable problems (empty == valid).  Enforced:
     top-level ``traceEvents`` list; every complete (``X``) event carries
     numeric ``ts``/``dur`` (microseconds) and integer ``pid``/``tid``;
-    instant (``i``) events carry ``ts`` and a scope; nothing but known
-    phase codes appears.
+    instant (``i``) events carry ``ts`` and a scope; async (``b``/``e``)
+    events carry the (``cat``, ``id``, ``name``) triple the viewers pair
+    them by; counters (``C``) carry args; nothing but known phase codes
+    appears.
     """
     problems: list[str] = []
     if not isinstance(obj, dict) or "traceEvents" not in obj:
@@ -140,7 +241,7 @@ def validate_chrome_trace(obj: Any) -> list[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "i", "I", "M", "B", "E", "C"):
+        if ph not in ("X", "i", "I", "M", "B", "E", "C", "b", "e"):
             problems.append(f"{where}: unknown phase {ph!r}")
             continue
         if ph == "X":
@@ -161,6 +262,25 @@ def validate_chrome_trace(obj: Any) -> list[str]:
                 problems.append(f"{where}: instant event needs numeric ts")
             if ev.get("s") not in ("t", "p", "g", None):
                 problems.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        elif ph in ("b", "e"):
+            # Async begin/end pairs (the per-disk timeline tracks): the
+            # viewers match them by (cat, id, name), so all three plus a
+            # numeric timestamp and integer track ids are required.
+            for key in ("name", "cat", "id"):
+                if key not in ev:
+                    problems.append(f"{where}: async event missing {key!r}")
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: async event needs numeric ts")
+            for key in ("pid", "tid"):
+                if not isinstance(ev.get(key), int):
+                    problems.append(f"{where}: {key} must be an integer")
+        elif ph == "C":
+            if "name" not in ev:
+                problems.append(f"{where}: counter event missing name")
+            if not isinstance(ev.get("ts"), (int, float)):
+                problems.append(f"{where}: counter event needs numeric ts")
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: counter event needs args values")
         elif ph == "M":
             if "name" not in ev:
                 problems.append(f"{where}: metadata event missing name")

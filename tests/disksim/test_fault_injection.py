@@ -165,6 +165,8 @@ def test_serve_detects_wedged_transition_queue(power_model, monkeypatch):
     disk = Disk(0, power_model)
     disk.spin_down(0.0)
     disk.advance(power_model.spin_down_time_s + 1.0)
-    monkeypatch.setattr(disk.__class__, "_start_spin_up", lambda self, t: None)
+    monkeypatch.setattr(
+        disk.__class__, "_start_spin_up", lambda self, t, cause="": None
+    )
     with pytest.raises(SimulationError, match="stalled"):
         disk.serve(disk.cursor_s + 1.0, 4096)

@@ -95,7 +95,7 @@ def test_csv_round_numbers(params):
     rec, _ = _run(p)
     csv = timeline_to_csv(rec)
     lines = csv.strip().splitlines()
-    assert lines[0] == "disk,state,start_s,end_s,power_w,rpm"
+    assert lines[0] == "disk,state,start_s,end_s,power_w,rpm,cause"
     assert len(lines) > 4
     first = lines[1].split(",")
     assert first[0] == "0"

@@ -1,10 +1,11 @@
-"""Engine routing is never silent: result metadata, warnings, metrics.
+"""Engine routing is never silent: result metadata and metrics.
 
 ``simulate`` records the engine it actually ran (``SimulationResult.engine``)
-and why an auto/requested choice was overridden (``engine_forced``); an
-explicit ``engine="segmented"`` that cannot be honoured raises a
-``RuntimeWarning``.  Both fields are ``compare=False`` so result equality —
-the contract the cache and the equivalence suite rely on — is unaffected.
+and why an auto/requested choice was overridden (``engine_forced``).  Both
+fields are ``compare=False`` so result equality — the contract the cache and
+the equivalence suite rely on — is unaffected.  Timeline recording is
+engine-independent, so a recorder never forces a routing (the old
+``timeline-recorder`` reason and its ``RuntimeWarning`` are gone).
 """
 
 from __future__ import annotations
@@ -82,21 +83,32 @@ def test_reactive_drpm_runs_segmented(p):
     assert res.engine_forced == ""
 
 
-def test_recorder_with_auto_engine_falls_back_quietly(p):
+def test_recorder_no_longer_forces_an_engine(p):
+    # Deprecation shim for the old recorder->stepwise forcing: timelines
+    # are engine-independent now, so a recorder neither reroutes the
+    # replay nor warns, and the stale ``timeline-recorder`` forced reason
+    # is gone.
     with warnings.catch_warnings():
         warnings.simplefilter("error")  # any warning would fail the test
-        res = simulate(_trace(), p, recorder=TimelineRecorder())
-    assert res.engine == "stepwise"
-    assert res.engine_forced == "timeline-recorder"
+        rec = TimelineRecorder()
+        res = simulate(_trace(), p, recorder=rec)
+    assert res.engine == "segmented"
+    assert res.engine_forced == ""
+    assert rec.disks  # and the segmented replay actually recorded
 
 
-def test_recorder_with_explicit_segmented_warns(p):
-    with pytest.warns(RuntimeWarning, match="timeline recorder"):
-        res = simulate(
-            _trace(), p, recorder=TimelineRecorder(), engine="segmented"
-        )
-    assert res.engine == "stepwise"
-    assert res.engine_forced == "timeline-recorder"
+def test_recorder_with_explicit_segmented_is_honoured(p):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        rec = TimelineRecorder()
+        res = simulate(_trace(), p, recorder=rec, engine="segmented")
+    assert res.engine == "segmented"
+    assert res.engine_forced == ""
+    ref = TimelineRecorder()
+    simulate(_trace(), p, recorder=ref, engine="stepwise")
+    assert {d: rec.segments(d) for d in rec.disks} == {
+        d: ref.segments(d) for d in ref.disks
+    }
 
 
 def test_engine_metadata_does_not_break_result_equality(p):
@@ -111,9 +123,11 @@ def test_fallbacks_counted_when_observing(p):
     simulate(_trace(), p, recorder=TimelineRecorder())
     simulate(_trace(), p, AdaptiveTPM(0.5))
     simulate(_trace(), p)
-    assert obs.metrics.counter("sim.fallbacks", reason="timeline-recorder") == 1
+    # A recorder no longer forces an engine, so the only fallback here is
+    # the reactive controller's; the recorder run counts as segmented.
+    assert obs.metrics.counter("sim.fallbacks", reason="timeline-recorder") == 0
     assert obs.metrics.counter("sim.fallbacks", reason="reactive-controller") == 1
-    assert obs.metrics.counter("sim.replays", engine="segmented", scheme="Base") == 1
+    assert obs.metrics.counter("sim.replays", engine="segmented", scheme="Base") == 2
     # per-RPM service counts cover both requests' sub-request fan-out
     snap = obs.metrics.snapshot()["counters"]
     rpm_total = sum(

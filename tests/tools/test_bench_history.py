@@ -1,0 +1,109 @@
+"""bench_history: snapshot appends, platform-scoped regression flags."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+import bench_history  # noqa: E402
+
+
+REPORT = {
+    "schema": 1,
+    "bench": "demo",
+    "machine": {"platform": "x", "python": "3"},
+    "optimized": {"timings_s": {"all_suites": 1.0, "sweeps": 2.0}},
+    "speedup_auto": 2.0,
+    "counts": {"requests": 100},
+}
+
+
+def _write(tmp_path, report, name="BENCH_demo.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return path
+
+
+def test_flatten_skips_metadata_and_keeps_numeric_leaves():
+    flat = bench_history.flatten_metrics(REPORT)
+    assert flat == {
+        "optimized.timings_s.all_suites": 1.0,
+        "optimized.timings_s.sweeps": 2.0,
+        "speedup_auto": 2.0,
+        "counts.requests": 100.0,
+    }
+    assert "schema" not in flat and not any(
+        k.startswith("machine") for k in flat
+    )
+
+
+def test_direction_inference():
+    assert bench_history.metric_direction("speedup_auto") == 1
+    assert bench_history.metric_direction("throughput_mreq") == 1
+    assert bench_history.metric_direction("optimized.timings_s.all") == -1
+    assert bench_history.metric_direction("obs.overhead") == -1
+    assert bench_history.metric_direction("counts.requests") == 0
+
+
+def test_record_appends_and_flags_regressions(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    bench = _write(tmp_path, REPORT)
+    assert bench_history.record(bench, hist, now=1.0) == []
+
+    worse = json.loads(json.dumps(REPORT))
+    worse["optimized"]["timings_s"]["all_suites"] = 1.2  # +20% slower
+    worse["speedup_auto"] = 1.5  # -25% speedup
+    worse["counts"]["requests"] = 999  # directionless: never flagged
+    _write(tmp_path, worse)
+    flags = bench_history.record(bench, hist, now=2.0)
+    assert len(flags) == 2
+    assert any("all_suites" in f and "lower is better" in f for f in flags)
+    assert any("speedup_auto" in f and "higher is better" in f for f in flags)
+
+    records = [json.loads(l) for l in hist.read_text().splitlines()]
+    assert len(records) == 2
+    assert "regressions" not in records[0]
+    assert records[1]["regressions"] == flags
+    assert records[1]["recorded_unix"] == 2.0
+
+
+def test_improvements_and_small_moves_not_flagged(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    bench = _write(tmp_path, REPORT)
+    bench_history.record(bench, hist, now=1.0)
+    better = json.loads(json.dumps(REPORT))
+    better["optimized"]["timings_s"]["all_suites"] = 0.5  # faster: fine
+    better["optimized"]["timings_s"]["sweeps"] = 2.1  # +5%: under threshold
+    better["speedup_auto"] = 4.0  # higher: fine
+    _write(tmp_path, better)
+    assert bench_history.record(bench, hist, now=2.0) == []
+
+
+def test_comparison_scoped_to_same_bench_and_platform(tmp_path):
+    hist = tmp_path / "hist.jsonl"
+    other = json.loads(json.dumps(REPORT))
+    other["optimized"]["timings_s"]["all_suites"] = 0.1
+    bench_a = _write(tmp_path, other, "BENCH_a.json")
+    bench_history.record(bench_a, hist, now=1.0)
+
+    # A much-slower number under a *different* bench name is not compared
+    # against BENCH_a's history.
+    bench_b = _write(tmp_path, REPORT, "BENCH_b.json")
+    assert bench_history.record(bench_b, hist, now=2.0) == []
+
+
+def test_cli_check_mode(tmp_path, capsys):
+    hist = tmp_path / "hist.jsonl"
+    bench = _write(tmp_path, REPORT)
+    assert bench_history.main([str(bench), "--history", str(hist)]) == 0
+    worse = json.loads(json.dumps(REPORT))
+    worse["optimized"]["timings_s"]["all_suites"] = 5.0
+    _write(tmp_path, worse)
+    assert (
+        bench_history.main([str(bench), "--history", str(hist), "--check"])
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out

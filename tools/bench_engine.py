@@ -744,6 +744,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {args.output}")
     for mode, t in current.items():
         print(f"  {mode}: {t:.3f}s")
+
+    # Bench trajectory: every regeneration appends a machine-stamped
+    # snapshot to BENCH_history.jsonl and reports >10% regressions.
+    import bench_history
+
+    for report_path in (args.trace_output, args.sim_output, args.output):
+        for flag in bench_history.record(report_path):
+            print(f"  REGRESSION {Path(report_path).name}: {flag}")
     return 0
 
 

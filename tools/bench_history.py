@@ -1,0 +1,183 @@
+"""Bench trajectory: append BENCH_*.json snapshots to ``BENCH_history.jsonl``.
+
+The committed ``BENCH_*.json`` reports are overwritten on every
+regeneration, so the repo keeps no memory of how the numbers move.  This
+tool gives the benches a trajectory: each regeneration appends one
+machine-stamped JSONL record (flattened numeric metrics + platform) to
+``BENCH_history.jsonl``, and every append is compared against the previous
+record *for the same bench on the same platform* — any metric that moved
+more than 10 % in the bad direction is flagged.
+
+Direction is inferred from the metric name: ``*speedup*`` and
+``*throughput*`` / ``*_per_s`` are better-higher; ``*_s`` (seconds) and
+``*overhead*`` are better-lower; anything else is informational only.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_history.py BENCH_engine.json ...
+    PYTHONPATH=src python tools/bench_history.py --check   # exit 1 on flags
+
+``tools/bench_engine.py`` and ``tools/bench_scale.py`` call
+:func:`record` automatically after rewriting their reports, so running the
+benches is enough to grow the history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = REPO / "BENCH_history.jsonl"
+DEFAULT_BENCHES = (
+    "BENCH_engine.json",
+    "BENCH_trace.json",
+    "BENCH_sim.json",
+    "BENCH_scale.json",
+)
+
+#: Relative move (in the bad direction) that gets flagged as a regression.
+REGRESSION_THRESHOLD = 0.10
+
+_SKIP_TOP = {"schema", "machine", "command", "note"}
+
+
+def flatten_metrics(obj, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value for every numeric leaf of a bench report."""
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not prefix and key in _SKIP_TOP:
+                continue
+            out.update(flatten_metrics(value, f"{prefix}{key}."))
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            out.update(flatten_metrics(value, f"{prefix}{i}."))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix[:-1]] = float(obj)
+    return out
+
+
+def metric_direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    low = name.lower()
+    if "speedup" in low or "throughput" in low or low.endswith("_per_s"):
+        return 1
+    if "overhead" in low:
+        return -1
+    if low.endswith("_s") or "_s." in low or "wall" in low or "time" in low:
+        return -1
+    return 0
+
+
+def compare(prev: dict[str, float], cur: dict[str, float]) -> list[str]:
+    """Regression flags for metrics that moved >10 % the wrong way."""
+    flags: list[str] = []
+    for name, value in sorted(cur.items()):
+        before = prev.get(name)
+        direction = metric_direction(name)
+        if before is None or direction == 0 or before == 0:
+            continue
+        change = (value - before) / abs(before)
+        if direction * change < -REGRESSION_THRESHOLD:
+            flags.append(
+                f"{name}: {before:g} -> {value:g} "
+                f"({change:+.1%}, {'higher' if direction > 0 else 'lower'}"
+                " is better)"
+            )
+    return flags
+
+
+def _load_history(history_path: Path) -> list[dict]:
+    if not history_path.exists():
+        return []
+    records = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def record(
+    bench_path: str | Path,
+    history_path: str | Path = DEFAULT_HISTORY,
+    now: float | None = None,
+) -> list[str]:
+    """Append one snapshot of ``bench_path``; return its regression flags.
+
+    The previous entry used for comparison is the most recent record of
+    the same bench file taken on the same platform string — numbers from
+    a different machine say nothing about a code regression.
+    """
+    bench_path = Path(bench_path)
+    history_path = Path(history_path)
+    report = json.loads(bench_path.read_text())
+    plat = platform.platform()
+    entry = {
+        "recorded_unix": round(now if now is not None else time.time(), 3),
+        "bench": bench_path.name,
+        "machine": {
+            "platform": plat,
+            "python": platform.python_version(),
+        },
+        "metrics": flatten_metrics(report),
+    }
+    prev = None
+    for old in reversed(_load_history(history_path)):
+        if (
+            old.get("bench") == entry["bench"]
+            and old.get("machine", {}).get("platform") == plat
+        ):
+            prev = old
+            break
+    flags = compare(prev["metrics"], entry["metrics"]) if prev else []
+    if flags:
+        entry["regressions"] = flags
+    with history_path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return flags
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "benches",
+        nargs="*",
+        help="BENCH_*.json reports to snapshot (default: all committed ones)",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(DEFAULT_HISTORY),
+        help=f"history file (default: {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any snapshot flags a >10%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    benches = args.benches or [
+        str(REPO / name) for name in DEFAULT_BENCHES if (REPO / name).exists()
+    ]
+    any_flags = False
+    for bench in benches:
+        flags = record(bench, args.history)
+        name = Path(bench).name
+        if flags:
+            any_flags = True
+            print(f"{name}: {len(flags)} regression(s) vs previous snapshot")
+            for flag in flags:
+                print(f"  REGRESSION {flag}")
+        else:
+            print(f"{name}: snapshot appended, no regressions flagged")
+    return 1 if (args.check and any_flags) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

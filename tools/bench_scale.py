@@ -453,6 +453,10 @@ def main(argv: list[str] | None = None) -> int:
 
     grid = write_report(args.output, pipeline=True if args.pipeline else None)
     print(f"wrote {args.output}")
+    import bench_history
+
+    for flag in bench_history.record(args.output):
+        print(f"  REGRESSION {Path(args.output).name}: {flag}")
     bad = [
         c
         for c in grid["cells"]

@@ -16,6 +16,12 @@ obs-smoke job applies to a fresh ``repro-experiments --obs`` run.
 contains complete events with the given names (e.g. ``suite.run``
 ``sim.replay``), which catches an exporter that emits structurally valid
 but empty timelines.
+
+``--require-timeline`` asserts the trace carries the per-disk power-state
+timeline tracks (paired ``b``/``e`` async events plus a power counter
+track per disk, on the synthetic timeline pid).  ``--require-ledger``
+asserts the manifest embeds the decision-attribution ledger and that the
+ledger's cause buckets conserve its reported total energy.
 """
 from __future__ import annotations
 
@@ -55,6 +61,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME",
         help="span names the trace must contain at least once",
     )
+    parser.add_argument(
+        "--require-timeline",
+        action="store_true",
+        help="trace must contain the per-disk power-state timeline tracks",
+    )
+    parser.add_argument(
+        "--require-ledger",
+        action="store_true",
+        help="manifest must embed a conserving decision-attribution ledger",
+    )
     args = parser.parse_args(argv)
     if args.trace is None and args.manifest is None:
         parser.error("nothing to validate: pass --trace and/or --manifest")
@@ -63,6 +79,90 @@ def main(argv: list[str] | None = None) -> int:
     from repro.obs.manifest import validate_manifest
 
     problems: list[str] = []
+
+    def check_timeline_tracks(obj: dict, where: Path) -> list[str]:
+        """Per-disk power-state tracks: paired async events + counters."""
+        from repro.obs.export import TIMELINE_PID
+
+        errs: list[str] = []
+        begins: dict[tuple, int] = {}
+        ends: dict[tuple, int] = {}
+        counters = 0
+        tids = set()
+        for ev in obj.get("traceEvents", ()):
+            if ev.get("pid") != TIMELINE_PID:
+                continue
+            ph = ev.get("ph")
+            if ph == "b":
+                begins[(ev.get("id"), ev.get("name"))] = (
+                    begins.get((ev.get("id"), ev.get("name")), 0) + 1
+                )
+                tids.add(ev.get("tid"))
+            elif ph == "e":
+                ends[(ev.get("id"), ev.get("name"))] = (
+                    ends.get((ev.get("id"), ev.get("name")), 0) + 1
+                )
+            elif ph == "C":
+                counters += 1
+        if not begins:
+            errs.append(f"{where}: no per-disk timeline tracks found")
+            return errs
+        if begins != ends:
+            unpaired = set(begins.items()) ^ set(ends.items())
+            errs.append(
+                f"{where}: {len(unpaired)} unpaired async timeline events"
+            )
+        if not counters:
+            errs.append(f"{where}: timeline has no power counter events")
+        print(
+            f"timeline ok: {where} ({len(tids)} disk tracks, "
+            f"{sum(begins.values())} segments, {counters} power samples)"
+        )
+        return errs
+
+    def check_ledger(obj: dict, where: Path) -> list[str]:
+        """Attribution-ledger schema + conservation inside the manifest."""
+        errs: list[str] = []
+        att = obj.get("attribution")
+        if not isinstance(att, dict):
+            return [f"{where}: manifest has no 'attribution' section"]
+        for key in ("workload", "scheme", "engine", "ledger"):
+            if key not in att:
+                errs.append(f"{where}: attribution missing {key!r}")
+        ledger = att.get("ledger")
+        if not isinstance(ledger, dict):
+            return errs + [f"{where}: attribution.ledger is not an object"]
+        for key in (
+            "full_idle_w", "total_energy_j", "total_saved_j",
+            "causes", "glossary",
+        ):
+            if key not in ledger:
+                errs.append(f"{where}: ledger missing {key!r}")
+        causes = ledger.get("causes", [])
+        fields = (
+            "cause", "transitions", "cost_j",
+            "residency_s", "saved_j", "energy_j",
+        )
+        for i, cause in enumerate(causes):
+            for key in fields:
+                if key not in cause:
+                    errs.append(f"{where}: ledger cause[{i}] missing {key!r}")
+        if not errs and causes:
+            total = ledger["total_energy_j"]
+            bucketed = sum(c["energy_j"] for c in causes)
+            if abs(bucketed - total) > 1e-6 * max(1.0, abs(total)):
+                errs.append(
+                    f"{where}: ledger causes sum to {bucketed!r}, "
+                    f"total_energy_j is {total!r}"
+                )
+        if not errs:
+            print(
+                f"ledger ok: {where} ({att.get('workload')}/"
+                f"{att.get('scheme')}, {len(causes)} causes, "
+                f"{ledger['total_saved_j']:.1f} J saved of "
+                f"{ledger['total_energy_j']:.1f} J)"
+            )
+        return errs
 
     if args.trace is not None:
         path = Path(args.trace)
@@ -82,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
                     f"({len(obj['traceEvents'])} events, "
                     f"{len(names)} distinct span names)"
                 )
+                if args.require_timeline:
+                    problems += check_timeline_tracks(obj, path)
 
     if args.manifest is not None:
         path = Path(args.manifest)
@@ -97,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
                     f"({len(obj['phases'])} phases, "
                     f"{len(counters)} metric counters)"
                 )
+                if args.require_ledger:
+                    problems += check_ledger(obj, path)
 
     for problem in problems:
         print(f"INVALID: {problem}", file=sys.stderr)
