@@ -103,15 +103,25 @@ def suite_fingerprint(program, layout, params, options, estimation, faults=None)
     )
 
 
-def trace_fingerprint(program, layout, options) -> str:
+def trace_fingerprint(program, layout, options, source: str | None = None) -> str:
     """Content hash of one base-trace generation — everything the generated
     request stream depends on: the program IR, the disk layout, the trace
-    options, and the generator's code version."""
+    options, and the generator's code version.
+
+    ``source`` covers traces that were not generated from a program:
+    pass an ingest-source digest
+    (:func:`repro.trace.ingest.ingest_fingerprint` — recorded file bytes
+    plus every normalization parameter) or a synthetic-workload
+    descriptor (:meth:`repro.trace.synth.SynthConfig.describe`), with
+    ``program``/``options`` as ``None``.  A sourced trace hashes the
+    ``source`` field where a generated one hashes ``source:None``, so the
+    two key spaces can never alias."""
     return fingerprint(
         f"trace-generator-version:{TRACE_GENERATOR_VERSION}",
-        program_fingerprint(program),
+        program_fingerprint(program) if program is not None else "program:None",
         repr(layout),
         repr(options),
+        f"source:{source}",
     )
 
 

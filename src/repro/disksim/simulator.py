@@ -530,9 +530,17 @@ def _replay_stepwise(
     timed_idx0: int = 0,
     finalize: bool = True,
     miss_keys: frozenset | None = None,
+    open_loop: bool = False,
 ) -> tuple[int, float, float, int]:
     """Reference per-sub-request replay; returns
     ``(num_directives, end_time, delay, timed_idx)``.
+
+    ``open_loop=True`` freezes the delay at ``delay0``: issue times come
+    straight from the trace (recorded arrival times) instead of the
+    closed-loop compute/IO feedback chain, and neither responses nor
+    directive overheads shift later arrivals.  Queueing at a busy disk is
+    still modeled exactly — :meth:`Disk.serve` starts each sub-request at
+    ``max(arrival, cursor, ready)``.
 
     ``miss_keys`` (only supplied when a timeline recorder is attached)
     holds the ``(disk, realized_time)`` keys of fault-plan deadline
@@ -617,6 +625,13 @@ def _replay_stepwise(
                     raise SimulationError(
                         f"directive targets unknown disk {call.disk}"
                     )
+                if open_loop:
+                    # The frozen delay can leave a directive's executed
+                    # time behind a backlogged disk; it takes effect as
+                    # soon as the disk is available, like a timed call.
+                    c = disks[call.disk].cursor_s
+                    if t_exec < c:
+                        t_exec = c
                 if _dcause is not None:
                     apply_call(
                         disks[call.disk], t_exec, call, _dcause(di - 1, rec)
@@ -624,7 +639,7 @@ def _replay_stepwise(
                 else:
                     apply_call(disks[call.disk], t_exec, call)
                 num_directives += 1
-                if call.overhead_cycles:
+                if call.overhead_cycles and not open_loop:
                     delay += call.overhead_cycles / _CLOCK_HZ
                 continue
 
@@ -656,7 +671,8 @@ def _replay_stepwise(
             ri += 1
             response = completion - t_exec
             append_response(response)
-            delay += response
+            if not open_loop:
+                delay += response
     else:
         while ri < num_requests or di < num_dir_records:
             if di < num_dir_records and (
@@ -691,6 +707,13 @@ def _replay_stepwise(
                     raise SimulationError(
                         f"directive targets unknown disk {call.disk}"
                     )
+                if open_loop:
+                    # The frozen delay can leave a directive's executed
+                    # time behind a backlogged disk; it takes effect as
+                    # soon as the disk is available, like a timed call.
+                    c = disks[call.disk].cursor_s
+                    if t_exec < c:
+                        t_exec = c
                 if _dcause is not None:
                     apply_call(
                         disks[call.disk], t_exec, call, _dcause(di - 1, rec)
@@ -698,7 +721,7 @@ def _replay_stepwise(
                 else:
                     apply_call(disks[call.disk], t_exec, call)
                 num_directives += 1
-                if call.overhead_cycles:
+                if call.overhead_cycles and not open_loop:
                     delay += call.overhead_cycles / _CLOCK_HZ
                 continue
 
@@ -745,7 +768,8 @@ def _replay_stepwise(
             ri += 1
             response = completion - t_exec
             append_response(response)
-            delay += response
+            if not open_loop:
+                delay += response
 
     # Flush oracle directives scheduled after the last record.
     end_time = trace.total_compute_s + delay
@@ -786,6 +810,7 @@ def _run_vector(
     rpm_counts: dict[int, int] | None = None,
     drpm_fold: tuple[list[float], list[int], np.ndarray] | None = None,
     recorder=None,
+    open_loop: bool = False,
 ) -> tuple[int, float, bool]:
     """Batch-replay requests ``[ri, we)``; all touched disks are plain.
 
@@ -842,18 +867,32 @@ def _run_vector(
     tn_win = plan.columns.nominal_time_s[ri:we]
     acc = np.empty(w + 1)
     acc[0] = delay
-    resp = m_win
-    converged = False
-    for _ in range(8):
-        acc[1:] = resp
+    if open_loop:
+        # Open-loop: arrivals come from the trace plus the frozen delay
+        # offset; responses never feed back.  Accumulating exact zeros
+        # keeps ``pre``/``delay`` handling identical to the closed-loop
+        # path, and the overlap guard below still bails any request that
+        # arrives before a previous completion (queueing) to the scalar
+        # kernel, which models it exactly.
+        acc[1:] = 0.0
         pre = np.add.accumulate(acc)
         t_arr = tn_win + pre[:-1]
         comp = t_arr + m_win
-        new_resp = comp - t_arr
-        if np.array_equal(new_resp, resp):
-            converged = True
-            break
-        resp = new_resp
+        resp = comp - t_arr
+        converged = True
+    else:
+        resp = m_win
+        converged = False
+        for _ in range(8):
+            acc[1:] = resp
+            pre = np.add.accumulate(acc)
+            t_arr = tn_win + pre[:-1]
+            comp = t_arr + m_win
+            new_resp = comp - t_arr
+            if np.array_equal(new_resp, resp):
+                converged = True
+                break
+            resp = new_resp
     bailed = False
     if converged:
         pcs = np.empty(w)
@@ -1135,9 +1174,16 @@ def _replay_segmented(
     finalize: bool = True,
     drpm_carry: tuple[list, list, list] | None = None,
     miss_keys: frozenset | None = None,
+    open_loop: bool = False,
 ) -> tuple[int, float, float, int]:
     """Segmented replay; returns
     ``(num_directives, end_time, delay, timed_idx)``.
+
+    ``open_loop=True`` freezes the delay at ``delay0`` exactly as in
+    :func:`_replay_stepwise` — arrivals come from the trace, responses and
+    directive overheads never shift later records, and the vector kernel's
+    overlap guard bails queued-up arrivals to the scalar mirror, which
+    models the queueing exactly.
 
     ``delay0``/``timed_idx0``/``finalize`` support chunked (streamed)
     replays exactly as in :func:`_replay_stepwise`; ``drpm_carry``
@@ -1414,7 +1460,7 @@ def _replay_segmented(
             _refresh(dk)
         if da.exact_mask & bit:
             target = disks[dk]
-            if clamp:
+            if clamp or open_loop:
                 c = target.cursor_s
                 if c > t:
                     t = c
@@ -1427,7 +1473,7 @@ def _replay_segmented(
             raise SimulationError(f"unsupported RPM level {call.rpm}")
         c = m_cur[dk]
         if t < c:
-            if not clamp and t < c - 1e-9:
+            if not clamp and not open_loop and t < c - 1e-9:
                 raise SimulationError(
                     f"disk {dk}: advance to {t} precedes cursor {c}"
                 )
@@ -1829,7 +1875,7 @@ def _replay_segmented(
                     ri, delay, bailed = _run_vector(
                         plan, geom, tables, disks, req_times, ri, wv, delay,
                         vnext, pc0, hot, responses, busy, collect,
-                        rpm_counts, drpm_fold, tl_rec,
+                        rpm_counts, drpm_fold, tl_rec, open_loop,
                     )
                     if ri > ri0:
                         seg_open = False
@@ -2027,7 +2073,8 @@ def _replay_segmented(
                 jlo = jhi
                 resp = comp - t
                 append_response(resp)
-                delay += resp
+                if not open_loop:
+                    delay += resp
                 k += 1
                 if brk:
                     # An auto spin-down fired: return to the driver after
@@ -2090,8 +2137,13 @@ def _replay_segmented(
                     run = directives[di:dj]
                     acc = np.empty(nrun + 1, dtype=np.float64)
                     acc[0] = delay
-                    acc[1:] = [r2.call.overhead_cycles for r2 in run]
-                    acc[1:] /= _CLOCK_HZ
+                    if open_loop:
+                        # Overheads never shift the frozen open-loop delay;
+                        # +0.0 keeps the prefix bit-equal to ``delay``.
+                        acc[1:] = 0.0
+                    else:
+                        acc[1:] = [r2.call.overhead_cycles for r2 in run]
+                        acc[1:] /= _CLOCK_HZ
                     np.add.accumulate(acc, out=acc)
                     accl = acc.tolist()
                     for i in range(nrun):
@@ -2100,7 +2152,7 @@ def _replay_segmented(
                         t = r2.nominal_time_s + accl[i]
                         c = m_cur[dk2]
                         if t < c:
-                            if t < c - 1e-9:
+                            if not open_loop and t < c - 1e-9:
                                 raise SimulationError(
                                     f"disk {dk2}: advance to {t} precedes "
                                     f"cursor {c}"
@@ -2153,7 +2205,7 @@ def _replay_segmented(
             )
             hot = da.hot
             num_directives += 1
-            if call.overhead_cycles:
+            if call.overhead_cycles and not open_loop:
                 delay += call.overhead_cycles / _CLOCK_HZ
         elif ri >= n:
             break
@@ -2196,8 +2248,20 @@ def simulate(
     engine: str = "auto",
     faults=None,
     pipeline: bool = False,
+    open_loop: bool = False,
 ) -> SimulationResult:
     """Replay ``trace`` under ``params`` with an optional controller.
+
+    ``open_loop=True`` issues every request at its recorded trace arrival
+    time instead of the closed-loop compute/IO feedback timeline: the
+    accumulated delay stays zero, responses and directive overheads never
+    shift later arrivals, and a request reaching a busy disk queues behind
+    it (``Disk.serve`` starts service at ``max(arrival, cursor, ready)``).
+    This is the natural semantics for ingested block-I/O traces
+    (``repro.trace.ingest``), whose arrival times were recorded on a real
+    system.  Execution time extends to the last request completion when
+    that outlives the trace's nominal span.  Both engines (and the
+    streamed/pipelined paths) replay open-loop bit-identically.
 
     ``pipeline=True`` (streamed replays only) moves chunk production into
     a forked producer process feeding a bounded shared-memory ring
@@ -2241,7 +2305,7 @@ def simulate(
     if isinstance(trace, TraceStream):
         return _simulate_stream(
             trace, params, controller, collect_busy_intervals, recorder,
-            plan, engine, faults, pipeline,
+            plan, engine, faults, pipeline, open_loop,
         )
     if pipeline:
         raise SimulationError(
@@ -2372,7 +2436,7 @@ def simulate(
             num_directives, end_time, _, _ = _replay_segmented(
                 trace, plan, disks, pm, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
-                drpm_kernel, miss_keys=miss_keys,
+                drpm_kernel, miss_keys=miss_keys, open_loop=open_loop,
             )
         else:
             REPLAY_COVERAGE["replays_stepwise"] += 1
@@ -2380,7 +2444,7 @@ def simulate(
             num_directives, end_time, _, _ = _replay_stepwise(
                 trace, plan, disks, ctrl, reactive, timed, responses, busy,
                 collect_busy_intervals, rpm_counts, directives, fault_plan,
-                miss_keys=miss_keys,
+                miss_keys=miss_keys, open_loop=open_loop,
             )
         sp.set(directives=num_directives)
 
@@ -2446,6 +2510,14 @@ def simulate(
                 if total:
                     _metrics.inc(metric, total, scheme=ctrl.name)
 
+    if open_loop:
+        # With no delay feedback the nominal span can end before the last
+        # queued request drains; execution runs to the later of the two.
+        # ``last_request_end_s`` is engine-invariant (both engines leave
+        # identical disk state), so the extension preserves bit-identity.
+        end_time = max(
+            end_time, max((d.last_request_end_s for d in disks), default=0.0)
+        )
     for disk in disks:
         disk.finalize(end_time)
     # Disk timelines may exceed the app end (e.g. a trailing transition);
@@ -2513,6 +2585,7 @@ def _simulate_stream(
     engine: str,
     faults,
     pipeline: bool = False,
+    open_loop: bool = False,
 ) -> SimulationResult:
     """Replay a :class:`~repro.trace.stream.TraceStream` chunk by chunk.
 
@@ -2681,7 +2754,7 @@ def _simulate_stream(
                     trace_c, plan_c, disks, pm, timed, resp_fold, busy,
                     False, rpm_counts, dslice, None, drpm_kernel,
                     delay0=delay, timed_idx0=timed_idx, finalize=final,
-                    drpm_carry=drpm_carry,
+                    drpm_carry=drpm_carry, open_loop=open_loop,
                 )
             else:
                 REPLAY_COVERAGE["subrequests_stepwise"] += plan_c.num_subrequests
@@ -2689,6 +2762,7 @@ def _simulate_stream(
                     trace_c, plan_c, disks, ctrl, reactive, timed,
                     resp_fold, busy, False, rpm_counts, dslice, None,
                     delay0=delay, timed_idx0=timed_idx, finalize=final,
+                    open_loop=open_loop,
                 )
             num_directives += nd
             num_requests += n_chunk
@@ -2769,6 +2843,12 @@ def _simulate_stream(
                     round(pipe_stats["queue_depth_sum"] / samples, 3),
                 )
 
+    if open_loop:
+        # Same extension as the whole-trace path: run to the last queued
+        # completion when it outlives the nominal span (engine-invariant).
+        end_time = max(
+            end_time, max((d.last_request_end_s for d in disks), default=0.0)
+        )
     for disk in disks:
         disk.finalize(end_time)
     return SimulationResult(

@@ -71,6 +71,7 @@ EXPERIMENT_IDS: tuple[str, ...] = (
     "summary_edp",
     "gap_anatomy",
     "fault_sensitivity",
+    "trace_replay",
 )
 
 #: Default manifest filename when ``--obs`` is on without ``--manifest-out``.
@@ -125,6 +126,10 @@ def run_experiment(exp_id: str, ctx: ExperimentContext) -> list:
         from . import faults as faults_exp
 
         return [faults_exp.run(ctx)]
+    if exp_id == "trace_replay":
+        from . import trace_replay
+
+        return [trace_replay.run_trace_replay(ctx)]
     raise SystemExit(f"unknown experiment {exp_id!r}; choose from {EXPERIMENT_IDS}")
 
 
@@ -199,6 +204,37 @@ def build_parser() -> argparse.ArgumentParser:
         "'severity=X' shorthand; see repro.faults.FaultRates",
     )
     parser.add_argument(
+        "--trace-in",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="recorded block-I/O trace for the trace_replay experiment "
+        "(text or binary, see repro.trace.ingest; repeatable)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("auto", "text", "binary"),
+        default="auto",
+        help="on-disk format of --trace-in files (default: sniff)",
+    )
+    parser.add_argument(
+        "--trace-mapping",
+        choices=("modulo", "range", "lba"),
+        default="modulo",
+        help="trace device -> simulated disk mapping policy for "
+        "--trace-in files (default: modulo)",
+    )
+    parser.add_argument(
+        "--synth",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="synthetic workload for the trace_replay experiment: "
+        "comma-separated key=value knobs, e.g. "
+        "'model=onoff,n=1000000,lba_skew=0.8,seed=7' "
+        "(see repro.trace.synth.SynthConfig; repeatable)",
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help="record spans/metrics (repro.obs) and write a run manifest",
@@ -270,8 +306,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         logger.info("fault regime: %r", faults)
     elif args.fault_seed is not None:
         logger.warning("--fault-seed without --fault-rates has no effect")
+    trace_sources = None
+    if args.trace_in or args.synth:
+        from .trace_replay import TraceSource, parse_synth_spec
+
+        trace_sources = tuple(
+            [
+                TraceSource.from_file(p, args.trace_format, args.trace_mapping)
+                for p in args.trace_in or ()
+            ]
+            + [TraceSource.from_synth(parse_synth_spec(s)) for s in args.synth or ()]
+        )
+        if "trace_replay" not in ids:
+            logger.warning(
+                "--trace-in/--synth only affect the trace_replay experiment"
+            )
     ctx = ExperimentContext(
-        jobs=args.jobs, cache=cache, faults=faults, shard=args.shard
+        jobs=args.jobs, cache=cache, faults=faults, shard=args.shard,
+        trace_sources=trace_sources,
     )
 
     reporter = None
@@ -421,6 +473,12 @@ def _write_obs_artifacts(
     shard_stats = ctx.shard_stats()
     if shard_stats is not None:
         extra["shard"] = shard_stats
+    if "trace_replay" in ids:
+        from .trace_replay import last_manifest_section
+
+        section = last_manifest_section()
+        if section is not None:
+            extra["trace_replay"] = section
 
     timeline_extra: list[dict] = []
     if args.trace_out is not None:

@@ -57,6 +57,9 @@ class ExperimentContext:
     #: before scheduling, and suites reassemble from the shared cache —
     #: bit-identical to serial execution at any worker count.
     shard: bool = False
+    #: Workloads for the ``trace_replay`` suite (``--trace-in``/``--synth``
+    #: on the CLI); ``None`` lets the suite fall back to its defaults.
+    trace_sources: "tuple | None" = None
     _workloads: dict[str, Workload] = field(default_factory=dict)
     _suites: dict[tuple, SchemeSuite] = field(default_factory=dict)
     _analyses: dict[str, tuple] = field(default_factory=dict, repr=False)

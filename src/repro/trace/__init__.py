@@ -1,4 +1,4 @@
-"""Trace generation and trace-file I/O (paper §4.1)."""
+"""Trace generation, ingestion, synthesis, and trace-file I/O (paper §4.1)."""
 
 from .buffercache import BufferCache, filter_occurrences
 from .generator import (
@@ -8,7 +8,22 @@ from .generator import (
     generate_trace,
     generate_trace_reference,
 )
-from .request import DirectiveRecord, IORequest, RequestColumns, Trace
+from .ingest import (
+    IngestScan,
+    device_layout,
+    ingest_fingerprint,
+    ingest_trace,
+    scan_trace,
+    stream_ingest,
+)
+from .request import (
+    UNKNOWN_POSITION,
+    DirectiveRecord,
+    IORequest,
+    RequestColumns,
+    Trace,
+)
+from .synth import SynthConfig, synth_stream, synth_trace
 from .tracefile import format_trace, parse_trace, read_trace, write_trace
 
 __all__ = [
@@ -19,10 +34,20 @@ __all__ = [
     "directives_at_positions",
     "generate_trace",
     "generate_trace_reference",
+    "IngestScan",
+    "device_layout",
+    "ingest_fingerprint",
+    "ingest_trace",
+    "scan_trace",
+    "stream_ingest",
+    "SynthConfig",
+    "synth_stream",
+    "synth_trace",
     "DirectiveRecord",
     "IORequest",
     "RequestColumns",
     "Trace",
+    "UNKNOWN_POSITION",
     "format_trace",
     "parse_trace",
     "read_trace",

@@ -35,11 +35,26 @@ from ..ir.nodes import PowerCall
 from ..layout.files import SubsystemLayout
 from ..util.errors import TraceError
 
-__all__ = ["IORequest", "DirectiveRecord", "RequestColumns", "Trace"]
+__all__ = [
+    "IORequest",
+    "DirectiveRecord",
+    "RequestColumns",
+    "Trace",
+    "UNKNOWN_POSITION",
+]
 
 #: Ordering tolerance: nominal times may regress by at most this much
 #: before a trace is rejected as unordered (float accumulation slack).
 _ORDER_TOL = 1e-12
+
+#: Sentinel for "program position unknown" in the ``nest``/``iteration``
+#: columns.  Requests parsed back from serialized traces (the paper's
+#: four-field text format) and requests ingested from external block-I/O
+#: traces (:mod:`repro.trace.ingest`, :mod:`repro.trace.synth`) carry no
+#: loop-nest provenance, so every reader — object-level parse, streamed
+#: chunked read, and ingest — fills both columns with this one value and
+#: whole-file vs streamed reads round-trip identically.
+UNKNOWN_POSITION = -1
 
 
 @dataclass(frozen=True)
@@ -51,8 +66,8 @@ class IORequest:
     offset: int
     nbytes: int
     is_write: bool
-    nest: int = -1
-    iteration: int = -1
+    nest: int = UNKNOWN_POSITION
+    iteration: int = UNKNOWN_POSITION
 
     def __post_init__(self) -> None:
         if self.nominal_time_s < 0:

@@ -28,7 +28,7 @@ import numpy as np
 from ..layout.files import SubsystemLayout
 from ..util.errors import TraceError
 from ..util.units import SECTOR_BYTES, ms_to_s, s_to_ms
-from .request import IORequest, RequestColumns, Trace
+from .request import IORequest, RequestColumns, Trace, UNKNOWN_POSITION
 
 __all__ = [
     "write_trace",
@@ -133,8 +133,9 @@ def read_trace_chunks(
     requires — rather than :func:`read_trace`'s first-appearance order;
     the resolved per-request fields are identical either way.  The
     ``nest``/``iteration`` columns are not part of the four-field format
-    and read back as the ``-1`` "unknown" sentinel, matching
-    :func:`read_trace`.
+    and read back as :data:`~repro.trace.request.UNKNOWN_POSITION` — the
+    one shared "no provenance" sentinel, matching :func:`read_trace` and
+    the external-trace readers in :mod:`repro.trace.ingest`.
     """
     if chunk_requests <= 0:
         raise TraceError("chunk_requests must be positive")
@@ -155,8 +156,8 @@ def read_trace_chunks(
             offset=np.asarray(offs, dtype=np.int64),
             nbytes=np.asarray(sizes, dtype=np.int64),
             is_write=np.asarray(writes, dtype=bool),
-            nest=np.full(n, -1, dtype=np.int64),
-            iteration=np.full(n, -1, dtype=np.int64),
+            nest=np.full(n, UNKNOWN_POSITION, dtype=np.int64),
+            iteration=np.full(n, UNKNOWN_POSITION, dtype=np.int64),
             array_names=names,
         )
         times.clear(); aids.clear(); offs.clear(); sizes.clear(); writes.clear()

@@ -41,6 +41,8 @@ __all__ = [
     "fault_rates",
     "fault_configs",
     "boundary_adjacent_traces",
+    "ingest_records",
+    "synth_configs",
 ]
 
 
@@ -301,6 +303,73 @@ def boundary_adjacent_traces(draw):
     end = times[-1] + down_s + params.disk.spin_up_time_s + 5.0
     trace = Trace("adjacency", layout, reqs, tuple(records), end)
     return trace, params
+
+
+#: Device-id sets for :func:`ingest_records`.  The sparse sets leave holes
+#: in the device range ((2, 5) doesn't even include device 0), so the
+#: mapping policies and geometry inference see real device gaps.
+_DEVICE_SETS = ((0,), (0, 1, 2, 3), (0, 3, 7), (2, 5))
+
+
+@st.composite
+def ingest_records(draw, min_size: int = 1, max_size: int = 60, ordered: bool = True):
+    """Random *valid* ingest records ``(arrival_s, device, lba, nbytes,
+    is_write)`` for :mod:`repro.trace.ingest`.
+
+    Arrivals are nonnegative finite floats built from accumulated gaps
+    (ties included — gap 0 draws are legal); devices come from a sparse
+    set so inferred geometry has gaps; sizes span single bytes to large
+    multi-stripe requests.  ``ordered=False`` shuffles the arrivals,
+    producing the out-of-order inputs the ``sort=``/strictness tests
+    need — every record stays individually valid.
+    """
+    n = draw(st.integers(min_size, max_size))
+    devices = draw(st.sampled_from(_DEVICE_SETS))
+    gaps = draw(
+        st.lists(
+            st.one_of(st.just(0.0), st.floats(0.0, 2.0, allow_nan=False)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    t = 0.0
+    records = []
+    for g in gaps:
+        t += g
+        records.append(
+            (
+                t,
+                draw(st.sampled_from(devices)),
+                draw(st.integers(0, 1 << 20)),
+                draw(st.sampled_from([1, 512, 4096, 8192, 65536])),
+                draw(st.booleans()),
+            )
+        )
+    if not ordered and n > 1:
+        records = draw(st.permutations(records))
+    return records
+
+
+@st.composite
+def synth_configs(draw, max_requests: int = 2000):
+    """A random valid :class:`repro.trace.synth.SynthConfig`, small enough
+    to materialize whole in differential tests."""
+    from repro.trace.synth import SynthConfig
+
+    return SynthConfig(
+        num_requests=draw(st.integers(1, max_requests)),
+        num_disks=draw(st.sampled_from([1, 4])),
+        model=draw(st.sampled_from(["poisson", "onoff", "pareto"])),
+        rate_hz=draw(st.sampled_from([200.0, 2000.0, 20000.0])),
+        burst_len=draw(st.floats(1.0, 64.0, allow_nan=False)),
+        off_s=draw(st.floats(0.0, 0.5, allow_nan=False)),
+        pareto_alpha=draw(st.floats(1.1, 3.0, allow_nan=False)),
+        read_fraction=draw(st.floats(0.0, 1.0, allow_nan=False)),
+        lba_skew=draw(st.sampled_from([0.0, 0.5, 0.9])),
+        request_bytes=draw(st.sampled_from([4 * KB, 8 * KB])),
+        seed=draw(st.integers(0, 2**31 - 1)),
+        chunk_requests=draw(st.sampled_from([1, 17, 256, 65536])),
+    )
 
 
 @st.composite

@@ -1,0 +1,287 @@
+"""Property and fuzz tests for recorded-trace ingestion.
+
+Three families:
+
+* **round-trips** — random valid records survive
+  serialize → parse → normalize bit for bit, in both on-disk formats and
+  across them (the text format writes ``repr()`` floats precisely so it
+  loses nothing against the binary doubles);
+* **chunked ⇔ whole identity** — any chunking of one file normalizes to
+  the identical column arrays, and out-of-order inputs either raise
+  :class:`TraceError` (strict default) or, under ``sort=True``, match the
+  pre-sorted ingest exactly;
+* **malformed input** — corrupted text lines and randomly mutated binary
+  bytes must *always* surface as :class:`TraceError`: never another
+  exception type, never a silently truncated parse.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from strategies import ingest_records  # noqa: E402
+
+from repro.trace.ingest import (
+    BINARY_MAGIC,
+    ingest_trace,
+    read_records,
+    scan_trace,
+    stream_ingest,
+    write_binary_records,
+    write_text_records,
+)
+from repro.util.errors import TraceError
+
+_SLOW_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_COLUMN_FIELDS = (
+    "nominal_time_s", "array_id", "offset", "nbytes", "is_write",
+    "nest", "iteration",
+)
+
+
+def _write(records, fmt: str, dirpath: Path) -> Path:
+    path = dirpath / ("t.trace" if fmt == "text" else "t.btrace")
+    if fmt == "text":
+        write_text_records(path, records)
+    else:
+        write_binary_records(path, records)
+    return path
+
+
+def _assert_columns_equal(a, b) -> None:
+    assert len(a) == len(b)
+    for f in _COLUMN_FIELDS:
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+    assert a.array_names == b.array_names
+
+
+# --------------------------------------------------------------------- #
+# Round-trips
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(records=ingest_records(), fmt=st.sampled_from(["text", "binary"]))
+def test_serialize_parse_round_trip(records, fmt):
+    """write → read reproduces every record exactly, floats included."""
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, fmt, Path(d))
+        assert list(read_records(path)) == records
+        # Format auto-detection lands on the format we wrote.
+        assert list(read_records(path, fmt=fmt)) == records
+
+
+@_SLOW_SETTINGS
+@given(records=ingest_records())
+def test_text_and_binary_normalize_identically(records):
+    """One record list, both formats: byte-identical columns, identical
+    scans, and a re-serialization of the parsed records is stable."""
+    with tempfile.TemporaryDirectory() as d:
+        tp = _write(records, "text", Path(d))
+        bp = _write(records, "binary", Path(d))
+        ct = ingest_trace(tp, num_disks=4).columns
+        cb = ingest_trace(bp, num_disks=4).columns
+        _assert_columns_equal(ct, cb)
+        assert scan_trace(tp) == scan_trace(bp)
+        # parse → serialize → parse is a fixed point.
+        rt = list(read_records(tp))
+        tp2 = Path(d) / "again.trace"
+        write_text_records(tp2, rt)
+        assert list(read_records(tp2)) == rt
+
+
+@_SLOW_SETTINGS
+@given(
+    records=ingest_records(min_size=2),
+    chunk=st.sampled_from([1, 7, 64, 65536]),
+    fmt=st.sampled_from(["text", "binary"]),
+)
+def test_chunked_ingest_matches_whole(records, chunk, fmt):
+    """Any chunking of one file concatenates to the whole-file columns."""
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, fmt, Path(d))
+        whole = ingest_trace(path, num_disks=4).columns
+        stream = stream_ingest(path, num_disks=4, chunk_requests=chunk)
+        chunks = list(stream.iter_chunks())
+        assert all(len(c) <= chunk for c in chunks)
+        for f in _COLUMN_FIELDS:
+            got = np.concatenate([getattr(c, f) for c in chunks])
+            assert np.array_equal(got, getattr(whole, f)), f
+        # The stream is re-iterable: a second pass yields the same chunks.
+        again = list(stream.iter_chunks())
+        assert len(again) == len(chunks)
+        for c1, c2 in zip(chunks, again):
+            _assert_columns_equal(c1, c2)
+
+
+# --------------------------------------------------------------------- #
+# Ordering: strict by default, sort=True recovers exactly.
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(
+    records=ingest_records(min_size=3, ordered=False),
+    fmt=st.sampled_from(["text", "binary"]),
+)
+def test_out_of_order_strict_raises_and_sort_recovers(records, fmt):
+    arrivals = [r[0] for r in records]
+    is_sorted = all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, fmt, Path(d))
+        if not is_sorted:
+            with pytest.raises(TraceError, match="order"):
+                ingest_trace(path, num_disks=4)
+            # The streamed reader has no sort option — always strict.
+            with pytest.raises(TraceError, match="order"):
+                for _ in stream_ingest(path, num_disks=4).iter_chunks():
+                    pass
+        sorted_dir = Path(d) / "sorted"
+        sorted_dir.mkdir()
+        sorted_path = _write(
+            sorted(records, key=lambda r: r[0]), fmt, sorted_dir
+        )
+        got = ingest_trace(path, num_disks=4, sort=True).columns
+        want = ingest_trace(sorted_path, num_disks=4).columns
+        _assert_columns_equal(got, want)
+
+
+# --------------------------------------------------------------------- #
+# Malformed text: every corruption is a TraceError.
+# --------------------------------------------------------------------- #
+_TEXT_CORRUPTIONS = (
+    lambda f: " ".join(f[:4]),                 # missing kind field
+    lambda f: " ".join(f + ["R"]),             # extra field
+    lambda f: " ".join(["x"] + f[1:]),         # non-numeric arrival
+    lambda f: " ".join(["nan"] + f[1:]),       # non-finite arrival
+    lambda f: " ".join(["inf"] + f[1:]),
+    lambda f: " ".join(["-1.0"] + f[1:]),      # negative arrival
+    lambda f: " ".join([f[0], "-2"] + f[2:]),  # negative device
+    lambda f: " ".join(f[:2] + ["-5"] + f[3:]),    # negative lba
+    lambda f: " ".join(f[:3] + ["0", f[4]]),   # zero-size request
+    lambda f: " ".join(f[:3] + ["-4096", f[4]]),
+    lambda f: " ".join(f[:4] + ["X"]),         # bad kind letter
+    lambda f: " ".join(f[:2] + ["3.5"] + f[3:]),   # fractional lba
+)
+
+
+@_SLOW_SETTINGS
+@given(
+    records=ingest_records(min_size=1, max_size=20),
+    corrupt=st.sampled_from(range(len(_TEXT_CORRUPTIONS))),
+    data=st.data(),
+)
+def test_malformed_text_always_raises(records, corrupt, data):
+    """Corrupting any one line raises TraceError naming that line — it
+    never crashes differently and never silently drops the record."""
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, "text", Path(d))
+        lines = path.read_text().splitlines()
+        # Line 1 is the header comment; pick a record line to corrupt.
+        victim = data.draw(st.integers(1, len(lines) - 1))
+        fields = lines[victim].split()
+        lines[victim] = _TEXT_CORRUPTIONS[corrupt](fields)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match=f"line {victim + 1}"):
+            list(read_records(path))
+        with pytest.raises(TraceError):
+            ingest_trace(path, num_disks=4)
+
+
+# --------------------------------------------------------------------- #
+# Binary fuzz: random byte mutations.
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(records=ingest_records(min_size=1, max_size=30), data=st.data())
+def test_binary_fuzz_never_crashes_or_truncates(records, data):
+    """Random single-byte flips, truncations, and appended garbage either
+    parse to a fully validated record list or raise TraceError — no other
+    exception type, and a successful parse is never shorter than the
+    header's record count."""
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, "binary", Path(d))
+        blob = bytearray(path.read_bytes())
+        op = data.draw(st.sampled_from(["flip", "truncate", "append"]))
+        if op == "flip":
+            i = data.draw(st.integers(0, len(blob) - 1))
+            blob[i] ^= 1 << data.draw(st.integers(0, 7))
+        elif op == "truncate":
+            blob = blob[: data.draw(st.integers(0, len(blob) - 1))]
+        else:
+            blob += bytes(data.draw(st.integers(1, 28)))
+        path.write_bytes(bytes(blob))
+        try:
+            parsed = list(read_records(path, fmt="auto"))
+        except TraceError:
+            return
+        # The mutation happened to keep the file well-formed: every
+        # surviving record passed validation, and the count is exactly
+        # what the (possibly mutated) header promised.
+        count = int.from_bytes(blob[8:16], "little")
+        assert len(parsed) == count
+        for arrival, device, lba, nbytes, is_write in parsed:
+            assert arrival >= 0.0 and np.isfinite(arrival)
+            assert device >= 0 and lba >= 0 and nbytes > 0
+            assert isinstance(is_write, bool)
+
+
+def test_bad_magic_is_a_trace_error(tmp_path):
+    p = tmp_path / "bad.btrace"
+    p.write_bytes(b"NOTMAGIC" + bytes(16))
+    with pytest.raises(TraceError):
+        list(read_records(p, fmt="binary"))
+    # auto-detection falls back to text, whose parse also fails cleanly.
+    with pytest.raises(TraceError):
+        list(read_records(p, fmt="auto"))
+
+
+def test_magic_only_file_is_a_trace_error(tmp_path):
+    p = tmp_path / "empty.btrace"
+    p.write_bytes(BINARY_MAGIC)
+    with pytest.raises(TraceError):
+        list(read_records(p))
+
+
+# --------------------------------------------------------------------- #
+# Geometry validation under explicit parameters.
+# --------------------------------------------------------------------- #
+@_SLOW_SETTINGS
+@given(records=ingest_records(min_size=1, max_size=20))
+def test_lba_overflow_with_explicit_capacity_raises(records):
+    """A device capacity below the trace's max extent is an LBA-overflow
+    TraceError, whole-file and streamed alike."""
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, "text", Path(d))
+        scan = scan_trace(path)
+        too_small = max(512, scan.max_extent_bytes // 2)
+        if too_small >= scan.max_extent_bytes:
+            return  # tiny traces can't be made to overflow
+        with pytest.raises(TraceError):
+            ingest_trace(
+                path, num_disks=4, device_capacity_bytes=too_small
+            )
+        with pytest.raises(TraceError):
+            for _ in stream_ingest(
+                path, num_disks=4, device_capacity_bytes=too_small
+            ).iter_chunks():
+                pass
+
+
+@_SLOW_SETTINGS
+@given(records=ingest_records(min_size=1, max_size=20))
+def test_device_out_of_declared_range_raises(records):
+    """Declaring fewer devices than the trace uses is a TraceError."""
+    max_dev = max(r[1] for r in records)
+    if max_dev == 0:
+        return
+    with tempfile.TemporaryDirectory() as d:
+        path = _write(records, "text", Path(d))
+        with pytest.raises(TraceError):
+            ingest_trace(path, num_disks=4, num_devices=max_dev)

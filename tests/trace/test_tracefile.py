@@ -92,3 +92,55 @@ def test_trace_ordering_enforced():
                 IORequest(1.0, "A", 0, 512, False),
             ),
         )
+
+
+# --------------------------------------------------------------------- #
+# The shared unknown-provenance sentinel.
+# --------------------------------------------------------------------- #
+def test_unknown_position_sentinel_is_unified(tmp_path):
+    """Every source of requests without loop-nest provenance — streamed
+    trace-file reads, ingested recorded traces, synthetic workloads, and
+    bare :class:`IORequest` defaults — uses the one documented
+    :data:`repro.trace.request.UNKNOWN_POSITION` sentinel (regression:
+    these used to hard-code ``-1`` independently)."""
+    import numpy as np
+
+    import repro.trace as trace_pkg
+    from repro.trace.ingest import ingest_trace, write_text_records
+    from repro.trace.request import UNKNOWN_POSITION
+    from repro.trace.synth import SynthConfig, synth_trace
+    from repro.trace.tracefile import read_trace_chunks, stream_trace_file
+
+    assert UNKNOWN_POSITION == -1
+    assert trace_pkg.UNKNOWN_POSITION is UNKNOWN_POSITION
+
+    # Bare IORequest: unknown provenance by default.
+    req = IORequest(0.0, "A", 0, 512, False)
+    assert req.nest == UNKNOWN_POSITION
+    assert req.iteration == UNKNOWN_POSITION
+
+    # Streamed trace-file reads (the four-field format drops provenance).
+    trace = _trace()
+    path = tmp_path / "t.trace"
+    write_trace(trace, path)
+    for cols in read_trace_chunks(path, trace.layout, chunk_requests=64):
+        assert (cols.nest == UNKNOWN_POSITION).all()
+        assert (cols.iteration == UNKNOWN_POSITION).all()
+    stream = stream_trace_file(path, trace.layout, chunk_requests=64)
+    chunk = next(iter(stream.iter_chunks()))
+    assert (chunk.nest == UNKNOWN_POSITION).all()
+
+    # Ingested recorded traces.
+    rec_path = tmp_path / "r.trace"
+    write_text_records(
+        rec_path, [(0.0, 0, 0, 512, False), (1.0, 1, 16, 4096, True)]
+    )
+    cols = ingest_trace(rec_path, num_disks=2).columns
+    assert (cols.nest == UNKNOWN_POSITION).all()
+    assert (cols.iteration == UNKNOWN_POSITION).all()
+    assert cols.nest.dtype == np.int64
+
+    # Synthetic workloads.
+    cols = synth_trace(SynthConfig(num_requests=32, num_disks=2)).columns
+    assert (cols.nest == UNKNOWN_POSITION).all()
+    assert (cols.iteration == UNKNOWN_POSITION).all()

@@ -19,9 +19,10 @@ machine.  Older trees without the parallel/cache engine are detected and
 measured in their only mode (serial, uncached).
 
 ``--smoke`` is the CI quick mode: trace microbench (with bit-identity
-asserted between the two generator paths) plus one serial-uncached suite
-and the per-cell replay parity gate, exiting non-zero when the hot path
-regresses below its required speedup.
+asserted between the two generator paths), the ingest+synth microbench
+(text/binary/streamed column identity asserted), one serial-uncached
+suite, and the per-cell replay parity gate, exiting non-zero when the
+hot path regresses below its required speedup.
 
 ``--check-sim`` runs just the per-cell gate: every (workload, scheme)
 replay is re-measured and the run fails if any cell's ``auto`` engine
@@ -144,6 +145,97 @@ def collect_trace_timings(repeats: int = 3) -> dict:
         "per_workload": per_workload,
         "totals_s": {"seed": round(seed_total, 3), "optimized": round(opt_total, 3)},
         "speedup": round(seed_total / opt_total, 2) if opt_total else None,
+    }
+
+
+def collect_ingest_timings(repeats: int = 3, num_requests: int = 50_000) -> dict:
+    """Time recorded-trace ingestion and the synthetic generator.
+
+    One record set is serialized in both on-disk formats and each is timed
+    through parse → normalize, plus the chunked streaming reader and a
+    same-size ``synth_stream`` pass.  Bit-identity — text vs binary columns,
+    and streamed chunks concatenating to the whole-file ingest — is asserted
+    as a side effect; the smoke mode runs this cell as its ingest gate.
+    """
+    import numpy as np
+
+    from repro.trace.ingest import (
+        ingest_trace,
+        stream_ingest,
+        write_binary_records,
+        write_text_records,
+    )
+    from repro.trace.synth import SynthConfig, synth_stream
+
+    rng = np.random.default_rng(12345)
+    arrivals = np.cumsum(rng.exponential(1.0 / 2000.0, num_requests))
+    devices = rng.integers(0, 8, num_requests)
+    lbas = rng.integers(0, 1 << 20, num_requests) * 8
+    sizes = rng.choice([4096, 8192, 65536], num_requests)
+    writes = rng.random(num_requests) < 0.3
+    records = [
+        (float(a), int(d), int(l), int(s), bool(w))
+        for a, d, l, s, w in zip(arrivals, devices, lbas, sizes, writes)
+    ]
+    fields = (
+        "nominal_time_s", "array_id", "offset", "nbytes", "is_write",
+        "nest", "iteration",
+    )
+    config = SynthConfig(num_requests=num_requests, num_disks=8, model="onoff")
+
+    def consume_synth():
+        for _ in synth_stream(config).iter_chunks():
+            pass
+
+    with tempfile.TemporaryDirectory(prefix=".bench-ingest-") as td:
+        tp = Path(td) / "bench.trace"
+        bp = Path(td) / "bench.btrace"
+        write_text_records(tp, records)
+        write_binary_records(bp, records)
+        ct = ingest_trace(tp, num_disks=8).columns
+        cb = ingest_trace(bp, num_disks=8).columns
+        for f in fields:
+            if not np.array_equal(getattr(ct, f), getattr(cb, f)):
+                raise SystemExit(
+                    f"ingest text/binary identity broken on {f}: bench aborted"
+                )
+
+        def consume_stream():
+            for _ in stream_ingest(
+                bp, num_disks=8, chunk_requests=8192
+            ).iter_chunks():
+                pass
+
+        streamed = stream_ingest(bp, num_disks=8, chunk_requests=8192)
+        for f in fields:
+            got = np.concatenate(
+                [getattr(c, f) for c in streamed.iter_chunks()]
+            )
+            if not np.array_equal(got, getattr(cb, f)):
+                raise SystemExit(
+                    f"streamed ingest identity broken on {f}: bench aborted"
+                )
+        text_s = min(
+            _time_us(lambda: ingest_trace(tp, num_disks=8))
+            for _ in range(repeats)
+        )
+        binary_s = min(
+            _time_us(lambda: ingest_trace(bp, num_disks=8))
+            for _ in range(repeats)
+        )
+        stream_s = min(_time_us(consume_stream) for _ in range(repeats))
+    synth_s = min(_time_us(consume_synth) for _ in range(repeats))
+    return {
+        "num_requests": num_requests,
+        "text_ingest_s": text_s,
+        "binary_ingest_s": binary_s,
+        "binary_stream_s": stream_s,
+        "synth_onoff_s": synth_s,
+        "binary_ingest_per_s": (
+            round(num_requests / binary_s) if binary_s else None
+        ),
+        "synth_per_s": round(num_requests / synth_s) if synth_s else None,
+        "identity": "text == binary == streamed-chunk columns (asserted)",
     }
 
 
@@ -297,6 +389,7 @@ def write_sim_report(path: str | Path, repeats: int = 3) -> dict:
 
 def write_trace_report(path: str | Path, repeats: int = 3) -> dict:
     trace = collect_trace_timings(repeats=repeats)
+    ingest = collect_ingest_timings(repeats=repeats)
     payload = {
         "schema": 1,
         "bench": "serial uncached trace generation wall clock (seconds)",
@@ -312,9 +405,10 @@ def write_trace_report(path: str | Path, repeats: int = 3) -> dict:
         },
         "optimized": {"path": "repro.trace.generator.generate_trace"},
         "results": trace,
+        "ingest": ingest,
     }
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
-    return trace
+    return {"trace": trace, "ingest": ingest}
 
 
 #: Allowed slowdown of the obs-disabled engine vs the committed baseline.
@@ -554,6 +648,13 @@ def run_smoke() -> int:
     for name, row in trace["per_workload"].items():
         print(f"  trace {name}: seed {row['seed_s']:.3f}s -> "
               f"optimized {row['optimized_s']:.3f}s ({row['speedup']}x)")
+    # SystemExits when either ingest identity assertion fails.
+    ingest = collect_ingest_timings(repeats=1, num_requests=20_000)
+    print(f"  ingest+synth ({ingest['num_requests']} requests): "
+          f"text {ingest['text_ingest_s']:.3f}s, "
+          f"binary {ingest['binary_ingest_s']:.3f}s, "
+          f"stream {ingest['binary_stream_s']:.3f}s, "
+          f"synth {ingest['synth_onoff_s']:.3f}s — identities ok")
     wupwise = [wl for wl in all_workloads() if wl.name == "wupwise"]
     sim = collect_sim_timings(repeats=3, workloads=wupwise)
     base_row = sim["per_workload"]["wupwise"]["Base"]
@@ -690,12 +791,19 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(collect_timings()))
         return 0
 
-    trace = write_trace_report(args.trace_output)
+    report = write_trace_report(args.trace_output)
+    trace, ingest = report["trace"], report["ingest"]
     print(f"wrote {args.trace_output}")
     print(f"  trace generation (serial, uncached): "
           f"seed {trace['totals_s']['seed']:.3f}s -> "
           f"optimized {trace['totals_s']['optimized']:.3f}s "
           f"({trace['speedup']}x)")
+    print(f"  ingest+synth ({ingest['num_requests']} requests): "
+          f"text {ingest['text_ingest_s']:.3f}s, "
+          f"binary {ingest['binary_ingest_s']:.3f}s "
+          f"({ingest['binary_ingest_per_s']}/s), "
+          f"synth {ingest['synth_onoff_s']:.3f}s "
+          f"({ingest['synth_per_s']}/s)")
 
     sim = write_sim_report(args.sim_output)
     print(f"wrote {args.sim_output}")
